@@ -1,0 +1,219 @@
+// Command minicc is the standalone driver for the MiniC toolchain: it
+// compiles a source file to the SSA IR, optionally optimizes and/or
+// obfuscates it, and can print, verify, execute or profile the result.
+//
+// Usage:
+//
+//	minicc [flags] file.c
+//
+// Examples:
+//
+//	minicc -emit-ir prog.c                # print the -O0 IR
+//	minicc -O2 -emit-ir prog.c            # optimized IR
+//	minicc -obf fla -run prog.c           # flatten, then execute
+//	minicc -O3 -run -stats prog.c         # run and report dynamic counts
+//	minicc -passes mem2reg,sccp prog.c    # custom pass sequence
+//	echo 5 7 | minicc -run -stdin prog.c  # feed the input builtins
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/obfus"
+	"repro/internal/passes"
+	"repro/internal/srcobf"
+)
+
+func main() {
+	var (
+		level     = flag.String("O", "0", "optimization level 0..3")
+		obf       = flag.String("obf", "", "obfuscation: sub, bcf, fla, ollvm")
+		srcStrat  = flag.String("src-obf", "", "source-level strategy: rs, mcmc, drlsg, ga")
+		passList  = flag.String("passes", "", "comma-separated pass list (overrides -O)")
+		emitIR    = flag.Bool("emit-ir", false, "print the final IR")
+		emitDot   = flag.Bool("emit-dot", false, "print the CFG in Graphviz dot syntax")
+		emitSrc   = flag.Bool("emit-src", false, "print the (possibly transformed) source")
+		run       = flag.Bool("run", false, "execute main and print its result")
+		stats     = flag.Bool("stats", false, "with -run: print dynamic instruction count")
+		stdin     = flag.Bool("stdin", false, "with -run: read whitespace-separated ints for input()")
+		seed      = flag.Int64("seed", 1, "random seed for obfuscation")
+		maxSteps  = flag.Int64("max-steps", 0, "interpreter instruction budget (0 = default)")
+		verifyOut = flag.Bool("verify", true, "verify the final module")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := compile(flag.Arg(0), options{
+		level: *level, obf: *obf, srcStrat: *srcStrat, passList: *passList,
+		emitIR: *emitIR, emitDot: *emitDot, emitSrc: *emitSrc, run: *run,
+		stats: *stats, stdin: *stdin, seed: *seed, maxSteps: *maxSteps,
+		verify: *verifyOut,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "minicc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	level, obf, srcStrat, passList string
+	emitIR, emitDot, emitSrc       bool
+	run, stats, stdin              bool
+	seed, maxSteps                 int64
+	verify                         bool
+}
+
+func compile(path string, opt options) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	src := string(data)
+	rng := rand.New(rand.NewSource(opt.seed))
+
+	if opt.srcStrat != "" {
+		src, err = srcobf.TransformSource(src, opt.srcStrat, rng)
+		if err != nil {
+			return err
+		}
+	}
+	if opt.emitSrc {
+		fmt.Print(src)
+		if !opt.emitIR && !opt.run {
+			return nil
+		}
+	}
+
+	mod, err := minic.CompileSource(src, path)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case opt.passList != "":
+		for _, name := range strings.Split(opt.passList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := passes.RunPass(mod, name); err != nil {
+				return err
+			}
+		}
+	default:
+		lvl, err := passes.ParseLevel("O" + opt.level)
+		if err != nil {
+			return err
+		}
+		if err := passes.Optimize(mod, lvl); err != nil {
+			return err
+		}
+	}
+
+	if opt.obf != "" {
+		if err := obfus.Apply(mod, opt.obf, rng); err != nil {
+			return err
+		}
+	}
+	if opt.verify {
+		if err := mod.Verify(); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+	}
+	if opt.emitIR {
+		fmt.Print(mod.String())
+	}
+	if opt.emitDot {
+		fmt.Print(mod.DOT())
+	}
+	if !opt.run {
+		return nil
+	}
+
+	var input []int64
+	if opt.stdin {
+		input, err = readInts(os.Stdin)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := interp.Run(mod, interp.Options{Input: input, MaxSteps: opt.maxSteps})
+	if err != nil {
+		return err
+	}
+	if res.Output != "" {
+		fmt.Print(res.Output)
+	}
+	fmt.Printf("=> %d\n", res.Ret)
+	if opt.stats {
+		fmt.Printf("dynamic instructions: %d\n", res.Steps)
+		fmt.Printf("static instructions:  %d\n", mod.NumInstrs())
+		fmt.Printf("functions:            %d\n", len(mod.Functions))
+		blocks := 0
+		for _, f := range mod.Functions {
+			blocks += len(f.Blocks)
+		}
+		fmt.Printf("basic blocks:         %d\n", blocks)
+		printHistogramTop(mod)
+	}
+	return nil
+}
+
+func readInts(f *os.File) ([]int64, error) {
+	var out []int64
+	sc := bufio.NewScanner(f)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.ParseInt(sc.Text(), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input %q: %w", sc.Text(), err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+// printHistogramTop shows the five most frequent opcodes.
+func printHistogramTop(m *ir.Module) {
+	counts := make(map[ir.Opcode]int)
+	for _, f := range m.Functions {
+		f.ForEachInstr(func(in *ir.Instr) { counts[in.Op]++ })
+	}
+	type kv struct {
+		op ir.Opcode
+		n  int
+	}
+	var all []kv
+	for op, n := range counts {
+		all = append(all, kv{op, n})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].n > all[i].n || (all[j].n == all[i].n && all[j].op < all[i].op) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	fmt.Printf("top opcodes:          ")
+	for i, e := range all {
+		if i == 5 {
+			break
+		}
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s×%d", e.op, e.n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// TestDifferentialTransformations is the repository's broadest property
+// test: programs drawn from the real dataset generators must behave
+// identically under every transformation the games can apply. Each sampled
+// program is executed at -O0 and compared against every evader and
+// optimizer configuration (including stacked obfuscation + normalization),
+// catching miscompiles anywhere in the front end, the passes, the
+// obfuscators or the interpreter.
+func TestDifferentialTransformations(t *testing.T) {
+	nPrograms := 48
+	if testing.Short() {
+		nPrograms = 6
+	}
+	rng := rand.New(rand.NewSource(20240207))
+	probs := dataset.Problems()
+	transforms := []string{"O1", "O2", "O3", "mem2reg", "sub", "bcf", "fla", "ollvm", "rs"}
+
+	for trial := 0; trial < nPrograms; trial++ {
+		p := probs[rng.Intn(len(probs))]
+		srcs, err := dataset.GenerateFor(p, 1, rng.Int63())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		src := srcs[0]
+		base, err := minic.CompileSource(src, p.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		want, err := interp.Run(base, interp.Options{MaxSteps: 20_000_000})
+		if err != nil {
+			t.Fatalf("%s: baseline run: %v\n%s", p.Name, err, src)
+		}
+		for _, tr := range transforms {
+			m, err := core.Transform(src, tr, rand.New(rand.NewSource(rng.Int63())))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, tr, err)
+			}
+			got, err := interp.Run(m, interp.Options{MaxSteps: 400_000_000})
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v\n%s", p.Name, tr, err, src)
+			}
+			if got.Ret != want.Ret || got.Output != want.Output {
+				t.Fatalf("%s/%s MISCOMPILE: ret %d->%d out %q->%q\nsource:\n%s",
+					p.Name, tr, want.Ret, got.Ret, want.Output, got.Output, src)
+			}
+		}
+		// Stacked: obfuscate then normalize (the Game-3 path).
+		for _, obf := range []string{"sub", "bcf", "fla", "ollvm"} {
+			m, err := core.Transform(src, obf, rand.New(rand.NewSource(rng.Int63())))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, obf, err)
+			}
+			if err := core.Normalize(m, 3); err != nil {
+				t.Fatalf("%s/%s+O3: %v", p.Name, obf, err)
+			}
+			got, err := interp.Run(m, interp.Options{MaxSteps: 400_000_000})
+			if err != nil {
+				t.Fatalf("%s/%s+O3: run: %v", p.Name, obf, err)
+			}
+			if got.Ret != want.Ret || got.Output != want.Output {
+				t.Fatalf("%s/%s+O3 MISCOMPILE: ret %d->%d\nsource:\n%s",
+					p.Name, obf, want.Ret, got.Ret, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package core implements the paper's primary contribution: the system of
+// four adversarial games matching program classifiers against evaders, plus
+// the experiment harnesses that regenerate every figure of the evaluation
+// (embedding comparisons, model comparisons, evasion measurement,
+// normalization, class-count sweeps, performance, obfuscator detection and
+// the malware case study).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/obfus"
+	"repro/internal/passes"
+	"repro/internal/srcobf"
+)
+
+// EvaderNames lists the nine evaders of Figure 4, in the paper's order:
+// O-LLVM passes, the combined ollvm, clang -O3, Zhang et al.'s source
+// strategies, and the passive evader ("none").
+func EvaderNames() []string {
+	return []string{"bcf", "fla", "sub", "ollvm", "O3", "rs", "mcmc", "drlsg", "none"}
+}
+
+// Transform compiles source code and applies the named evader
+// transformation, returning the transformed module:
+//
+//	none                   identity (Game 0's passive evader)
+//	O0/O1/O2/O3            compiler optimization pipelines
+//	mem2reg                SSA promotion only
+//	bcf/fla/sub/ollvm      O-LLVM-style IR obfuscations
+//	rs/mcmc/drlsg/ga       Zhang-style source-level strategies
+func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
+	switch name {
+	case "none", "", "O0":
+		return minic.CompileSource(src, "prog")
+	case "O1", "O2", "O3":
+		m, err := minic.CompileSource(src, "prog")
+		if err != nil {
+			return nil, err
+		}
+		lvl, _ := passes.ParseLevel(name)
+		if err := passes.Optimize(m, lvl); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "mem2reg":
+		m, err := minic.CompileSource(src, "prog")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := passes.RunPass(m, "mem2reg"); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "bcf", "fla", "sub", "ollvm":
+		m, err := minic.CompileSource(src, "prog")
+		if err != nil {
+			return nil, err
+		}
+		if err := obfus.Apply(m, name, rng); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "rs", "mcmc", "drlsg", "ga":
+		out, err := srcobf.TransformSource(src, name, rng)
+		if err != nil {
+			return nil, err
+		}
+		return minic.CompileSource(out, "prog")
+	}
+	return nil, fmt.Errorf("core: unknown transformation %q", name)
+}
+
+// Normalize applies the classifier-side code normalizer of Game 3 (the
+// paper evaluates clang -O3 and -O0).
+func Normalize(m *ir.Module, level passes.Level) error {
+	return passes.Optimize(m, level)
+}

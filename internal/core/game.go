@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/ml"
+	"repro/internal/passes"
+	"repro/internal/stats"
+)
+
+// Pipeline is one classifier configuration: a program embedding, a
+// stochastic model and (for Game 3) a code normalizer.
+type Pipeline struct {
+	Embedding  string
+	Model      string
+	Normalizer passes.Level // O0 = no normalization
+}
+
+// GameConfig configures one adversarial game (Definition 2.4 / Figure 1).
+type GameConfig struct {
+	// Game is 0..3.
+	Game int
+	// Evader is the transformation available to the evader (games 1-3);
+	// ignored in Game 0.
+	Evader string
+	// Pipeline is the classifier.
+	Pipeline Pipeline
+	// TrainFrac is the training split (the paper uses 375/500 = 0.75).
+	TrainFrac float64
+	// Seed drives the split, the evader and the model initialization.
+	Seed int64
+}
+
+// GameResult is the outcome of one game round.
+type GameResult struct {
+	Accuracy    float64
+	F1          float64
+	NumTrain    int
+	NumTest     int
+	ModelMemory int64
+}
+
+// featurized holds one sample's embedding (vector or graph).
+type featurized struct {
+	vec   embed.Vector
+	graph *embed.Graph
+	label int
+	err   error
+}
+
+// RunGame plays one round of the configured game over the dataset.
+func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
+	if cfg.Game < 0 || cfg.Game > 3 {
+		return nil, fmt.Errorf("core: game must be 0..3, got %d", cfg.Game)
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		cfg.TrainFrac = 0.75
+	}
+	emb, err := embed.Get(cfg.Pipeline.Embedding)
+	if err != nil {
+		return nil, err
+	}
+	if emb.Kind == embed.GraphKind && cfg.Pipeline.Model != "dgcnn" {
+		return nil, fmt.Errorf("core: graph embedding %q requires the dgcnn model", emb.Name)
+	}
+	if emb.Kind == embed.VectorKind && cfg.Pipeline.Model == "dgcnn" {
+		return nil, fmt.Errorf("core: dgcnn requires a graph embedding, %q is a vector", emb.Name)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	train, test := set.Split(cfg.TrainFrac, rng)
+
+	// Decide the transformation each side sees (Figure 1).
+	trainTransform, testTransform := "none", "none"
+	normalizeTrain, normalizeTest := false, false
+	switch cfg.Game {
+	case 0:
+		// passive evader, untouched training set
+	case 1:
+		testTransform = cfg.Evader
+	case 2:
+		trainTransform = cfg.Evader
+		testTransform = cfg.Evader
+	case 3:
+		testTransform = cfg.Evader
+		normalizeTrain = cfg.Pipeline.Normalizer != passes.O0
+		normalizeTest = normalizeTrain
+	}
+
+	trainFeats, err := featurize(train, trainTransform, normalizeTrain, cfg.Pipeline.Normalizer, emb, rng)
+	if err != nil {
+		return nil, err
+	}
+	testFeats, err := featurize(test, testTransform, normalizeTest, cfg.Pipeline.Normalizer, emb, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &GameResult{NumTrain: len(train), NumTest: len(test)}
+	truth := make([]int, len(testFeats))
+	pred := make([]int, len(testFeats))
+	for i, f := range testFeats {
+		truth[i] = f.label
+	}
+
+	if emb.Kind == embed.GraphKind {
+		model := ml.NewDGCNN(rand.New(rand.NewSource(rng.Int63())))
+		gs := make([]*embed.Graph, len(trainFeats))
+		ys := make([]int, len(trainFeats))
+		for i, f := range trainFeats {
+			gs[i] = f.graph
+			ys[i] = f.label
+		}
+		if err := model.FitGraphs(gs, ys, set.NumClasses); err != nil {
+			return nil, err
+		}
+		for i, f := range testFeats {
+			pred[i] = model.PredictGraph(f.graph)
+		}
+		res.ModelMemory = model.MemoryBytes()
+	} else {
+		model, err := ml.New(cfg.Pipeline.Model, rand.New(rand.NewSource(rng.Int63())))
+		if err != nil {
+			return nil, err
+		}
+		X := make([][]float64, len(trainFeats))
+		ys := make([]int, len(trainFeats))
+		for i, f := range trainFeats {
+			X[i] = f.vec
+			ys[i] = f.label
+		}
+		if err := model.Fit(X, ys, set.NumClasses); err != nil {
+			return nil, err
+		}
+		for i, f := range testFeats {
+			pred[i] = model.Predict(f.vec)
+		}
+		res.ModelMemory = model.MemoryBytes()
+	}
+	res.Accuracy = stats.Accuracy(pred, truth)
+	res.F1 = stats.MacroF1(pred, truth, set.NumClasses)
+	return res, nil
+}
+
+// featurize compiles, transforms, optionally normalizes and embeds every
+// sample, in parallel, with per-sample deterministic randomness.
+func featurize(samples []dataset.Sample, transform string, normalize bool,
+	norm passes.Level, emb *embed.Embedding, rng *rand.Rand) ([]featurized, error) {
+
+	seeds := make([]int64, len(samples))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	out := make([]featurized, len(samples))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = featurizeOne(samples[i], transform, normalize, norm, emb, seeds[i])
+			}
+		}()
+	}
+	for i := range samples {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i := range out {
+		if out[i].err != nil {
+			return nil, fmt.Errorf("core: sample %d: %w", i, out[i].err)
+		}
+	}
+	return out, nil
+}
+
+func featurizeOne(s dataset.Sample, transform string, normalize bool,
+	norm passes.Level, emb *embed.Embedding, seed int64) featurized {
+
+	f := featurized{label: s.Class}
+	m, err := Transform(s.Source, transform, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		f.err = err
+		return f
+	}
+	if normalize {
+		if err := Normalize(m, norm); err != nil {
+			f.err = err
+			return f
+		}
+	}
+	if emb.Kind == embed.GraphKind {
+		f.graph = emb.Graph(m)
+	} else {
+		f.vec = emb.Vec(m)
+	}
+	return f
+}
+
+// RunRounds repeats the game the given number of rounds (the paper uses
+// ten), varying the seed, and returns the per-round results plus accuracy
+// summary.
+func RunRounds(set *dataset.Set, cfg GameConfig, rounds int) ([]GameResult, stats.Summary, error) {
+	results := make([]GameResult, 0, rounds)
+	accs := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)*7919
+		res, err := RunGame(set, c)
+		if err != nil {
+			return nil, stats.Summary{}, err
+		}
+		results = append(results, *res)
+		accs = append(accs, res.Accuracy)
+	}
+	return results, stats.Summarize(accs), nil
+}

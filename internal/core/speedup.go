@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/obfus"
+	"repro/internal/passes"
+	"repro/internal/stats"
+)
+
+// SpeedupRow is one kernel of the Figure-13 performance experiment:
+// dynamic instruction counts relative to clang -O0.
+type SpeedupRow struct {
+	Name string
+	// Steps at each configuration.
+	O0Steps, O3Steps, OllvmSteps int64
+	// O3Speedup is O0/O3 (>1 is faster); OllvmSlowdown is ollvm/O0
+	// (>1 is slower).
+	O3Speedup     float64
+	OllvmSlowdown float64
+}
+
+// SpeedupReport aggregates the sixteen kernels.
+type SpeedupReport struct {
+	Rows []SpeedupRow
+	// Geometric means, the aggregate the paper reports (8.33x slowdown for
+	// O-LLVM, 2.32x speedup for -O3 on real hardware).
+	GeoO3Speedup     float64
+	GeoOllvmSlowdown float64
+}
+
+// Speedup runs the RQ6 experiment: each Benchmark-Game kernel is executed
+// at O0, at O3 and under the combined O-LLVM obfuscation, with dynamic
+// instruction count standing in for wall-clock time.
+func Speedup(seed int64) (*SpeedupReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rep := &SpeedupReport{}
+	var o3s, slows []float64
+	for _, p := range dataset.BenchGame() {
+		row := SpeedupRow{Name: p.Name}
+		steps := func(transform string) (int64, error) {
+			m, err := minic.CompileSource(p.Source, p.Name)
+			if err != nil {
+				return 0, err
+			}
+			switch transform {
+			case "O3":
+				if err := passes.Optimize(m, passes.O3); err != nil {
+					return 0, err
+				}
+			case "ollvm":
+				if err := obfus.Apply(m, "ollvm", rand.New(rand.NewSource(rng.Int63()))); err != nil {
+					return 0, err
+				}
+			}
+			res, err := interp.Run(m, interp.Options{MaxSteps: 2_000_000_000})
+			if err != nil {
+				return 0, fmt.Errorf("%s/%s: %w", p.Name, transform, err)
+			}
+			return res.Steps, nil
+		}
+		var err error
+		if row.O0Steps, err = steps("O0"); err != nil {
+			return nil, err
+		}
+		if row.O3Steps, err = steps("O3"); err != nil {
+			return nil, err
+		}
+		if row.OllvmSteps, err = steps("ollvm"); err != nil {
+			return nil, err
+		}
+		row.O3Speedup = float64(row.O0Steps) / float64(row.O3Steps)
+		row.OllvmSlowdown = float64(row.OllvmSteps) / float64(row.O0Steps)
+		o3s = append(o3s, row.O3Speedup)
+		slows = append(slows, row.OllvmSlowdown)
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.GeoO3Speedup = stats.GeoMean(o3s)
+	rep.GeoOllvmSlowdown = stats.GeoMean(slows)
+	return rep, nil
+}

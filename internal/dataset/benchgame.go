@@ -1,0 +1,356 @@
+package dataset
+
+// BenchProgram is one kernel of the performance experiment (RQ6). The
+// sixteen programs mirror the C entries of "The Benchmark Game" / the
+// classic Doug Bagley shootout the paper draws from (ary3 and matrix are
+// named explicitly in the paper). Workload constants are sized so that the
+// IR interpreter finishes each O0 build in a few million dynamic
+// instructions.
+type BenchProgram struct {
+	Name   string
+	Source string
+}
+
+// BenchGame returns the sixteen kernels.
+func BenchGame() []BenchProgram {
+	return []BenchProgram{
+		{"ackermann", `
+int ack(int m, int n) {
+	if (m == 0) return n + 1;
+	if (n == 0) return ack(m - 1, 1);
+	return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+	return ack(2, 6);
+}`},
+		{"ary3", `
+int main() {
+	int n = 3000;
+	int x[3000];
+	int y[3000];
+	for (int i = 0; i < n; i++) {
+		x[i] = i + 1;
+		y[i] = 0;
+	}
+	for (int k = 0; k < 40; k++)
+		for (int i = n - 1; i >= 0; i--)
+			y[i] += x[i];
+	return (y[0] + y[n - 1]) % 1000000007;
+}`},
+		{"binarytrees", `
+int left[4096];
+int right[4096];
+int nodes = 0;
+int build(int depth) {
+	int id = nodes;
+	nodes++;
+	if (depth <= 0) { left[id] = -1; right[id] = -1; return id; }
+	left[id] = build(depth - 1);
+	right[id] = build(depth - 1);
+	return id;
+}
+int check(int id) {
+	if (left[id] < 0) return 1;
+	return 1 + check(left[id]) + check(right[id]);
+}
+int main() {
+	int total = 0;
+	for (int d = 2; d <= 10; d++) {
+		nodes = 0;
+		int root = build(d);
+		total += check(root);
+	}
+	return total % 1000000007;
+}`},
+		{"fannkuch", `
+int main() {
+	int n = 7;
+	int perm[16];
+	int perm1[16];
+	int count[16];
+	int maxFlips = 0;
+	for (int i = 0; i < n; i++) perm1[i] = i;
+	int r = n;
+	int checksum = 0;
+	int sign = 1;
+	while (1) {
+		while (r != 1) { count[r - 1] = r; r--; }
+		for (int i = 0; i < n; i++) perm[i] = perm1[i];
+		int flips = 0;
+		int k = perm[0];
+		while (k != 0) {
+			int i = 0;
+			int j = k;
+			while (i < j) {
+				int t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+				i++;
+				j--;
+			}
+			flips++;
+			k = perm[0];
+		}
+		if (flips > maxFlips) maxFlips = flips;
+		checksum += sign * flips;
+		sign = -sign;
+		while (1) {
+			if (r == n) return (maxFlips * 1000 + checksum + 100000) % 1000000007;
+			int p0 = perm1[0];
+			for (int i = 0; i < r; i++) perm1[i] = perm1[i + 1];
+			perm1[r] = p0;
+			count[r] = count[r] - 1;
+			if (count[r] > 0) break;
+			r++;
+		}
+	}
+}`},
+		{"fibo", `
+int fib(int n) {
+	if (n < 2) return 1;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(20); }`},
+		{"hash", `
+int keys[4096];
+int vals[4096];
+int used[4096];
+int insert(int k, int v) {
+	int h = (k * 2654435761) % 4096;
+	if (h < 0) h += 4096;
+	while (used[h] && keys[h] != k) h = (h + 1) % 4096;
+	keys[h] = k;
+	vals[h] = v;
+	used[h] = 1;
+	return h;
+}
+int lookup(int k) {
+	int h = (k * 2654435761) % 4096;
+	if (h < 0) h += 4096;
+	while (used[h]) {
+		if (keys[h] == k) return vals[h];
+		h = (h + 1) % 4096;
+	}
+	return -1;
+}
+int main() {
+	for (int i = 0; i < 2000; i++) insert(i * 17, i);
+	int found = 0;
+	for (int i = 0; i < 2000; i++)
+		if (lookup(i * 17) == i) found++;
+	return found;
+}`},
+		{"heapsort", `
+int main() {
+	int n = 1500;
+	int a[1501];
+	int seed = 42;
+	for (int i = 1; i <= n; i++) {
+		seed = (seed * 1103515245 + 12345) % 2147483648;
+		a[i] = seed % 100000;
+	}
+	int k = n / 2 + 1;
+	int ir = n;
+	int rra;
+	while (1) {
+		if (k > 1) { k--; rra = a[k]; }
+		else {
+			rra = a[ir];
+			a[ir] = a[1];
+			ir--;
+			if (ir == 1) { a[1] = rra; break; }
+		}
+		int i = k;
+		int j = k * 2;
+		while (j <= ir) {
+			if (j < ir && a[j] < a[j + 1]) j++;
+			if (rra < a[j]) { a[i] = a[j]; i = j; j = j * 2; }
+			else j = ir + 1;
+		}
+		a[i] = rra;
+	}
+	return (a[1] * 7 + a[n]) % 1000000007;
+}`},
+		{"mandelbrot", `
+int main() {
+	int w = 40;
+	int inside = 0;
+	for (int y = 0; y < w; y++) {
+		for (int x = 0; x < w; x++) {
+			float cr = 2.0 * x / w - 1.5;
+			float ci = 2.0 * y / w - 1.0;
+			float zr = 0.0;
+			float zi = 0.0;
+			int it = 0;
+			while (it < 50 && zr * zr + zi * zi < 4.0) {
+				float t = zr * zr - zi * zi + cr;
+				zi = 2.0 * zr * zi + ci;
+				zr = t;
+				it++;
+			}
+			if (it == 50) inside++;
+		}
+	}
+	return inside;
+}`},
+		{"matrix", `
+int main() {
+	int n = 30;
+	int a[30][30];
+	int b[30][30];
+	int c[30][30];
+	for (int i = 0; i < n; i++)
+		for (int j = 0; j < n; j++) {
+			a[i][j] = i * n + j;
+			b[i][j] = (i * n + j) % 7;
+		}
+	for (int rep = 0; rep < 10; rep++) {
+		for (int i = 0; i < n; i++)
+			for (int j = 0; j < n; j++) {
+				int s = 0;
+				for (int k = 0; k < n; k++) s += a[i][k] * b[k][j];
+				c[i][j] = s % 65536;
+			}
+		for (int i = 0; i < n; i++)
+			for (int j = 0; j < n; j++) a[i][j] = c[i][j];
+	}
+	return (c[0][0] + c[n - 1][n - 1] + c[n / 2][n / 2]) % 1000000007;
+}`},
+		{"nbody", `
+float px[5];
+float py[5];
+float pz[5];
+float vx[5];
+float vy[5];
+float vz[5];
+float mass[5];
+void advance(float dt) {
+	for (int i = 0; i < 5; i++) {
+		for (int j = i + 1; j < 5; j++) {
+			float dx = px[i] - px[j];
+			float dy = py[i] - py[j];
+			float dz = pz[i] - pz[j];
+			float d2 = dx * dx + dy * dy + dz * dz;
+			float mag = dt / (d2 * sqrt(d2));
+			vx[i] -= dx * mass[j] * mag;
+			vy[i] -= dy * mass[j] * mag;
+			vz[i] -= dz * mass[j] * mag;
+			vx[j] += dx * mass[i] * mag;
+			vy[j] += dy * mass[i] * mag;
+			vz[j] += dz * mass[i] * mag;
+		}
+	}
+	for (int i = 0; i < 5; i++) {
+		px[i] += dt * vx[i];
+		py[i] += dt * vy[i];
+		pz[i] += dt * vz[i];
+	}
+}
+int main() {
+	for (int i = 0; i < 5; i++) {
+		px[i] = i * 1.5 - 3.0;
+		py[i] = i * 0.5;
+		pz[i] = 1.0 - i * 0.25;
+		vx[i] = 0.01 * i;
+		vy[i] = -0.005 * i;
+		vz[i] = 0.002;
+		mass[i] = 1.0 + 0.1 * i;
+	}
+	for (int step = 0; step < 2000; step++) advance(0.01);
+	float e = 0.0;
+	for (int i = 0; i < 5; i++)
+		e += 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+	return (int)(e * 1000.0);
+}`},
+		{"nestedloop", `
+int main() {
+	int n = 14;
+	int x = 0;
+	for (int a = 0; a < n; a++)
+		for (int b = 0; b < n; b++)
+			for (int c = 0; c < n; c++)
+				for (int d = 0; d < n; d++)
+					for (int e = 0; e < n; e++)
+						x++;
+	return x % 1000000007;
+}`},
+		{"random", `
+int main() {
+	int last = 42;
+	float result = 0.0;
+	for (int i = 0; i < 400000; i++) {
+		last = (last * 3877 + 29573) % 139968;
+		result = 100.0 * last / 139968;
+	}
+	return (int)(result * 1000.0);
+}`},
+		{"sieve", `
+int main() {
+	int flags[8193];
+	int count = 0;
+	for (int iter = 0; iter < 10; iter++) {
+		count = 0;
+		for (int i = 2; i <= 8192; i++) flags[i] = 1;
+		for (int i = 2; i <= 8192; i++) {
+			if (flags[i]) {
+				for (int k = i + i; k <= 8192; k += i) flags[k] = 0;
+				count++;
+			}
+		}
+	}
+	return count;
+}`},
+		{"spectralnorm", `
+float evalA(int i, int j) {
+	return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+int main() {
+	int n = 60;
+	float u[60];
+	float v[60];
+	float tmp[60];
+	for (int i = 0; i < n; i++) u[i] = 1.0;
+	for (int it = 0; it < 6; it++) {
+		for (int i = 0; i < n; i++) {
+			tmp[i] = 0.0;
+			for (int j = 0; j < n; j++) tmp[i] += evalA(i, j) * u[j];
+		}
+		for (int i = 0; i < n; i++) {
+			v[i] = 0.0;
+			for (int j = 0; j < n; j++) v[i] += evalA(j, i) * tmp[j];
+		}
+		for (int i = 0; i < n; i++) u[i] = v[i];
+	}
+	float vBv = 0.0;
+	float vv = 0.0;
+	for (int i = 0; i < n; i++) { vBv += u[i] * v[i]; vv += v[i] * v[i]; }
+	return (int)(sqrt(vBv / vv) * 1000000.0);
+}`},
+		{"strcat", `
+int main() {
+	char buf[60000];
+	int len = 0;
+	for (int i = 0; i < 9000; i++) {
+		buf[len] = 'h'; len++;
+		buf[len] = 'e'; len++;
+		buf[len] = 'l'; len++;
+		buf[len] = 'l'; len++;
+		buf[len] = 'o'; len++;
+		buf[len] = '\n'; len++;
+	}
+	buf[len] = 0;
+	int sum = 0;
+	for (int i = 0; i < len; i++) sum += buf[i];
+	return (len + sum) % 1000000007;
+}`},
+		{"sumcol", `
+int main() {
+	int seed = 7;
+	int sum = 0;
+	for (int i = 0; i < 200000; i++) {
+		seed = (seed * 1103515245 + 12345) % 2147483648;
+		int v = seed % 1000 - 500;
+		sum += v;
+	}
+	return (sum + 2000000000) % 1000000007;
+}`},
+	}
+}

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/minic"
+)
+
+// Problem is one programming problem of the benchmark: a named class plus
+// a generator that emits structurally randomized MiniC solutions.
+type Problem struct {
+	ID   int
+	Name string
+	Gen  func(g *gen) string
+}
+
+// Sample is one labelled program.
+type Sample struct {
+	Class  int
+	Source string
+}
+
+// Set is a balanced labelled corpus.
+type Set struct {
+	NumClasses int
+	Samples    []Sample
+}
+
+// Problems returns the full 104-problem registry (the POJ-104 stand-in).
+func Problems() []Problem {
+	groups := [][]Problem{
+		arrayProblems(),
+		mathProblems(),
+		sortSearchProblems(),
+		stringProblems(),
+		matrixProblems(),
+		dpGraphProblems(),
+		miscProblems(),
+	}
+	var all []Problem
+	for _, grp := range groups {
+		all = append(all, grp...)
+	}
+	for i := range all {
+		all[i].ID = i
+	}
+	return all
+}
+
+// Generate builds a balanced dataset of perClass solutions for each of the
+// first numClasses problems (numClasses <= 104). Every emitted program is
+// compile-checked; the generator retries with fresh randomness on the rare
+// occasion a variation fails to compile.
+func Generate(numClasses, perClass int, seed int64) (*Set, error) {
+	all := Problems()
+	if numClasses <= 0 || numClasses > len(all) {
+		return nil, fmt.Errorf("dataset: numClasses must be in [1,%d], got %d", len(all), numClasses)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Match the paper's RQ1 setup: when fewer classes are requested, take
+	// a random subset of the 104 problems.
+	idxs := rng.Perm(len(all))[:numClasses]
+	set := &Set{NumClasses: numClasses}
+	for ci, pi := range idxs {
+		p := all[pi]
+		for k := 0; k < perClass; k++ {
+			src, err := emitChecked(p, rng)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: problem %s: %w", p.Name, err)
+			}
+			set.Samples = append(set.Samples, Sample{Class: ci, Source: src})
+		}
+	}
+	return set, nil
+}
+
+// compileCheck verifies that src is a valid MiniC program.
+func compileCheck(src string) error {
+	if _, err := minic.CompileSource(src, "check"); err != nil {
+		return fmt.Errorf("generated program does not compile: %w\n%s", err, src)
+	}
+	return nil
+}
+
+func emitChecked(p Problem, rng *rand.Rand) (string, error) {
+	var lastErr error
+	for try := 0; try < 5; try++ {
+		src := p.Gen(newGen(rand.New(rand.NewSource(rng.Int63()))))
+		if _, err := minic.CompileSource(src, p.Name); err != nil {
+			lastErr = fmt.Errorf("generated solution does not compile: %w\n%s", err, src)
+			continue
+		}
+		return src, nil
+	}
+	return "", lastErr
+}
+
+// GenerateFor draws n compile-checked solutions of a single problem.
+func GenerateFor(p Problem, n int, seed int64) ([]string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for k := 0; k < n; k++ {
+		src, err := emitChecked(p, rng)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: problem %s: %w", p.Name, err)
+		}
+		out = append(out, src)
+	}
+	return out, nil
+}
+
+// Split partitions the set into train and test subsets per class with the
+// given training fraction (the paper uses 375/125 = 0.75).
+func (s *Set) Split(trainFrac float64, rng *rand.Rand) (train, test []Sample) {
+	byClass := make(map[int][]Sample)
+	for _, smp := range s.Samples {
+		byClass[smp.Class] = append(byClass[smp.Class], smp)
+	}
+	for c := 0; c < s.NumClasses; c++ {
+		group := byClass[c]
+		rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		cut := int(float64(len(group)) * trainFrac)
+		train = append(train, group[:cut]...)
+		test = append(test, group[cut:]...)
+	}
+	return train, test
+}

@@ -1,0 +1,160 @@
+package dataset_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/passes"
+)
+
+func TestRegistryHas104Problems(t *testing.T) {
+	probs := dataset.Problems()
+	if len(probs) != 104 {
+		t.Fatalf("registry has %d problems, the paper's POJ-104 has 104", len(probs))
+	}
+	seen := map[string]bool{}
+	for i, p := range probs {
+		if p.Name == "" || p.Gen == nil {
+			t.Fatalf("problem %d is incomplete", i)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate problem name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.ID != i {
+			t.Fatalf("problem %q has ID %d, want %d", p.Name, p.ID, i)
+		}
+	}
+}
+
+// TestEverySolutionCompilesAndRuns draws several samples from every problem
+// and checks they compile, run without traps, and terminate.
+func TestEverySolutionCompilesAndRuns(t *testing.T) {
+	set, err := dataset.Generate(104, 3, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Samples) != 104*3 {
+		t.Fatalf("got %d samples, want %d", len(set.Samples), 104*3)
+	}
+	for _, smp := range set.Samples {
+		m, err := minic.CompileSource(smp.Source, "s")
+		if err != nil {
+			t.Fatalf("class %d: compile: %v\n%s", smp.Class, err, smp.Source)
+		}
+		if _, err := interp.Run(m, interp.Options{MaxSteps: 5_000_000}); err != nil {
+			t.Fatalf("class %d: run: %v\n%s", smp.Class, err, smp.Source)
+		}
+	}
+}
+
+// TestSolutionsVaryStructurally: two samples of the same class should
+// (almost always) differ textually.
+func TestSolutionsVaryStructurally(t *testing.T) {
+	set, err := dataset.Generate(104, 2, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for c := 0; c < 104; c++ {
+		a := set.Samples[c*2].Source
+		b := set.Samples[c*2+1].Source
+		if a == b {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/104 classes produced identical solution pairs", same)
+	}
+}
+
+// TestSolutionsSurviveO3: dataset programs must stay semantically intact
+// under the full optimizer (they are the substrate of every game).
+func TestSolutionsSurviveO3(t *testing.T) {
+	set, err := dataset.Generate(30, 1, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range set.Samples {
+		m0, err := minic.CompileSource(smp.Source, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r0, err := interp.Run(m0, interp.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("O0 run: %v\n%s", err, smp.Source)
+		}
+		m3, _ := minic.CompileSource(smp.Source, "s")
+		if err := passes.Optimize(m3, passes.O3); err != nil {
+			t.Fatalf("optimize: %v\n%s", err, smp.Source)
+		}
+		r3, err := interp.Run(m3, interp.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("O3 run: %v\n%s", err, smp.Source)
+		}
+		if r0.Ret != r3.Ret {
+			t.Fatalf("class %d: O3 changed result %d -> %d\n%s", smp.Class, r0.Ret, r3.Ret, smp.Source)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := dataset.Generate(10, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dataset.Generate(10, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Source != b.Samples[i].Source {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c, err := dataset.Generate(10, 2, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range a.Samples {
+		if a.Samples[i].Source != c.Samples[i].Source {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := dataset.Generate(0, 5, 1); err == nil {
+		t.Fatal("accepted zero classes")
+	}
+	if _, err := dataset.Generate(500, 5, 1); err == nil {
+		t.Fatal("accepted too many classes")
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	set, err := dataset.Generate(8, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := set.Split(0.75, rand.New(rand.NewSource(1)))
+	if len(train) != 8*6 || len(test) != 8*2 {
+		t.Fatalf("split sizes %d/%d, want 48/16", len(train), len(test))
+	}
+	counts := map[int]int{}
+	for _, s := range train {
+		counts[s.Class]++
+	}
+	for c, n := range counts {
+		if n != 6 {
+			t.Fatalf("class %d has %d training samples, want 6", c, n)
+		}
+	}
+}

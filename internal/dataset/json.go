@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonSet is the serialized form of a Set: a versioned envelope so future
+// layouts stay loadable.
+type jsonSet struct {
+	Version    int          `json:"version"`
+	NumClasses int          `json:"num_classes"`
+	Samples    []jsonSample `json:"samples"`
+}
+
+type jsonSample struct {
+	Class  int    `json:"class"`
+	Source string `json:"source"`
+}
+
+const jsonVersion = 1
+
+// WriteJSON serializes the set.
+func (s *Set) WriteJSON(w io.Writer) error {
+	js := jsonSet{Version: jsonVersion, NumClasses: s.NumClasses}
+	for _, smp := range s.Samples {
+		js.Samples = append(js.Samples, jsonSample{Class: smp.Class, Source: smp.Source})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(js)
+}
+
+// ReadJSON deserializes a set and revalidates every sample (the file may
+// have been edited by hand).
+func ReadJSON(r io.Reader) (*Set, error) {
+	var js jsonSet
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if js.Version != jsonVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", js.Version)
+	}
+	if js.NumClasses < 1 {
+		return nil, fmt.Errorf("dataset: bad class count %d", js.NumClasses)
+	}
+	set := &Set{NumClasses: js.NumClasses}
+	for i, smp := range js.Samples {
+		if smp.Class < 0 || smp.Class >= js.NumClasses {
+			return nil, fmt.Errorf("dataset: sample %d has label %d outside [0,%d)",
+				i, smp.Class, js.NumClasses)
+		}
+		if err := compileCheck(smp.Source); err != nil {
+			return nil, fmt.Errorf("dataset: sample %d: %w", i, err)
+		}
+		set.Samples = append(set.Samples, Sample{Class: smp.Class, Source: smp.Source})
+	}
+	if len(set.Samples) == 0 {
+		return nil, fmt.Errorf("dataset: empty sample list")
+	}
+	return set, nil
+}
+
+// SaveFile writes the set to path.
+func (s *Set) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.WriteJSON(f)
+}
+
+// LoadFile reads a set from path.
+func LoadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

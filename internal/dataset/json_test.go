@@ -1,0 +1,69 @@
+package dataset_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	set, err := dataset.Generate(6, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dataset.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClasses != set.NumClasses || len(got.Samples) != len(set.Samples) {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			got.NumClasses, len(got.Samples), set.NumClasses, len(set.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != set.Samples[i] {
+			t.Fatalf("sample %d changed", i)
+		}
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	set, err := dataset.Generate(3, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := set.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dataset.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 9 {
+		t.Fatalf("loaded %d samples", len(got.Samples))
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"version": 99, "num_classes": 2, "samples": []}`,
+		`{"version": 1, "num_classes": 0, "samples": []}`,
+		`{"version": 1, "num_classes": 2, "samples": []}`,
+		`{"version": 1, "num_classes": 2, "samples": [{"class": 7, "source": "int main() { return 0; }"}]}`,
+		`{"version": 1, "num_classes": 2, "samples": [{"class": 0, "source": "not a program"}]}`,
+	}
+	for _, c := range cases {
+		if _, err := dataset.ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package dataset
+
+import "fmt"
+
+// arrayProblems: one-dimensional array manipulation tasks (20 problems).
+func arrayProblems() []Problem {
+	return []Problem{
+		{Name: "array_sum", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s%s",
+				g.fillArray(arr, n, g.seed()),
+				acc,
+				g.deadNoise(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s += %s[%s];", acc, arr, i)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "array_max", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			upd := fmt.Sprintf("if (%s[%s] > %s) %s = %s[%s];", arr, i, acc, acc, arr, i)
+			if g.r.Intn(2) == 0 {
+				upd = fmt.Sprintf("%s = %s[%s] > %s ? %s[%s] : %s;", acc, arr, i, acc, arr, i, acc)
+			}
+			body := fmt.Sprintf("%s\nint %s = %s[0];\n%s",
+				g.fillArray(arr, n, g.seed()), acc, arr,
+				g.loopFrom(i, "1", g.num(int64(n)), upd))
+			return g.wrapMain("", body, acc+" + 500")
+		}},
+		{Name: "array_min", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("%s\nint %s = %s[0];\n%s",
+				g.fillArray(arr, n, g.seed()), acc, arr,
+				g.loopFrom(i, "1", g.num(int64(n)),
+					fmt.Sprintf("if (%s) %s = %s[%s];", g.lt(arr+"["+i+"]", acc), acc, arr, i)))
+			return g.wrapMain("", body, acc+" + 500")
+		}},
+		{Name: "array_reverse_checksum", Gen: func(g *gen) string {
+			n := g.size(16, 48)
+			arr, i, t := g.v("arr"), g.v("idx"), g.v("tmp")
+			acc, j := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				g.loop(i, fmt.Sprintf("%d", n/2), fmt.Sprintf(
+					"int %s = %s[%s];\n%s[%s] = %s[%d - 1 - %s];\n%s[%d - 1 - %s] = %s;",
+					t, arr, i, arr, i, arr, n, i, arr, n, i, t)),
+				acc,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf("%s = %s * 3 + %s[%s];", acc, acc, arr, j)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "count_evens", Gen: func(g *gen) string {
+			n := g.size(25, 70)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			cond := fmt.Sprintf("%s[%s] %% 2 == 0", arr, i)
+			if g.r.Intn(2) == 0 {
+				cond = fmt.Sprintf("(%s[%s] & 1) == 0", arr, i)
+			}
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("if (%s) %s;", cond, g.inc(acc))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "second_largest", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			arr, a, b, i := g.v("arr"), g.v("acc"), g.v("tmp"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = -1000000;
+int %s = -1000000;
+%s`,
+				g.fillArray(arr, n, g.seed()), a, b,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"if (%s[%s] > %s) { %s = %s; %s = %s[%s]; } else if (%s[%s] > %s && %s[%s] != %s) %s = %s[%s];",
+					arr, i, a, b, a, a, arr, i, arr, i, b, arr, i, a, b, arr, i)))
+			return g.wrapMain("", body, a+" * 1000 + "+b+" + 2000000")
+		}},
+		{Name: "rotate_left", Gen: func(g *gen) string {
+			n := g.size(16, 40)
+			k := g.size(1, 7)
+			arr, acc, i, r := g.v("arr"), g.v("acc"), g.v("idx"), g.v("tmp")
+			rot := g.loop(r, g.num(int64(k)), fmt.Sprintf(
+				"int f = %s[0];\n%s\n%s[%d] = f;",
+				arr,
+				g.loop(i, fmt.Sprintf("%d", n-1), fmt.Sprintf("%s[%s] = %s[%s + 1];", arr, i, arr, i)),
+				arr, n-1))
+			j := g.v("idx")
+			body := fmt.Sprintf("%s\n%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), rot, acc,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf("%s = %s * 7 + %s[%s];", acc, acc, arr, j)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "prefix_sums", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			arr, ps, i, acc := g.v("arr"), g.v("arr"), g.v("idx"), g.v("acc")
+			body := fmt.Sprintf(`%s
+int %s[%d];
+%s[0] = %s[0];
+%s
+int %s = %s[%d - 1] + %s[%d / 2];`,
+				g.fillArray(arr, n, g.seed()),
+				ps, n, ps, arr,
+				g.loopFrom(i, "1", g.num(int64(n)),
+					fmt.Sprintf("%s[%s] = %s[%s - 1] + %s[%s];", ps, i, ps, i, arr, i)),
+				acc, ps, n, ps, n)
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "equilibrium_index", Gen: func(g *gen) string {
+			n := g.size(15, 40)
+			arr, tot, left, i, ans := g.v("arr"), g.v("acc"), g.v("tmp"), g.v("idx"), g.v("acc")
+			j := g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s
+int %s = 0;
+int %s = -1;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				tot,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s += %s[%s];", tot, arr, i)),
+				left, ans,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf(
+					"if (%s - %s[%s] - %s == %s && %s < 0) %s = %s;\n%s += %s[%s];",
+					tot, arr, j, left, left, ans, ans, j, left, arr, j)))
+			return g.wrapMain("", body, ans+" + 100")
+		}},
+		{Name: "count_pairs_with_sum", Gen: func(g *gen) string {
+			n := g.size(12, 30)
+			target := g.size(50, 150)
+			arr, acc, i, j := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)),
+					g.loopFrom(j, i+" + 1", g.num(int64(n)),
+						fmt.Sprintf("if (%s[%s] + %s[%s] == %s) %s;", arr, i, arr, j, g.num(int64(target)), g.inc(acc)))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "dedup_count", Gen: func(g *gen) string {
+			n := g.size(15, 40)
+			arr, acc, i, j, f := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"int %s = 0;\n%s\nif (%s == 0) %s;",
+					f,
+					g.loop(j, i, fmt.Sprintf("if (%s[%s] == %s[%s]) %s = 1;", arr, j, arr, i, f)),
+					f, g.inc(acc))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "dot_product", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			a, b, acc, i := g.v("arr"), g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("%s\n%s\nint %s = 0;\n%s",
+				g.fillArray(a, n, g.seed()), g.fillArray(b, n, g.seed()+3), acc,
+				g.loop(i, g.num(int64(n)),
+					fmt.Sprintf("%s += %s[%s] * %s[%s];", acc, a, i, b, i)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "max_subarray", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			arr, best, cur, i := g.v("arr"), g.v("acc"), g.v("tmp"), g.v("idx")
+			// Values are centred by subtracting 99, so Kadane sees both
+			// signs and the running sum resets matter.
+			body := fmt.Sprintf(`%s
+int %s = -1000000;
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				best, cur,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s += %s[%s] - 99;\nif (%s > %s) %s = %s;\nif (%s < 0) %s = 0;",
+					cur, arr, i, cur, best, best, cur, cur, cur)))
+			return g.wrapMain("", body, best+" + 1000000")
+		}},
+		{Name: "alternating_sum", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			upd := fmt.Sprintf("if (%s %% 2 == 0) %s += %s[%s]; else %s -= %s[%s];", i, acc, arr, i, acc, arr, i)
+			if g.r.Intn(2) == 0 {
+				sg := g.v("tmp")
+				upd = fmt.Sprintf("%s += %s * %s[%s];\n%s = -%s;", acc, sg, arr, i, sg, sg)
+				body := fmt.Sprintf("%s\nint %s = 0;\nint %s = 1;\n%s",
+					g.fillArray(arr, n, g.seed()), acc, sg,
+					g.loop(i, g.num(int64(n)), upd))
+				return g.wrapMain("", body, acc+" + 100000")
+			}
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)), upd))
+			return g.wrapMain("", body, acc+" + 100000")
+		}},
+		{Name: "range_sum_queries", Gen: func(g *gen) string {
+			n := g.size(20, 40)
+			q := g.size(5, 12)
+			arr, ps, i, acc, k := g.v("arr"), g.v("arr"), g.v("idx"), g.v("acc"), g.v("idx")
+			lo, hi := g.v("tmp"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+int %s[%d];
+%s[0] = 0;
+%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				ps, n+1, ps,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s[%s + 1] = %s[%s] + %s[%s];", ps, i, ps, i, arr, i)),
+				acc,
+				g.loop(k, g.num(int64(q)), fmt.Sprintf(
+					"int %s = (%s * 13) %% %d;\nint %s = %s + (%s * 7) %% (%d - %s);\n%s += %s[%s + 1] - %s[%s];",
+					lo, k, n/2, hi, lo, k, n/2, lo, acc, ps, hi, ps, lo)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "count_greater_than_prev", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loopFrom(i, "1", g.num(int64(n)),
+					fmt.Sprintf("if (%s[%s] > %s[%s - 1]) %s;", arr, i, arr, i, g.inc(acc))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "zero_crossings", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				acc,
+				g.loopFrom(i, "1", g.num(int64(n)), fmt.Sprintf(
+					"if ((%s[%s] - 99) * (%s[%s - 1] - 99) < 0) %s;", arr, i, arr, i, g.inc(acc))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "partition_evens_first", Gen: func(g *gen) string {
+			n := g.size(16, 40)
+			arr, w, i, acc, j, t := g.v("arr"), g.v("tmp"), g.v("idx"), g.v("acc"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				w,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"if (%s[%s] %% 2 == 0) { int %s = %s[%s]; %s[%s] = %s[%s]; %s[%s] = %s; %s; }",
+					arr, i, t, arr, w, arr, w, arr, i, arr, i, t, g.inc(w))),
+				acc,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf("%s = %s * 5 + %s[%s];", acc, acc, arr, j)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "weighted_sum", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)),
+					fmt.Sprintf("%s += (%s + 1) * %s[%s];", acc, i, arr, i)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "longest_plateau", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			arr, best, cur, i := g.v("arr"), g.v("acc"), g.v("tmp"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 1;
+int %s = 1;
+%s`,
+				g.fillArray(arr, n, g.seed()), best, cur,
+				g.loopFrom(i, "1", g.num(int64(n)), fmt.Sprintf(
+					"if (%s[%s] == %s[%s - 1]) { %s; if (%s > %s) %s = %s; } else %s = 1;",
+					arr, i, arr, i, g.inc(cur), cur, best, best, cur, cur)))
+			return g.wrapMain("", body, best+" * 17")
+		}},
+	}
+}

@@ -1,0 +1,362 @@
+package dataset
+
+import "fmt"
+
+// dpGraphProblems: dynamic programming and graph tasks (15 problems).
+func dpGraphProblems() []Problem {
+	return []Problem{
+		{Name: "lcs_length", Gen: func(g *gen) string {
+			n := g.size(8, 16)
+			a, b, dp := g.v("arr"), g.v("arr"), g.v("arr")
+			i, j := g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s[20][20];
+for (int %s = 0; %s <= %d; %s++) { %s[%s][0] = 0; %s[0][%s] = 0; }
+%s`,
+				g.fillString(a, n, g.seed()),
+				g.fillString(b, n, g.seed()+7),
+				dp,
+				i, i, n, i, dp, i, dp, i,
+				g.loopFrom(i, "1", fmt.Sprintf("%d + 1", n),
+					g.loopFrom(j, "1", fmt.Sprintf("%d + 1", n), fmt.Sprintf(
+						`if (%s[%s - 1] == %s[%s - 1]) %s[%s][%s] = %s[%s - 1][%s - 1] + 1;
+else %s[%s][%s] = %s[%s - 1][%s] > %s[%s][%s - 1] ? %s[%s - 1][%s] : %s[%s][%s - 1];`,
+						a, i, b, j, dp, i, j, dp, i, j,
+						dp, i, j, dp, i, j, dp, i, j, dp, i, j, dp, i, j))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d][%d] * 9 + 1", dp, n, n))
+		}},
+		{Name: "edit_distance", Gen: func(g *gen) string {
+			n := g.size(8, 14)
+			a, b, dp := g.v("arr"), g.v("arr"), g.v("arr")
+			i, j, c := g.v("idx"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+%s
+int %s[18][18];
+for (int %s = 0; %s <= %d; %s++) { %s[%s][0] = %s; %s[0][%s] = %s; }
+%s`,
+				g.fillString(a, n, g.seed()),
+				g.fillString(b, n, g.seed()+13),
+				dp,
+				i, i, n, i, dp, i, i, dp, i, i,
+				g.loopFrom(i, "1", fmt.Sprintf("%d + 1", n),
+					g.loopFrom(j, "1", fmt.Sprintf("%d + 1", n), fmt.Sprintf(
+						`int %s = 1;
+if (%s[%s - 1] == %s[%s - 1]) %s = 0;
+int best = %s[%s - 1][%s - 1] + %s;
+if (%s[%s - 1][%s] + 1 < best) best = %s[%s - 1][%s] + 1;
+if (%s[%s][%s - 1] + 1 < best) best = %s[%s][%s - 1] + 1;
+%s[%s][%s] = best;`,
+						c, a, i, b, j, c,
+						dp, i, j, c,
+						dp, i, j, dp, i, j,
+						dp, i, j, dp, i, j,
+						dp, i, j))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d][%d] * 11 + 5", dp, n, n))
+		}},
+		{Name: "knapsack01", Gen: func(g *gen) string {
+			n := g.size(6, 12)
+			cap := g.size(20, 50)
+			w, v, dp := g.v("arr"), g.v("arr"), g.v("arr")
+			i, c := g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s[64];
+%s
+%s`,
+				g.fillArray(w, n, g.seed()),
+				g.fillArray(v, n, g.seed()+9),
+				dp,
+				func() string {
+					z := g.v("idx")
+					return g.loop(z, "64", fmt.Sprintf("%s[%s] = 0;", dp, z))
+				}(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					`for (int %s = %s; %s >= %s[%s] %% 20 + 1; %s--) {
+int take = %s[%s - (%s[%s] %% 20 + 1)] + %s[%s];
+if (take > %s[%s]) %s[%s] = take;
+}`,
+					c, g.num(int64(cap)), c, w, i, c,
+					dp, c, w, i, v, i,
+					dp, c, dp, c)))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d]", dp, cap))
+		}},
+		{Name: "coin_change_ways", Gen: func(g *gen) string {
+			amount := g.size(15, 40)
+			dp, c := g.v("arr"), g.v("idx")
+			coins := []int{1, 2, 5}
+			if g.r.Intn(2) == 0 {
+				coins = []int{1, 3, 4}
+			}
+			// Iterate coins outer, amounts inner: counts combinations.
+			k, a := g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`int %s[64];
+%s
+%s[0] = 1;
+int %s[3];
+%s[0] = %d; %s[1] = %d; %s[2] = %d;
+%s`,
+				dp,
+				func() string {
+					z := g.v("idx")
+					return g.loop(z, "64", fmt.Sprintf("if (%s > 0) %s[%s] = 0;", z, dp, z))
+				}(),
+				dp,
+				c, c, coins[0], c, coins[1], c, coins[2],
+				g.loop(k, "3",
+					g.loopFrom(a, c+"["+k+"]", fmt.Sprintf("%d + 1", amount),
+						fmt.Sprintf("%s[%s] += %s[%s - %s[%s]];", dp, a, dp, a, c, k))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d]", dp, amount))
+		}},
+		{Name: "lis_length", Gen: func(g *gen) string {
+			n := g.size(12, 28)
+			arr, dp, i, j, best, k := g.v("arr"), g.v("arr"), g.v("idx"), g.v("idx"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[%d];
+%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				dp, n,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s[%s] = 1;\n%s",
+					dp, i,
+					g.loop(j, i, fmt.Sprintf(
+						"if (%s[%s] < %s[%s] && %s[%s] + 1 > %s[%s]) %s[%s] = %s[%s] + 1;",
+						arr, j, arr, i, dp, j, dp, i, dp, i, dp, j)))),
+				best,
+				g.loop(k, g.num(int64(n)), fmt.Sprintf("if (%s[%s] > %s) %s = %s[%s];", dp, k, best, best, dp, k)))
+			return g.wrapMain("", body, best+" * 23")
+		}},
+		{Name: "rod_cutting", Gen: func(g *gen) string {
+			n := g.size(8, 20)
+			price, dp, i, j := g.v("arr"), g.v("arr"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[%d];
+%s[0] = 0;
+%s`,
+				g.fillArray(price, n, g.seed()),
+				dp, n+1, dp,
+				g.loopFrom(i, "1", fmt.Sprintf("%d + 1", n), fmt.Sprintf(
+					"%s[%s] = 0;\n%s",
+					dp, i,
+					g.loop(j, i, fmt.Sprintf(
+						"if (%s[%s] + %s[%s - 1 - %s] > %s[%s]) %s[%s] = %s[%s] + %s[%s - 1 - %s];",
+						dp, j, price, i, j, dp, i, dp, i, dp, j, price, i, j)))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d]", dp, n))
+		}},
+		{Name: "grid_paths", Gen: func(g *gen) string {
+			n := g.size(5, 12)
+			dp, i, j := g.v("arr"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`int %s[16][16];
+%s`,
+				dp,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						"if (%s == 0 || %s == 0) %s[%s][%s] = 1; else %s[%s][%s] = %s[%s - 1][%s] + %s[%s][%s - 1];",
+						i, j, dp, i, j, dp, i, j, dp, i, j, dp, i, j))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d][%d] %% 99991", dp, n-1, n-1))
+		}},
+		{Name: "min_path_sum", Gen: func(g *gen) string {
+			n := g.size(5, 10)
+			gr, dp, i, j, sv := g.v("arr"), g.v("arr"), g.v("idx"), g.v("idx"), g.v("tmp")
+			fi, fj := g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`int %s[12][12];
+int %s = %d;
+%s
+int %s[12][12];
+%s`,
+				gr, sv, g.seed(),
+				g.loop(fi, g.num(int64(n)),
+					g.loop(fj, g.num(int64(n)), fmt.Sprintf(
+						"%s = (%s * 1103515245 + 12345) %% 2147483648;\n%s[%s][%s] = %s %% 50;",
+						sv, sv, gr, fi, fj, sv))),
+				dp,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						`if (%s == 0 && %s == 0) %s[0][0] = %s[0][0];
+else if (%s == 0) %s[%s][%s] = %s[%s][%s - 1] + %s[%s][%s];
+else if (%s == 0) %s[%s][%s] = %s[%s - 1][%s] + %s[%s][%s];
+else %s[%s][%s] = (%s[%s - 1][%s] < %s[%s][%s - 1] ? %s[%s - 1][%s] : %s[%s][%s - 1]) + %s[%s][%s];`,
+						i, j, dp, gr,
+						i, dp, i, j, dp, i, j, gr, i, j,
+						j, dp, i, j, dp, i, j, gr, i, j,
+						dp, i, j, dp, i, j, dp, i, j, dp, i, j, dp, i, j, gr, i, j))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d][%d]", dp, n-1, n-1))
+		}},
+		{Name: "subset_sum", Gen: func(g *gen) string {
+			n := g.size(6, 12)
+			target := g.size(20, 60)
+			arr, dp, i, c := g.v("arr"), g.v("arr"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[70];
+%s
+%s[0] = 1;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				dp,
+				func() string {
+					z := g.v("idx")
+					return g.loop(z, "70", fmt.Sprintf("%s[%s] = 0;", dp, z))
+				}(),
+				dp,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"for (int %s = %d; %s >= %s[%s] %% 25; %s--) if (%s[%s - %s[%s] %% 25]) %s[%s] = 1;",
+					c, target, c, arr, i, c, dp, c, arr, i, dp, c)))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d] * 61 + 9", dp, target))
+		}},
+		{Name: "climb_stairs", Gen: func(g *gen) string {
+			n := g.size(10, 30)
+			if g.r.Intn(3) == 0 {
+				fn := g.v("fn")
+				return fmt.Sprintf(`int %s(int n) {
+if (n <= 2) return n;
+return %s(n - 1) + %s(n - 2);
+}
+int main() { return %s(%s) %% 1000000007; }
+`, fn, fn, fn, fn, g.num(int64(n%24+2)))
+			}
+			dp, i := g.v("arr"), g.v("idx")
+			body := fmt.Sprintf(`int %s[40];
+%s[0] = 1;
+%s[1] = 1;
+%s`,
+				dp, dp, dp,
+				g.loopFrom(i, "2", fmt.Sprintf("%d + 1", n),
+					fmt.Sprintf("%s[%s] = (%s[%s - 1] + %s[%s - 2]) %% 1000000007;", dp, i, dp, i, dp, i)))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d]", dp, n))
+		}},
+		{Name: "house_robber", Gen: func(g *gen) string {
+			n := g.size(10, 25)
+			arr, take, skip, i, t := g.v("arr"), g.v("acc"), g.v("tmp"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()), take, skip,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"int %s = %s > %s ? %s : %s;\n%s = %s + %s[%s];\n%s = %s;",
+					t, take, skip, take, skip, take, skip, arr, i, skip, t)))
+			return g.wrapMain("", body, fmt.Sprintf("(%s > %s ? %s : %s)", take, skip, take, skip))
+		}},
+		{Name: "bfs_reachable", Gen: func(g *gen) string {
+			n := g.size(6, 12)
+			adj, vis, queue := g.v("arr"), g.v("arr"), g.v("arr")
+			head, tail, i, j := g.v("tmp"), g.v("tmp"), g.v("idx"), g.v("idx")
+			fi, fj, sv := g.v("idx"), g.v("idx"), g.v("tmp")
+			acc, k := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`int %s[14][14];
+int %s = %d;
+%s
+int %s[14];
+%s
+int %s[200];
+int %s = 0;
+int %s = 0;
+%s[%s] = 0;
+%s;
+%s[0] = 1;
+while (%s < %s) {
+int cur = %s[%s];
+%s;
+%s
+}
+int %s = 0;
+%s`,
+				adj, sv, g.seed(),
+				g.loop(fi, g.num(int64(n)),
+					g.loop(fj, g.num(int64(n)), fmt.Sprintf(
+						"%s = (%s * 1103515245 + 12345) %% 2147483648;\nif (%s %% 3 == 0 && %s != %s) %s[%s][%s] = 1; else %s[%s][%s] = 0;",
+						sv, sv, sv, fi, fj, adj, fi, fj, adj, fi, fj))),
+				vis,
+				func() string {
+					z := g.v("idx")
+					return g.loop(z, g.num(int64(n)), fmt.Sprintf("%s[%s] = 0;", vis, z))
+				}(),
+				queue, head, tail,
+				queue, tail, g.inc(tail),
+				vis,
+				head, tail,
+				queue, head, g.inc(head),
+				g.loop(j, g.num(int64(n)), fmt.Sprintf(
+					"if (%s[cur][%s] && %s[%s] == 0) { %s[%s] = 1; %s[%s] = %s; %s; }",
+					adj, j, vis, j, vis, j, queue, tail, j, g.inc(tail))),
+				acc,
+				g.loop(k, g.num(int64(n)), fmt.Sprintf("%s += %s[%s];", acc, vis, k)))
+			_ = i
+			return g.wrapMain("", body, acc+" * 17 + 1")
+		}},
+		{Name: "floyd_shortest", Gen: func(g *gen) string {
+			n := g.size(5, 9)
+			d := g.v("arr")
+			i, j, k := g.v("idx"), g.v("idx"), g.v("idx")
+			fi, fj, sv := g.v("idx"), g.v("idx"), g.v("tmp")
+			acc, p, q := g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`int %s[10][10];
+int %s = %d;
+%s
+%s
+int %s = 0;
+%s`,
+				d, sv, g.seed(),
+				g.loop(fi, g.num(int64(n)),
+					g.loop(fj, g.num(int64(n)), fmt.Sprintf(
+						"%s = (%s * 1103515245 + 12345) %% 2147483648;\nif (%s == %s) %s[%s][%s] = 0; else %s[%s][%s] = %s %% 30 + 1;",
+						sv, sv, fi, fj, d, fi, fj, d, fi, fj, sv))),
+				g.loop(k, g.num(int64(n)),
+					g.loop(i, g.num(int64(n)),
+						g.loop(j, g.num(int64(n)), fmt.Sprintf(
+							"if (%s[%s][%s] + %s[%s][%s] < %s[%s][%s]) %s[%s][%s] = %s[%s][%s] + %s[%s][%s];",
+							d, i, k, d, k, j, d, i, j, d, i, j, d, i, k, d, k, j)))),
+				acc,
+				g.loop(p, g.num(int64(n)),
+					g.loop(q, g.num(int64(n)), fmt.Sprintf("%s += %s[%s][%s];", acc, d, p, q))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "tree_height", Gen: func(g *gen) string {
+			n := g.size(10, 30)
+			// Implicit binary heap layout: height of node i computed
+			// iteratively by walking parents.
+			best, i, h, x := g.v("acc"), g.v("idx"), g.v("tmp"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = 0;
+%s`, best,
+				g.loopFrom(i, "1", fmt.Sprintf("%d + 1", n), fmt.Sprintf(
+					`int %s = 0;
+int %s = %s;
+while (%s > 1) { %s /= 2; %s; }
+if (%s > %s) %s = %s;`,
+					h, x, i, x, x, g.inc(h), h, best, best, h)))
+			return g.wrapMain("", body, best+" * 71 + 3")
+		}},
+		{Name: "matrix_chain_cost", Gen: func(g *gen) string {
+			n := g.size(4, 7) // number of matrices
+			dims, dp := g.v("arr"), g.v("arr")
+			l, i, k := g.v("idx"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[9][9];
+%s
+%s`,
+				g.fillArray(dims, n+1, g.seed()),
+				dp,
+				func() string {
+					z := g.v("idx")
+					return g.loop(z, fmt.Sprintf("%d", n), fmt.Sprintf("%s[%s][%s] = 0;", dp, z, z))
+				}(),
+				g.loopFrom(l, "2", fmt.Sprintf("%d + 1", n), fmt.Sprintf(
+					`for (int %s = 0; %s + %s - 1 < %d; %s++) {
+int jj = %s + %s - 1;
+%s[%s][jj] = 100000000;
+%s
+}`,
+					i, i, l, n, i,
+					i, l,
+					dp, i,
+					g.loopFrom(k, i, i+" + "+l+" - 1", fmt.Sprintf(
+						`int cost = %s[%s][%s] + %s[%s + 1][jj] + (%s[%s] %% 9 + 1) * (%s[%s + 1] %% 9 + 1) * (%s[jj + 1] %% 9 + 1);
+if (cost < %s[%s][jj]) %s[%s][jj] = cost;`,
+						dp, i, k, dp, k, dims, i, dims, k, dims,
+						dp, i, dp, i)))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[0][%d - 1]", dp, n))
+		}},
+	}
+}

@@ -1,0 +1,317 @@
+package dataset
+
+import "fmt"
+
+// mathProblems: number-theoretic and arithmetic tasks (22 problems).
+func mathProblems() []Problem {
+	return []Problem{
+		{Name: "factorial", Gen: func(g *gen) string {
+			n := g.size(8, 15)
+			if g.r.Intn(2) == 0 {
+				fn := g.v("fn")
+				return fmt.Sprintf(`int %s(int n) {
+if (n <= 1) return 1;
+return n * %s(n - 1);
+}
+int main() { return %s(%s) %% 1000000007; }
+`, fn, fn, fn, g.num(int64(n)))
+			}
+			acc, i := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("int %s = 1;\n%s", acc,
+				g.loopFrom(i, "1", g.num(int64(n+1)), fmt.Sprintf("%s *= %s;", acc, i)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "fibonacci", Gen: func(g *gen) string {
+			n := g.size(12, 24)
+			if g.r.Intn(3) == 0 {
+				fn := g.v("fn")
+				return fmt.Sprintf(`int %s(int n) {
+if (n < 2) return n;
+return %s(n - 1) + %s(n - 2);
+}
+int main() { return %s(%s) %% 1000000007; }
+`, fn, fn, fn, fn, g.num(int64(n)))
+			}
+			a, b, i, t := g.v("acc"), g.v("tmp"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf("int %s = 0;\nint %s = 1;\n%s", a, b,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"int %s = %s + %s;\n%s = %s;\n%s = %s;", t, a, b, a, b, b, t)))
+			return g.wrapMain("", body, a)
+		}},
+		{Name: "gcd", Gen: func(g *gen) string {
+			a := g.size(200, 5000)
+			b := g.size(30, 900)
+			if g.r.Intn(2) == 0 {
+				fn := g.v("fn")
+				return fmt.Sprintf(`int %s(int a, int b) {
+if (b == 0) return a;
+return %s(b, a %% b);
+}
+int main() { return %s(%s, %s); }
+`, fn, fn, fn, g.num(int64(a)), g.num(int64(b)))
+			}
+			x, y, t := g.v("tmp"), g.v("tmp"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = %s;
+while (%s != 0) {
+int %s = %s %% %s;
+%s = %s;
+%s = %s;
+}`, x, g.num(int64(a)), y, g.num(int64(b)), y, t, x, y, x, y, y, t)
+			return g.wrapMain("", body, x)
+		}},
+		{Name: "lcm", Gen: func(g *gen) string {
+			a, b := g.size(6, 40), g.size(4, 28)
+			x, y, t, res := g.v("tmp"), g.v("tmp"), g.v("tmp"), g.v("acc")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = %s;
+int %s = %s;
+int %s = %s;
+while (%s != 0) { int q = %s %% %s; %s = %s; %s = q; }
+%s = %s / %s * %s;`,
+				x, g.num(int64(a)), y, g.num(int64(b)),
+				res, "0", t, y,
+				t, x, t, x, t, t,
+				res, g.num(int64(a)), x, g.num(int64(b)))
+			return g.wrapMain("", body, res)
+		}},
+		{Name: "is_prime", Gen: func(g *gen) string {
+			n := g.size(90, 700)
+			p, d := g.v("acc"), g.v("idx")
+			cond := fmt.Sprintf("%s * %s <= %s", d, d, g.num(int64(n)))
+			body := fmt.Sprintf(`int %s = 1;
+if (%s < 2) %s = 0;
+{ int %s = 2; while (%s) {
+if (%s %% %s == 0) { %s = 0; break; }
+%s;
+} }`, p, g.num(int64(n)), p, d, cond, g.num(int64(n)), d, p, g.inc(d))
+			return g.wrapMain("", body, p+" * 37 + 5")
+		}},
+		{Name: "nth_prime", Gen: func(g *gen) string {
+			n := g.size(10, 40)
+			cnt, cand, last, d, isp := g.v("acc"), g.v("tmp"), g.v("acc"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = 0;
+int %s = 1;
+int %s = 2;
+while (%s < %s) {
+%s;
+int %s = 1;
+for (int %s = 2; %s * %s <= %s; %s++) {
+if (%s %% %s == 0) { %s = 0; break; }
+}
+if (%s) { %s; %s = %s; }
+}`, cnt, cand, last, cnt, g.num(int64(n)),
+				g.inc(cand), isp, d, d, d, cand, d, cand, d, isp, isp, g.inc(cnt), last, cand)
+			return g.wrapMain("", body, last)
+		}},
+		{Name: "digit_sum", Gen: func(g *gen) string {
+			n := g.size(10000, 99999999)
+			x, acc := g.v("tmp"), g.v("acc")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = 0;
+while (%s > 0) {
+%s += %s %% 10;
+%s /= 10;
+}`, x, g.num(int64(n)), acc, x, acc, x, x)
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "reverse_digits", Gen: func(g *gen) string {
+			n := g.size(1234, 987654321)
+			x, acc := g.v("tmp"), g.v("acc")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = 0;
+while (%s != 0) {
+%s = %s * 10 + %s %% 10;
+%s = %s / 10;
+}`, x, g.num(int64(n)), acc, x, acc, acc, x, x, x)
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "palindrome_number", Gen: func(g *gen) string {
+			n := g.size(1000, 999999)
+			x, rev, orig := g.v("tmp"), g.v("acc"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = %s;
+int %s = 0;
+while (%s > 0) { %s = %s * 10 + %s %% 10; %s /= 10; }`,
+				orig, g.num(int64(n)), x, orig, rev, x, rev, rev, x, x)
+			return g.wrapMain("", body, fmt.Sprintf("(%s == %s ? 77 : 31)", rev, orig))
+		}},
+		{Name: "modpow", Gen: func(g *gen) string {
+			b := g.size(2, 12)
+			e := g.size(10, 40)
+			m := 1000000007
+			base, ex, res := g.v("tmp"), g.v("tmp"), g.v("acc")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = %s;
+int %s = 1;
+while (%s > 0) {
+if (%s %% 2 == 1) %s = %s * %s %% %d;
+%s = %s * %s %% %d;
+%s /= 2;
+}`, base, g.num(int64(b)), ex, g.num(int64(e)), res,
+				ex, ex, res, res, base, m, base, base, base, m, ex)
+			return g.wrapMain("", body, res)
+		}},
+		{Name: "collatz_steps", Gen: func(g *gen) string {
+			n := g.size(7, 97)
+			x, acc := g.v("tmp"), g.v("acc")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = 0;
+while (%s != 1) {
+if (%s %% 2 == 0) %s /= 2;
+else %s = 3 * %s + 1;
+%s;
+}`, x, g.num(int64(n)), acc, x, x, x, x, x, g.inc(acc))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "perfect_number", Gen: func(g *gen) string {
+			n := g.size(6, 600)
+			acc, d := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`int %s = 0;
+%s`, acc, g.loopFrom(d, "1", g.num(int64(n)),
+				fmt.Sprintf("if (%s %% %s == 0) %s += %s;", g.num(int64(n)), d, acc, d)))
+			return g.wrapMain("", body,
+				fmt.Sprintf("(%s == %s ? 41 : %s)", acc, g.num(int64(n)), acc))
+		}},
+		{Name: "armstrong", Gen: func(g *gen) string {
+			n := g.size(100, 999)
+			x, acc, d := g.v("tmp"), g.v("acc"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = 0;
+while (%s > 0) {
+int %s = %s %% 10;
+%s += %s * %s * %s;
+%s /= 10;
+}`, x, g.num(int64(n)), acc, x, d, x, acc, d, d, d, x)
+			return g.wrapMain("", body,
+				fmt.Sprintf("(%s == %s ? 9 : %s)", acc, g.num(int64(n)), acc))
+		}},
+		{Name: "binomial", Gen: func(g *gen) string {
+			n := g.size(10, 24)
+			k := g.size(2, 8)
+			if g.r.Intn(2) == 0 {
+				fn := g.v("fn")
+				return fmt.Sprintf(`int %s(int n, int k) {
+if (k == 0 || k == n) return 1;
+return %s(n - 1, k - 1) + %s(n - 1, k);
+}
+int main() { return %s(%s, %s) %% 1000000007; }
+`, fn, fn, fn, fn, g.num(int64(n)), g.num(int64(k)))
+			}
+			c, i, j := g.v("arr"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`int %s[32];
+%s[0] = 1;
+for (int %s = 1; %s < 32; %s++) %s[%s] = 0;
+%s`,
+				c, c, i, i, i, c, i,
+				g.loopFrom(j, "1", g.num(int64(n+1)), fmt.Sprintf(
+					"for (int t = %d; t >= 1; t--) %s[t] = %s[t] + %s[t - 1];", k, c, c, c)))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d]", c, k))
+		}},
+		{Name: "catalan", Gen: func(g *gen) string {
+			n := g.size(6, 14)
+			c, i, j := g.v("arr"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`int %s[20];
+%s[0] = 1;
+%s`, c, c,
+				g.loopFrom(i, "1", g.num(int64(n+1)), fmt.Sprintf(
+					"%s[%s] = 0;\n%s",
+					c, i,
+					g.loop(j, i, fmt.Sprintf("%s[%s] += %s[%s] * %s[%s - 1 - %s];", c, i, c, j, c, i, j)))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d]", c, n))
+		}},
+		{Name: "digital_root", Gen: func(g *gen) string {
+			n := g.size(12345, 999999999)
+			x, s := g.v("tmp"), g.v("acc")
+			body := fmt.Sprintf(`int %s = %s;
+while (%s >= 10) {
+int %s = 0;
+while (%s > 0) { %s += %s %% 10; %s /= 10; }
+%s = %s;
+}`, x, g.num(int64(n)), x, s, x, s, x, x, x, s)
+			return g.wrapMain("", body, x)
+		}},
+		{Name: "count_divisors", Gen: func(g *gen) string {
+			n := g.size(60, 5040)
+			acc, d := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("int %s = 0;\n%s", acc,
+				g.loopFrom(d, "1", g.num(int64(n+1)),
+					fmt.Sprintf("if (%s %% %s == 0) %s;", g.num(int64(n)), d, g.inc(acc))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "integer_sqrt", Gen: func(g *gen) string {
+			n := g.size(100, 100000)
+			r := g.v("acc")
+			if g.r.Intn(2) == 0 {
+				body := fmt.Sprintf(`int %s = 0;
+while ((%s + 1) * (%s + 1) <= %s) %s;`, r, r, r, g.num(int64(n)), g.inc(r))
+				return g.wrapMain("", body, r)
+			}
+			lo, hi, mid := g.v("tmp"), g.v("tmp"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = 0;
+int %s = %s;
+int %s = 0;
+while (%s <= %s) {
+int %s = (%s + %s) / 2;
+if (%s * %s <= %s) { %s = %s; %s = %s + 1; }
+else %s = %s - 1;
+}`, lo, hi, g.num(int64(n)), r, lo, hi, mid, lo, hi, mid, mid, g.num(int64(n)), r, mid, lo, mid, hi, mid)
+			return g.wrapMain("", body, r)
+		}},
+		{Name: "fast_power", Gen: func(g *gen) string {
+			b := g.size(2, 6)
+			e := g.size(8, 20)
+			if g.r.Intn(2) == 0 {
+				fn := g.v("fn")
+				return fmt.Sprintf(`int %s(int b, int e) {
+if (e == 0) return 1;
+int h = %s(b, e / 2);
+if (e %% 2 == 0) return h * h;
+return h * h * b;
+}
+int main() { return %s(%s, %s) %% 1000000007; }
+`, fn, fn, fn, g.num(int64(b)), g.num(int64(e)))
+			}
+			acc, i := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("int %s = 1;\n%s", acc,
+				g.loop(i, g.num(int64(e)), fmt.Sprintf("%s = %s * %s %% 1000000007;", acc, acc, g.num(int64(b)))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "happy_number", Gen: func(g *gen) string {
+			n := g.size(10, 99)
+			x, it, s, d := g.v("tmp"), g.v("idx"), g.v("acc"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = %s;
+%s`, x, g.num(int64(n)),
+				g.loop(it, g.num(20), fmt.Sprintf(
+					"int %s = 0;\nwhile (%s > 0) { int %s = %s %% 10; %s += %s * %s; %s /= 10; }\n%s = %s;",
+					s, x, d, x, s, d, d, x, x, s)))
+			return g.wrapMain("", body, fmt.Sprintf("(%s == 1 ? 88 : %s)", x, x))
+		}},
+		{Name: "base_convert_sum", Gen: func(g *gen) string {
+			n := g.size(500, 90000)
+			base := g.size(2, 9)
+			x, acc := g.v("tmp"), g.v("acc")
+			body := fmt.Sprintf(`int %s = %s;
+int %s = 0;
+while (%s > 0) {
+%s += %s %% %s;
+%s /= %s;
+}`, x, g.num(int64(n)), acc, x, acc, x, g.num(int64(base)), x, g.num(int64(base)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "triangular_sum", Gen: func(g *gen) string {
+			n := g.size(10, 60)
+			acc, i, j := g.v("acc"), g.v("idx"), g.v("idx")
+			if g.r.Intn(2) == 0 {
+				body := fmt.Sprintf("int %s = 0;\n%s", acc,
+					g.loopFrom(i, "1", g.num(int64(n+1)),
+						fmt.Sprintf("%s += %s * (%s + 1) / 2;", acc, i, i)))
+				return g.wrapMain("", body, acc)
+			}
+			body := fmt.Sprintf("int %s = 0;\n%s", acc,
+				g.loopFrom(i, "1", g.num(int64(n+1)),
+					g.loopFrom(j, "1", i+" + 1", fmt.Sprintf("%s += %s;", acc, j))))
+			return g.wrapMain("", body, acc)
+		}},
+	}
+}

@@ -1,0 +1,182 @@
+package dataset
+
+import "fmt"
+
+// matrixProblems: two-dimensional array tasks (10 problems).
+func matrixProblems() []Problem {
+	// fillMatrix emits an n x n int matrix with LCG contents.
+	fillMatrix := func(g *gen, name string, n int, seed int64) string {
+		i, j, sv := g.v("idx"), g.v("idx"), g.v("tmp")
+		return fmt.Sprintf(`int %s[%d][%d];
+int %s = %d;
+%s`,
+			name, n, n, sv, seed,
+			g.loop(i, fmt.Sprintf("%d", n),
+				g.loop(j, fmt.Sprintf("%d", n), fmt.Sprintf(
+					"%s = (%s * 1103515245 + 12345) %% 2147483648;\n%s[%s][%s] = %s %% 97;",
+					sv, sv, name, i, j, sv))))
+	}
+	return []Problem{
+		{Name: "matrix_trace", Gen: func(g *gen) string {
+			n := g.size(5, 12)
+			m, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				fillMatrix(g, m, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s += %s[%s][%s];", acc, m, i, i)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "matrix_transpose_checksum", Gen: func(g *gen) string {
+			n := g.size(5, 10)
+			m, i, j, t, acc, p, q := g.v("arr"), g.v("idx"), g.v("idx"), g.v("tmp"), g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				fillMatrix(g, m, n, g.seed()),
+				g.loop(i, g.num(int64(n)),
+					g.loopFrom(j, i+" + 1", g.num(int64(n)), fmt.Sprintf(
+						"int %s = %s[%s][%s]; %s[%s][%s] = %s[%s][%s]; %s[%s][%s] = %s;",
+						t, m, i, j, m, i, j, m, j, i, m, j, i, t))),
+				acc,
+				g.loop(p, g.num(int64(n)),
+					g.loop(q, g.num(int64(n)), fmt.Sprintf("%s = %s * 3 + %s[%s][%s];", acc, acc, m, p, q))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "matrix_multiply", Gen: func(g *gen) string {
+			n := g.size(4, 8)
+			a, b, c := g.v("arr"), g.v("arr"), g.v("arr")
+			i, j, k := g.v("idx"), g.v("idx"), g.v("idx")
+			acc, p, q := g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s[%d][%d];
+%s
+int %s = 0;
+%s`,
+				fillMatrix(g, a, n, g.seed()),
+				fillMatrix(g, b, n, g.seed()+5),
+				c, n, n,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						"%s[%s][%s] = 0;\n%s",
+						c, i, j,
+						g.loop(k, g.num(int64(n)),
+							fmt.Sprintf("%s[%s][%s] += %s[%s][%s] * %s[%s][%s];", c, i, j, a, i, k, b, k, j))))),
+				acc,
+				g.loop(p, g.num(int64(n)),
+					g.loop(q, g.num(int64(n)), fmt.Sprintf("%s = (%s * 7 + %s[%s][%s]) %% 1000003;", acc, acc, c, p, q))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "is_identity", Gen: func(g *gen) string {
+			n := g.size(4, 9)
+			m, ok, i, j := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx")
+			fill := g.v("idx")
+			fill2 := g.v("idx")
+			body := fmt.Sprintf(`int %s[%d][%d];
+%s
+int %s = 1;
+%s`,
+				m, n, n,
+				g.loop(fill, g.num(int64(n)),
+					g.loop(fill2, g.num(int64(n)), fmt.Sprintf(
+						"if (%s == %s) %s[%s][%s] = 1; else %s[%s][%s] = 0;",
+						fill, fill2, m, fill, fill2, m, fill, fill2))),
+				ok,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						"if (%s == %s) { if (%s[%s][%s] != 1) %s = 0; } else if (%s[%s][%s] != 0) %s = 0;",
+						i, j, m, i, j, ok, m, i, j, ok))))
+			return g.wrapMain("", body, ok+" * 777 + 1")
+		}},
+		{Name: "is_symmetric", Gen: func(g *gen) string {
+			n := g.size(4, 9)
+			m, ok, i, j := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 1;
+%s`,
+				fillMatrix(g, m, n, g.seed()), ok,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						"if (%s[%s][%s] != %s[%s][%s]) %s = 0;", m, i, j, m, j, i, ok))))
+			return g.wrapMain("", body, ok+" * 345 + 6")
+		}},
+		{Name: "max_row_sum", Gen: func(g *gen) string {
+			n := g.size(5, 11)
+			m, best, i, j, rs := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+int %s = -1;
+%s`,
+				fillMatrix(g, m, n, g.seed()), best,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"int %s = 0;\n%s\nif (%s > %s) %s = %s;",
+					rs,
+					g.loop(j, g.num(int64(n)), fmt.Sprintf("%s += %s[%s][%s];", rs, m, i, j)),
+					rs, best, best, rs)))
+			return g.wrapMain("", body, best)
+		}},
+		{Name: "diagonal_difference", Gen: func(g *gen) string {
+			n := g.size(5, 12)
+			m, a, b, i := g.v("arr"), g.v("acc"), g.v("tmp"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+int %s = 0;
+%s`,
+				fillMatrix(g, m, n, g.seed()), a, b,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s += %s[%s][%s];\n%s += %s[%s][%d - 1 - %s];", a, m, i, i, b, m, i, n, i)))
+			return g.wrapMain("", body, fmt.Sprintf("(%s > %s ? %s - %s : %s - %s) * 3", a, b, a, b, b, a))
+		}},
+		{Name: "rotate90_checksum", Gen: func(g *gen) string {
+			n := g.size(4, 8)
+			m, r, i, j, acc, p, q := g.v("arr"), g.v("arr"), g.v("idx"), g.v("idx"), g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[%d][%d];
+%s
+int %s = 0;
+%s`,
+				fillMatrix(g, m, n, g.seed()),
+				r, n, n,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						"%s[%s][%d - 1 - %s] = %s[%s][%s];", r, j, n, i, m, i, j))),
+				acc,
+				g.loop(p, g.num(int64(n)),
+					g.loop(q, g.num(int64(n)), fmt.Sprintf("%s = %s * 5 + %s[%s][%s];", acc, acc, r, p, q))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "saddle_points", Gen: func(g *gen) string {
+			n := g.size(4, 8)
+			m, acc, i, j := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx")
+			rmin, cmax, k := g.v("tmp"), g.v("tmp"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s`,
+				fillMatrix(g, m, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						`int %s = 1;
+int %s = 1;
+%s
+if (%s && %s) %s;`,
+						rmin, cmax,
+						g.loop(k, g.num(int64(n)), fmt.Sprintf(
+							"if (%s[%s][%s] > %s[%s][%s]) %s = 0;\nif (%s[%s][%s] < %s[%s][%s]) %s = 0;",
+							m, i, k, m, i, j, rmin, m, k, j, m, i, j, cmax)),
+						rmin, cmax, g.inc(acc)))))
+			return g.wrapMain("", body, acc+" * 13 + 2")
+		}},
+		{Name: "border_sum", Gen: func(g *gen) string {
+			n := g.size(5, 12)
+			m, acc, i, j := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s`,
+				fillMatrix(g, m, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, g.num(int64(n)), fmt.Sprintf(
+						"if (%s == 0 || %s == %d - 1 || %s == 0 || %s == %d - 1) %s += %s[%s][%s];",
+						i, i, n, j, j, n, acc, m, i, j))))
+			return g.wrapMain("", body, acc)
+		}},
+	}
+}

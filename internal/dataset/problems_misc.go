@@ -1,0 +1,171 @@
+package dataset
+
+import "fmt"
+
+// miscProblems: simulation, bit manipulation and floating-point tasks
+// (10 problems). Together with the other groups the registry reaches the
+// paper's 104 problem classes.
+func miscProblems() []Problem {
+	return []Problem{
+		{Name: "stack_machine", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			// Half the solutions model the stack as a struct — the kind of
+			// surface variation human POJ-104 submissions show.
+			if g.r.Intn(2) == 0 {
+				sv, i := g.v("tmp"), g.v("idx")
+				return fmt.Sprintf(`struct Stack { int data[128]; int top; };
+struct Stack st;
+int main() {
+st.top = 0;
+int %s = %d;
+%s
+return (st.data[0] * 100 + st.top) %% 1000000007;
+}
+`,
+					sv, g.seed(),
+					g.loop(i, g.num(int64(n)), fmt.Sprintf(
+						`%s = (%s * 1103515245 + 12345) %% 2147483648;
+int op = %s %% 3;
+if (op == 0 || st.top < 2) { st.data[st.top] = %s %% 50; st.top++; }
+else if (op == 1) { st.data[st.top - 2] = st.data[st.top - 2] + st.data[st.top - 1]; st.top--; }
+else { st.data[st.top - 2] = st.data[st.top - 2] * st.data[st.top - 1] %% 10007; st.top--; }`,
+						sv, sv, sv, sv)))
+			}
+			st, sp, i, sv := g.v("arr"), g.v("tmp"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`int %s[128];
+int %s = 0;
+int %s = %d;
+%s`,
+				st, sp, sv, g.seed(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					`%s = (%s * 1103515245 + 12345) %% 2147483648;
+int op = %s %% 3;
+if (op == 0 || %s < 2) { %s[%s] = %s %% 50; %s; }
+else if (op == 1) { %s[%s - 2] = %s[%s - 2] + %s[%s - 1]; %s--; }
+else { %s[%s - 2] = %s[%s - 2] * %s[%s - 1] %% 10007; %s--; }`,
+					sv, sv, sv, sp, st, sp, sv, g.inc(sp),
+					st, sp, st, sp, st, sp, sp,
+					st, sp, st, sp, st, sp, sp)))
+			return g.wrapMain("", body, fmt.Sprintf("%s[0] * 100 + %s", st, sp))
+		}},
+		{Name: "queue_rotate", Gen: func(g *gen) string {
+			n := g.size(10, 24)
+			rounds := g.size(5, 20)
+			q, head, tail, i, acc := g.v("arr"), g.v("tmp"), g.v("tmp"), g.v("idx"), g.v("acc")
+			body := fmt.Sprintf(`int %s[256];
+int %s = 0;
+int %s = 0;
+%s
+%s
+int %s = 0;
+while (%s < %s) { %s += %s[%s]; %s; }`,
+				q, head, tail,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s[%s] = %s; %s;", q, tail, i, g.inc(tail))),
+				g.loop(g.v("idx"), g.num(int64(rounds)), fmt.Sprintf(
+					"int f = %s[%s]; %s; %s[%s] = f * 2 %% 97; %s;", q, head, g.inc(head), q, tail, g.inc(tail))),
+				acc,
+				head, tail, acc, q, head, g.inc(head))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "hanoi_moves", Gen: func(g *gen) string {
+			n := g.size(5, 16)
+			if g.r.Intn(2) == 0 {
+				fn := g.v("fn")
+				return fmt.Sprintf(`int %s(int n) {
+if (n == 0) return 0;
+return 2 * %s(n - 1) + 1;
+}
+int main() { return %s(%s) %% 1000000007; }
+`, fn, fn, fn, g.num(int64(n)))
+			}
+			acc, i := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf("int %s = 0;\n%s", acc,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s = 2 * %s + 1;", acc, acc)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "josephus", Gen: func(g *gen) string {
+			n := g.size(8, 30)
+			k := g.size(2, 7)
+			res, i := g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`int %s = 0;
+%s`, res,
+				g.loopFrom(i, "2", fmt.Sprintf("%d + 1", n),
+					fmt.Sprintf("%s = (%s + %s) %% %s;", res, res, g.num(int64(k)), i)))
+			return g.wrapMain("", body, res+" + 1")
+		}},
+		{Name: "lcg_checksum", Gen: func(g *gen) string {
+			n := g.size(50, 200)
+			x, acc, i := g.v("tmp"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`int %s = %d;
+int %s = 0;
+%s`,
+				x, g.seed(), acc,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s = (%s * 16807) %% 2147483647;\n%s = (%s + %s %% 1000) %% 999983;",
+					x, x, acc, acc, x)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "popcount_range", Gen: func(g *gen) string {
+			n := g.size(30, 120)
+			acc, i, x, c := g.v("acc"), g.v("idx"), g.v("tmp"), g.v("tmp")
+			inner := fmt.Sprintf(
+				"int %s = %s;\nint %s = 0;\nwhile (%s > 0) { %s += %s & 1; %s >>= 1; }\n%s += %s;",
+				x, i, c, x, c, x, x, acc, c)
+			if g.r.Intn(2) == 0 {
+				inner = fmt.Sprintf(
+					"int %s = %s;\nwhile (%s > 0) { %s = %s & (%s - 1); %s; }",
+					x, i, x, x, x, x, g.inc(acc))
+			}
+			body := fmt.Sprintf("int %s = 0;\n%s", acc, g.loop(i, g.num(int64(n)), inner))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "swap_nibbles", Gen: func(g *gen) string {
+			n := g.size(20, 80)
+			acc, i, b := g.v("acc"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = 0;
+%s`, acc,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"int %s = %s & 255;\n%s += ((%s << 4) | (%s >> 4)) & 255;",
+					b, i, acc, b, b)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "parity_stream", Gen: func(g *gen) string {
+			n := g.size(40, 150)
+			acc, i, sv := g.v("acc"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`int %s = 0;
+int %s = %d;
+%s`,
+				acc, sv, g.seed(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s = (%s * 1103515245 + 12345) %% 2147483648;\n%s ^= %s %% 256;",
+					sv, sv, acc, sv)))
+			return g.wrapMain("", body, acc+" + 512")
+		}},
+		{Name: "newton_sqrt_float", Gen: func(g *gen) string {
+			n := g.size(50, 5000)
+			x, i := g.v("tmp"), g.v("idx")
+			body := fmt.Sprintf(`float %s = %s;
+%s`,
+				x, g.num(int64(n))+".0",
+				g.loop(i, g.num(20), fmt.Sprintf(
+					"%s = 0.5 * (%s + %s / %s);", x, x, g.num(int64(n))+".0", x)))
+			return g.wrapMain("", body, fmt.Sprintf("(int)(%s * 100.0)", x))
+		}},
+		{Name: "numeric_series", Gen: func(g *gen) string {
+			n := g.size(10, 60)
+			acc, i := g.v("acc"), g.v("idx")
+			variant := g.r.Intn(3)
+			var upd string
+			switch variant {
+			case 0:
+				upd = fmt.Sprintf("%s += 1.0 / (%s + 1);", acc, i)
+			case 1:
+				upd = fmt.Sprintf("%s += 1.0 / ((%s + 1) * (%s + 1));", acc, i, i)
+			default:
+				upd = fmt.Sprintf("if (%s %% 2 == 0) %s += 1.0 / (2 * %s + 1); else %s -= 1.0 / (2 * %s + 1);", i, acc, i, acc, i)
+			}
+			body := fmt.Sprintf("float %s = 0.0;\n%s", acc, g.loop(i, g.num(int64(n)), upd))
+			return g.wrapMain("", body, fmt.Sprintf("(int)(%s * 100000.0)", acc))
+		}},
+	}
+}

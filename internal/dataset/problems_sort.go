@@ -1,0 +1,202 @@
+package dataset
+
+import "fmt"
+
+// sortSearchProblems: sorting and searching tasks (12 problems).
+func sortSearchProblems() []Problem {
+	return []Problem{
+		{Name: "bubble_sort", Gen: func(g *gen) string {
+			n := g.size(14, 36)
+			arr, i, j, t, acc, k := g.v("arr"), g.v("idx"), g.v("idx"), g.v("tmp"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, fmt.Sprintf("%d - 1 - %s", n, i), fmt.Sprintf(
+						"if (%s[%s] > %s[%s + 1]) { int %s = %s[%s]; %s[%s] = %s[%s + 1]; %s[%s + 1] = %s; }",
+						arr, j, arr, j, t, arr, j, arr, j, arr, j, arr, j, t))),
+				acc,
+				g.loop(k, g.num(int64(n)), fmt.Sprintf("%s = %s * 3 + %s[%s];", acc, acc, arr, k)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "selection_sort", Gen: func(g *gen) string {
+			n := g.size(14, 36)
+			arr, i, j, mi, t, acc, k := g.v("arr"), g.v("idx"), g.v("idx"), g.v("tmp"), g.v("tmp"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"int %s = %s;\n%s\nint %s = %s[%s]; %s[%s] = %s[%s]; %s[%s] = %s;",
+					mi, i,
+					g.loopFrom(j, i+" + 1", g.num(int64(n)),
+						fmt.Sprintf("if (%s[%s] < %s[%s]) %s = %s;", arr, j, arr, mi, mi, j)),
+					t, arr, i, arr, i, arr, mi, arr, mi, t)),
+				acc,
+				g.loop(k, g.num(int64(n)), fmt.Sprintf("%s = %s * 3 + %s[%s];", acc, acc, arr, k)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "insertion_sort", Gen: func(g *gen) string {
+			n := g.size(14, 36)
+			arr, i, j, key, acc, k := g.v("arr"), g.v("idx"), g.v("idx"), g.v("tmp"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				g.loopFrom(i, "1", g.num(int64(n)), fmt.Sprintf(
+					"int %s = %s[%s];\nint %s = %s - 1;\nwhile (%s >= 0 && %s[%s] > %s) { %s[%s + 1] = %s[%s]; %s--; }\n%s[%s + 1] = %s;",
+					key, arr, i, j, i, j, arr, j, key, arr, j, arr, j, j, arr, j, key)),
+				acc,
+				g.loop(k, g.num(int64(n)), fmt.Sprintf("%s = %s * 3 + %s[%s];", acc, acc, arr, k)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "merge_sorted", Gen: func(g *gen) string {
+			n := g.size(10, 22)
+			a, b, out, i, j, k := g.v("arr"), g.v("arr"), g.v("arr"), g.v("idx"), g.v("idx"), g.v("idx")
+			acc, q, fill := g.v("acc"), g.v("idx"), g.v("idx")
+			body := fmt.Sprintf(`int %s[%d];
+int %s[%d];
+%s
+int %s[%d];
+int %s = 0;
+int %s = 0;
+int %s = 0;
+while (%s < %d && %s < %d) {
+if (%s[%s] <= %s[%s]) { %s[%s] = %s[%s]; %s; } else { %s[%s] = %s[%s]; %s; }
+%s;
+}
+while (%s < %d) { %s[%s] = %s[%s]; %s; %s; }
+while (%s < %d) { %s[%s] = %s[%s]; %s; %s; }
+int %s = 0;
+%s`,
+				a, n, b, n,
+				g.loop(fill, g.num(int64(n)), fmt.Sprintf(
+					"%s[%s] = %s * %d + 1;\n%s[%s] = %s * %d + 2;",
+					a, fill, fill, g.size(2, 5), b, fill, fill, g.size(2, 5))),
+				out, 2*n, i, j, k,
+				i, n, j, n,
+				a, i, b, j, out, k, a, i, g.inc(i), out, k, b, j, g.inc(j),
+				g.inc(k),
+				i, n, out, k, a, i, g.inc(i), g.inc(k),
+				j, n, out, k, b, j, g.inc(j), g.inc(k),
+				acc,
+				g.loop(q, fmt.Sprintf("%d", 2*n), fmt.Sprintf("%s = %s * 3 + %s[%s];", acc, acc, out, q)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "binary_search", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			step := g.size(2, 6)
+			target := g.size(3, n*step-1)
+			arr, lo, hi, mid, ans, i := g.v("arr"), g.v("tmp"), g.v("tmp"), g.v("tmp"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`int %s[%d];
+%s
+int %s = 0;
+int %s = %d - 1;
+int %s = -1;
+while (%s <= %s) {
+int %s = (%s + %s) / 2;
+if (%s[%s] == %s) { %s = %s; break; }
+if (%s[%s] < %s) %s = %s + 1;
+else %s = %s - 1;
+}`,
+				arr, n,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s[%s] = %s * %d;", arr, i, i, step)),
+				lo, hi, n, ans,
+				lo, hi,
+				mid, lo, hi,
+				arr, mid, g.num(int64(target)), ans, mid,
+				arr, mid, g.num(int64(target)), lo, mid,
+				hi, mid)
+			return g.wrapMain("", body, ans+" + 50")
+		}},
+		{Name: "count_occurrences", Gen: func(g *gen) string {
+			n := g.size(25, 70)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			tv := g.size(0, 198)
+			body := fmt.Sprintf("%s\nint %s = 0;\n%s",
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)),
+					fmt.Sprintf("if (%s[%s] == %s) %s;", arr, i, g.num(int64(tv)), g.inc(acc))))
+			return g.wrapMain("", body, acc+" * 13 + 7")
+		}},
+		{Name: "kth_smallest", Gen: func(g *gen) string {
+			n := g.size(12, 30)
+			k := g.size(2, 8)
+			arr, i, j, mi, t := g.v("arr"), g.v("idx"), g.v("idx"), g.v("tmp"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				g.loop(i, g.num(int64(k)), fmt.Sprintf(
+					"int %s = %s;\n%s\nint %s = %s[%s]; %s[%s] = %s[%s]; %s[%s] = %s;",
+					mi, i,
+					g.loopFrom(j, i+" + 1", g.num(int64(n)),
+						fmt.Sprintf("if (%s[%s] < %s[%s]) %s = %s;", arr, j, arr, mi, mi, j)),
+					t, arr, i, arr, i, arr, mi, arr, mi, t)))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d - 1] * 11 + 3", arr, k))
+		}},
+		{Name: "median", Gen: func(g *gen) string {
+			n := g.size(11, 31) | 1 // odd
+			arr, i, j, t := g.v("arr"), g.v("idx"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+%s`,
+				g.fillArray(arr, n, g.seed()),
+				g.loop(i, g.num(int64(n)),
+					g.loop(j, fmt.Sprintf("%d - 1", n), fmt.Sprintf(
+						"if (%s[%s] > %s[%s + 1]) { int %s = %s[%s]; %s[%s] = %s[%s + 1]; %s[%s + 1] = %s; }",
+						arr, j, arr, j, t, arr, j, arr, j, arr, j, arr, j, t))))
+			return g.wrapMain("", body, fmt.Sprintf("%s[%d] * 7 + 1", arr, n/2))
+		}},
+		{Name: "is_sorted", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			arr, ok, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 1;
+%s`,
+				g.fillArray(arr, n, g.seed()), ok,
+				g.loopFrom(i, "1", g.num(int64(n)),
+					fmt.Sprintf("if (%s[%s] < %s[%s - 1]) %s = 0;", arr, i, arr, i, ok)))
+			return g.wrapMain("", body, ok+" * 999 + 1")
+		}},
+		{Name: "last_index_of", Gen: func(g *gen) string {
+			n := g.size(25, 60)
+			arr, ans, i := g.v("arr"), g.v("acc"), g.v("idx")
+			tv := g.size(0, 198)
+			body := fmt.Sprintf(`%s
+int %s = -1;
+%s`,
+				g.fillArray(arr, n, g.seed()), ans,
+				g.loop(i, g.num(int64(n)),
+					fmt.Sprintf("if (%s[%s] == %s) %s = %s;", arr, i, g.num(int64(tv)), ans, i)))
+			return g.wrapMain("", body, ans+" + 10")
+		}},
+		{Name: "partition_point", Gen: func(g *gen) string {
+			n := g.size(20, 50)
+			pivot := g.size(40, 160)
+			arr, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s`,
+				g.fillArray(arr, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)),
+					fmt.Sprintf("if (%s[%s] < %s) %s;", arr, i, g.num(int64(pivot)), g.inc(acc))))
+			return g.wrapMain("", body, acc+" * 21")
+		}},
+		{Name: "min_diff_pair", Gen: func(g *gen) string {
+			n := g.size(12, 28)
+			arr, best, i, j, d := g.v("arr"), g.v("acc"), g.v("idx"), g.v("idx"), g.v("tmp")
+			body := fmt.Sprintf(`%s
+int %s = 1000000;
+%s`,
+				g.fillArray(arr, n, g.seed()), best,
+				g.loop(i, g.num(int64(n)),
+					g.loopFrom(j, i+" + 1", g.num(int64(n)), fmt.Sprintf(
+						"int %s = %s[%s] - %s[%s];\nif (%s < 0) %s = -%s;\nif (%s < %s) %s = %s;",
+						d, arr, i, arr, j, d, d, d, d, best, best, d))))
+			return g.wrapMain("", body, best+" * 3 + 11")
+		}},
+	}
+}

@@ -1,0 +1,247 @@
+package dataset
+
+import "fmt"
+
+// stringProblems: character-array tasks (15 problems).
+func stringProblems() []Problem {
+	return []Problem{
+		{Name: "strlen", Gen: func(g *gen) string {
+			n := g.size(20, 80)
+			s, acc := g.v("arr"), g.v("acc")
+			body := fmt.Sprintf(`%s
+int %s = 0;
+while (%s[%s]) %s;`,
+				g.fillString(s, n, g.seed()), acc, s, acc, g.inc(acc))
+			return g.wrapMain("", body, acc+" * 9 + 4")
+		}},
+		{Name: "string_reverse", Gen: func(g *gen) string {
+			n := g.size(16, 50)
+			s, i, t, acc, j := g.v("arr"), g.v("idx"), g.v("tmp"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				g.fillString(s, n, g.seed()),
+				g.loop(i, fmt.Sprintf("%d", n/2), fmt.Sprintf(
+					"char %s = %s[%s];\n%s[%s] = %s[%d - 1 - %s];\n%s[%d - 1 - %s] = %s;",
+					t, s, i, s, i, s, n, i, s, n, i, t)),
+				acc,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf("%s = %s * 2 + %s[%s];", acc, acc, s, j)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "is_palindrome_str", Gen: func(g *gen) string {
+			n := g.size(10, 30)
+			s, ok, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 1;
+%s`,
+				g.fillString(s, n, g.seed()), ok,
+				g.loop(i, fmt.Sprintf("%d", n/2),
+					fmt.Sprintf("if (%s[%s] != %s[%d - 1 - %s]) %s = 0;", s, i, s, n, i, ok)))
+			return g.wrapMain("", body, ok+" * 55 + 3")
+		}},
+		{Name: "count_vowels", Gen: func(g *gen) string {
+			n := g.size(25, 80)
+			s, acc, i, c := g.v("arr"), g.v("acc"), g.v("idx"), g.v("tmp")
+			test := fmt.Sprintf("%s == 'a' || %s == 'e' || %s == 'i' || %s == 'o' || %s == 'u'", c, c, c, c, c)
+			if g.r.Intn(2) == 0 {
+				body := fmt.Sprintf(`%s
+int %s = 0;
+%s`,
+					g.fillString(s, n, g.seed()), acc,
+					g.loop(i, g.num(int64(n)), fmt.Sprintf(
+						"char %s = %s[%s];\nif (%s) %s;", c, s, i, test, g.inc(acc))))
+				return g.wrapMain("", body, acc)
+			}
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s`,
+				g.fillString(s, n, g.seed()), acc,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					`char %s = %s[%s];
+switch (%s) {
+case 'a': case 'e': case 'i': case 'o': case 'u': %s; break;
+default: break;
+}`, c, s, i, c, g.inc(acc))))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "most_frequent_char", Gen: func(g *gen) string {
+			n := g.size(30, 90)
+			s, freq, i, best, j := g.v("arr"), g.v("arr"), g.v("idx"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[26];
+%s
+%s
+int %s = 0;
+%s`,
+				g.fillString(s, n, g.seed()),
+				freq,
+				func() string { z := g.v("idx"); return g.loop(z, "26", fmt.Sprintf("%s[%s] = 0;", freq, z)) }(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s[%s[%s] - 'a'] += 1;", freq, s, i)),
+				best,
+				g.loop(j, "26", fmt.Sprintf("if (%s[%s] > %s) %s = %s[%s];", freq, j, best, best, freq, j)))
+			return g.wrapMain("", body, best+" * 31")
+		}},
+		{Name: "caesar_cipher", Gen: func(g *gen) string {
+			n := g.size(20, 60)
+			shift := g.size(1, 25)
+			s, i, acc, j := g.v("arr"), g.v("idx"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				g.fillString(s, n, g.seed()),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s[%s] = 'a' + (%s[%s] - 'a' + %s) %% 26;", s, i, s, i, g.num(int64(shift)))),
+				acc,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf("%s = %s * 2 + %s[%s];", acc, acc, s, j)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "run_length", Gen: func(g *gen) string {
+			n := g.size(25, 70)
+			s, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 1;
+%s`,
+				g.fillString(s, n, g.seed()), acc,
+				g.loopFrom(i, "1", g.num(int64(n)),
+					fmt.Sprintf("if (%s[%s] != %s[%s - 1]) %s;", s, i, s, i, g.inc(acc))))
+			return g.wrapMain("", body, acc+" * 6 + 2")
+		}},
+		{Name: "count_words", Gen: func(g *gen) string {
+			n := g.size(30, 80)
+			s, acc, i, inw := g.v("arr"), g.v("acc"), g.v("idx"), g.v("tmp")
+			// Sprinkle spaces deterministically, then count words.
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+int %s = 0;
+%s`,
+				g.fillString(s, n, g.seed()),
+				func() string {
+					z := g.v("idx")
+					return g.loop(z, g.num(int64(n)), fmt.Sprintf(
+						"if (%s %% 7 == 3) %s[%s] = ' ';", z, s, z))
+				}(),
+				acc, inw,
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"if (%s[%s] == ' ') %s = 0; else { if (%s == 0) %s; %s = 1; }",
+					s, i, inw, inw, g.inc(acc), inw)))
+			return g.wrapMain("", body, acc+" * 4")
+		}},
+		{Name: "to_upper_checksum", Gen: func(g *gen) string {
+			n := g.size(20, 70)
+			s, i, acc, j := g.v("arr"), g.v("idx"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+%s`,
+				g.fillString(s, n, g.seed()),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s[%s] = %s[%s] - 'a' + 'A';", s, i, s, i)),
+				acc,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf("%s += %s[%s];", acc, s, j)))
+			return g.wrapMain("", body, acc)
+		}},
+		{Name: "anagram_check", Gen: func(g *gen) string {
+			n := g.size(15, 40)
+			a, b, fa, i, ok, j := g.v("arr"), g.v("arr"), g.v("arr"), g.v("idx"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+%s
+int %s[26];
+%s
+%s
+int %s = 1;
+%s`,
+				g.fillString(a, n, g.seed()),
+				g.fillString(b, n, g.seed()),
+				fa,
+				func() string { z := g.v("idx"); return g.loop(z, "26", fmt.Sprintf("%s[%s] = 0;", fa, z)) }(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf(
+					"%s[%s[%s] - 'a'] += 1;\n%s[%s[%s] - 'a'] -= 1;", fa, a, i, fa, b, i)),
+				ok,
+				g.loop(j, "26", fmt.Sprintf("if (%s[%s] != 0) %s = 0;", fa, j, ok)))
+			return g.wrapMain("", body, ok+" * 123 + 7")
+		}},
+		{Name: "longest_char_run", Gen: func(g *gen) string {
+			n := g.size(25, 70)
+			s, best, cur, i := g.v("arr"), g.v("acc"), g.v("tmp"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s = 1;
+int %s = 1;
+%s`,
+				g.fillString(s, n, g.seed()), best, cur,
+				g.loopFrom(i, "1", g.num(int64(n)), fmt.Sprintf(
+					"if (%s[%s] == %s[%s - 1]) { %s; if (%s > %s) %s = %s; } else %s = 1;",
+					s, i, s, i, g.inc(cur), cur, best, best, cur, cur)))
+			return g.wrapMain("", body, best+" * 19 + 1")
+		}},
+		{Name: "substring_count", Gen: func(g *gen) string {
+			n := g.size(25, 60)
+			s, acc, i := g.v("arr"), g.v("acc"), g.v("idx")
+			c1 := 'a' + byte(g.r.Intn(5))
+			c2 := 'a' + byte(g.r.Intn(5))
+			body := fmt.Sprintf(`%s
+int %s = 0;
+%s`,
+				g.fillString(s, n, g.seed()), acc,
+				g.loop(i, fmt.Sprintf("%d - 1", n), fmt.Sprintf(
+					"if (%s[%s] == '%c' && %s[%s + 1] == '%c') %s;", s, i, c1, s, i, c2, g.inc(acc))))
+			return g.wrapMain("", body, acc+" * 29 + 3")
+		}},
+		{Name: "compare_strings", Gen: func(g *gen) string {
+			n := g.size(15, 40)
+			a, b, i, res := g.v("arr"), g.v("arr"), g.v("idx"), g.v("acc")
+			body := fmt.Sprintf(`%s
+%s
+int %s = 0;
+{ int %s = 0;
+while (%s < %d) {
+if (%s[%s] != %s[%s]) { %s = %s[%s] - %s[%s]; break; }
+%s;
+} }`,
+				g.fillString(a, n, g.seed()),
+				g.fillString(b, n, g.seed()+1),
+				res, i, i, n, a, i, b, i, res, a, i, b, i, g.inc(i))
+			return g.wrapMain("", body, res+" + 200")
+		}},
+		{Name: "first_unique_char", Gen: func(g *gen) string {
+			n := g.size(15, 45)
+			s, freq, i, ans, j := g.v("arr"), g.v("arr"), g.v("idx"), g.v("acc"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[26];
+%s
+%s
+int %s = -1;
+%s`,
+				g.fillString(s, n, g.seed()),
+				freq,
+				func() string { z := g.v("idx"); return g.loop(z, "26", fmt.Sprintf("%s[%s] = 0;", freq, z)) }(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s[%s[%s] - 'a'] += 1;", freq, s, i)),
+				ans,
+				g.loop(j, g.num(int64(n)), fmt.Sprintf(
+					"if (%s[%s[%s] - 'a'] == 1 && %s < 0) %s = %s;", freq, s, j, ans, ans, j)))
+			return g.wrapMain("", body, ans+" + 30")
+		}},
+		{Name: "char_histogram_spread", Gen: func(g *gen) string {
+			n := g.size(30, 90)
+			s, freq, i, mx, mn, j := g.v("arr"), g.v("arr"), g.v("idx"), g.v("acc"), g.v("tmp"), g.v("idx")
+			body := fmt.Sprintf(`%s
+int %s[26];
+%s
+%s
+int %s = 0;
+int %s = 1000;
+%s`,
+				g.fillString(s, n, g.seed()),
+				freq,
+				func() string { z := g.v("idx"); return g.loop(z, "26", fmt.Sprintf("%s[%s] = 0;", freq, z)) }(),
+				g.loop(i, g.num(int64(n)), fmt.Sprintf("%s[%s[%s] - 'a'] += 1;", freq, s, i)),
+				mx, mn,
+				g.loop(j, "26", fmt.Sprintf(
+					"if (%s[%s] > %s) %s = %s[%s];\nif (%s[%s] < %s) %s = %s[%s];",
+					freq, j, mx, mx, freq, j, freq, j, mn, mn, freq, j)))
+			return g.wrapMain("", body, mx+" * 100 + "+mn)
+		}},
+	}
+}

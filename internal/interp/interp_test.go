@@ -1,0 +1,196 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := minic.CompileSource(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	m := compile(t, `int main() { int z = input(); return 7 / z; }`)
+	if _, err := interp.Run(m, interp.Options{Input: []int64{0}}); err == nil {
+		t.Fatal("division by zero did not trap")
+	}
+	res, err := interp.Run(m, interp.Options{Input: []int64{7}})
+	if err != nil || res.Ret != 1 {
+		t.Fatalf("7/7: ret=%v err=%v", res, err)
+	}
+}
+
+func TestStepBudgetTraps(t *testing.T) {
+	m := compile(t, `int main() { while (1) {} return 0; }`)
+	_, err := interp.Run(m, interp.Options{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("infinite loop not caught: %v", err)
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	m := compile(t, `int main() {
+		int a[4];
+		int i = input();
+		a[i] = 1;
+		return a[i];
+	}`)
+	if _, err := interp.Run(m, interp.Options{Input: []int64{1000000}}); err == nil {
+		t.Fatal("wild store did not trap")
+	}
+}
+
+func TestNullDereferenceTraps(t *testing.T) {
+	m := compile(t, `int main() {
+		int *p = (int*)0;
+		return *p;
+	}`)
+	if _, err := interp.Run(m, interp.Options{}); err == nil {
+		t.Fatal("null dereference did not trap")
+	}
+}
+
+func TestStackOverflowTraps(t *testing.T) {
+	m := compile(t, `
+	int f(int n) { return f(n + 1); }
+	int main() { return f(0); }`)
+	if _, err := interp.Run(m, interp.Options{}); err == nil {
+		t.Fatal("unbounded recursion did not trap")
+	}
+}
+
+func TestCallAPI(t *testing.T) {
+	m := compile(t, `
+	int add3(int a, int b, int c) { return a + b + c; }
+	int main() { return 0; }`)
+	mach, err := interp.NewMachine(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mach.Call("add3", interp.Val{I: 1}, interp.Val{I: 2}, interp.Val{I: 3})
+	if err != nil || v.I != 6 {
+		t.Fatalf("add3 = %v, err %v", v, err)
+	}
+	if _, err := mach.Call("nosuch"); err == nil {
+		t.Fatal("call to missing function did not error")
+	}
+}
+
+func TestFrameMemoryReclaimed(t *testing.T) {
+	// A function with a large local called many times must not exhaust the
+	// arena: frames are popped on return.
+	m := compile(t, `
+	int work(int x) {
+		int buf[1000];
+		for (int i = 0; i < 1000; i++) buf[i] = x + i;
+		return buf[999];
+	}
+	int main() {
+		int s = 0;
+		for (int i = 0; i < 2000; i++) s = (s + work(i)) % 1000003;
+		return s;
+	}`)
+	if _, err := interp.Run(m, interp.Options{MaxMem: 4 << 20}); err != nil {
+		t.Fatalf("frame memory not reclaimed: %v", err)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	m := compile(t, `
+	int g = 41;
+	float f = 2.5;
+	int arr[3] = {7, 8, 9};
+	int main() { return g + (int)f + arr[2]; }`)
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 41+2+9 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestCharWidthSemantics(t *testing.T) {
+	m := compile(t, `int main() {
+		char c = 200;
+		return c;
+	}`)
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// char is signed 8-bit: 200 wraps to -56.
+	if res.Ret != -56 {
+		t.Fatalf("signed char wrap: ret = %d, want -56", res.Ret)
+	}
+}
+
+// Property: int arithmetic in the interpreter matches Go's int64 semantics.
+func TestArithmeticAgainstGo(t *testing.T) {
+	m := compile(t, `
+	int f(int a, int b) {
+		return a * 3 + (a ^ b) - (a & b) + (a | b) + (b << 3) + (a >> 2);
+	}
+	int main() { return 0; }`)
+	mach, err := interp.NewMachine(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		want := x*3 + (x ^ y) - (x & y) + (x | y) + (y << 3) + (x >> 2)
+		got, err := mach.Call("f", interp.Val{I: x}, interp.Val{I: y})
+		return err == nil && got.I == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputCapture(t *testing.T) {
+	m := compile(t, `int main() {
+		for (int i = 0; i < 3; i++) print(i);
+		prints("done");
+		print(1.5);
+		return 0;
+	}`)
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "0\n1\n2\ndone1.500000\n"
+	if res.Output != want {
+		t.Fatalf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestDeterministicSteps(t *testing.T) {
+	src := `int main() {
+		int s = 0;
+		for (int i = 0; i < 500; i++) s += i * i;
+		return s % 99991;
+	}`
+	m1 := compile(t, src)
+	m2 := compile(t, src)
+	r1, err := interp.Run(m1, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(m2, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Steps != r2.Steps {
+		t.Fatalf("step counts differ: %d vs %d", r1.Steps, r2.Steps)
+	}
+}

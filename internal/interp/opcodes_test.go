@@ -1,0 +1,242 @@
+package interp_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// buildFn wraps a single-block function body into a runnable module.
+func buildFn(ret *ir.Type, params []*ir.Type, emit func(bd *ir.Builder, args []ir.Value) ir.Value) *ir.Module {
+	m := ir.NewModule("ops")
+	names := make([]string, len(params))
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	f := m.Add(ir.NewFunction("f", ret, names, params))
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(b)
+	vals := make([]ir.Value, len(f.Params))
+	for i, p := range f.Params {
+		vals[i] = p
+	}
+	bd.Ret(emit(bd, vals))
+	// main so Run-based helpers still work if needed.
+	mainFn := m.Add(ir.NewFunction("main", ir.I64, nil, nil))
+	mb := mainFn.NewBlock("entry")
+	ir.NewBuilder(mb).Ret(ir.ConstInt(ir.I64, 0))
+	return m
+}
+
+func call2(t *testing.T, m *ir.Module, a, b int64) int64 {
+	t.Helper()
+	mach, err := interp.NewMachine(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mach.Call("f", interp.Val{I: a}, interp.Val{I: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.I
+}
+
+// TestUnsignedOps checks udiv/urem/lshr, which the MiniC front end never
+// emits but obfuscation and hand-written IR can.
+func TestUnsignedOps(t *testing.T) {
+	udiv := buildFn(ir.I64, []*ir.Type{ir.I64, ir.I64}, func(bd *ir.Builder, a []ir.Value) ir.Value {
+		return bd.Binary(ir.OpUDiv, a[0], a[1])
+	})
+	urem := buildFn(ir.I64, []*ir.Type{ir.I64, ir.I64}, func(bd *ir.Builder, a []ir.Value) ir.Value {
+		return bd.Binary(ir.OpURem, a[0], a[1])
+	})
+	lshr := buildFn(ir.I64, []*ir.Type{ir.I64, ir.I64}, func(bd *ir.Builder, a []ir.Value) ir.Value {
+		return bd.Binary(ir.OpLShr, a[0], a[1])
+	})
+	prop := func(x int64, yRaw uint8) bool {
+		y := int64(yRaw%61) + 1
+		if call2(t, udiv, x, y) != int64(uint64(x)/uint64(y)) {
+			return false
+		}
+		if call2(t, urem, x, y) != int64(uint64(x)%uint64(y)) {
+			return false
+		}
+		sh := y % 64
+		return call2(t, lshr, x, sh) == int64(uint64(x)>>uint64(sh))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsignedComparisons(t *testing.T) {
+	for _, tc := range []struct {
+		pred ir.CmpPred
+		a, b int64
+		want int64
+	}{
+		{ir.CmpULT, -1, 1, 0}, // unsigned: -1 is max
+		{ir.CmpUGT, -1, 1, 1},
+		{ir.CmpULE, 5, 5, 1},
+		{ir.CmpUGE, 0, -1, 0},
+	} {
+		m := buildFn(ir.I1, []*ir.Type{ir.I64, ir.I64}, func(bd *ir.Builder, a []ir.Value) ir.Value {
+			return bd.ICmp(tc.pred, a[0], a[1])
+		})
+		if got := call2(t, m, tc.a, tc.b); got != tc.want {
+			t.Errorf("icmp %s %d,%d = %d, want %d", tc.pred, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestZExtNarrowTypes(t *testing.T) {
+	// zext i8 -> i64 must zero-extend even for negative (sign-bit-set)
+	// i8 payloads.
+	m := ir.NewModule("z")
+	f := m.Add(ir.NewFunction("f", ir.I64, []string{"a"}, []*ir.Type{ir.I64}))
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(b)
+	tr := bd.Cast(ir.OpTrunc, f.Params[0], ir.I8)
+	ze := bd.Cast(ir.OpZExt, tr, ir.I64)
+	bd.Ret(ze)
+	mach, err := interp.NewMachine(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mach.Call("f", interp.Val{I: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 255 {
+		t.Fatalf("zext(trunc(-1)) = %d, want 255", v.I)
+	}
+}
+
+func TestUIToFPAndFPToUI(t *testing.T) {
+	m := ir.NewModule("u")
+	f := m.Add(ir.NewFunction("f", ir.F64, []string{"a"}, []*ir.Type{ir.I64}))
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(b)
+	bd.Ret(bd.Cast(ir.OpUIToFP, f.Params[0], ir.F64))
+	mach, err := interp.NewMachine(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mach.Call("f", interp.Val{I: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != math.Ldexp(1, 64)-1 && v.F != math.Ldexp(1, 64) {
+		t.Fatalf("uitofp(-1) = %g, want ~2^64", v.F)
+	}
+}
+
+func TestFRemAndFNeg(t *testing.T) {
+	m := ir.NewModule("fr")
+	f := m.Add(ir.NewFunction("f", ir.F64, nil, nil))
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(b)
+	r := bd.Binary(ir.OpFRem, ir.ConstFloat(7.5), ir.ConstFloat(2.0))
+	bd.Ret(bd.FNeg(r))
+	mach, err := interp.NewMachine(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mach.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != -1.5 {
+		t.Fatalf("-(7.5 mod 2) = %g, want -1.5", v.F)
+	}
+}
+
+func TestSelectAndFreeze(t *testing.T) {
+	m := ir.NewModule("s")
+	f := m.Add(ir.NewFunction("f", ir.I64, []string{"a", "b"}, []*ir.Type{ir.I64, ir.I64}))
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(b)
+	cmp := bd.ICmp(ir.CmpSLT, f.Params[0], f.Params[1])
+	sel := bd.Select(cmp, f.Params[0], f.Params[1])
+	fr := bd.Cast(ir.OpFreeze, sel, ir.I64)
+	bd.Ret(fr)
+	if got := call2(t, m, 3, 9); got != 3 {
+		t.Fatalf("min(3,9) = %d", got)
+	}
+	if got := call2(t, m, 9, 3); got != 3 {
+		t.Fatalf("min(9,3) = %d", got)
+	}
+}
+
+func TestIntDivisionEdgeCases(t *testing.T) {
+	sdiv := buildFn(ir.I64, []*ir.Type{ir.I64, ir.I64}, func(bd *ir.Builder, a []ir.Value) ir.Value {
+		return bd.Binary(ir.OpSDiv, a[0], a[1])
+	})
+	// MinInt64 / -1 must not panic (LLVM UB; we define it as wrapping).
+	if got := call2(t, sdiv, math.MinInt64, -1); got != math.MinInt64 {
+		t.Fatalf("MinInt64 / -1 = %d", got)
+	}
+	srem := buildFn(ir.I64, []*ir.Type{ir.I64, ir.I64}, func(bd *ir.Builder, a []ir.Value) ir.Value {
+		return bd.Binary(ir.OpSRem, a[0], a[1])
+	})
+	if got := call2(t, srem, math.MinInt64, -1); got != 0 {
+		t.Fatalf("MinInt64 %% -1 = %d", got)
+	}
+}
+
+func TestUnimplementedOpcodeTraps(t *testing.T) {
+	m := ir.NewModule("bad")
+	f := m.Add(ir.NewFunction("main", ir.I64, nil, nil))
+	b := f.NewBlock("entry")
+	in := &ir.Instr{Op: ir.OpVAArg, Ty: ir.I64, Args: []ir.Value{ir.ConstInt(ir.I64, 0)}}
+	b.Append(in)
+	ir.NewBuilder(b).Ret(in)
+	if _, err := interp.Run(m, interp.Options{}); err == nil {
+		t.Fatal("va_arg should trap")
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	m := ir.NewModule("sw")
+	f := m.Add(ir.NewFunction("f", ir.I64, []string{"a"}, []*ir.Type{ir.I64}))
+	entry := f.NewBlock("entry")
+	c10 := f.NewBlock("c10")
+	c20 := f.NewBlock("c20")
+	def := f.NewBlock("def")
+	bd := ir.NewBuilder(entry)
+	bd.Switch(f.Params[0], def, []int64{10, 20}, []*ir.Block{c10, c20})
+	ir.NewBuilder(c10).Ret(ir.ConstInt(ir.I64, 1))
+	ir.NewBuilder(c20).Ret(ir.ConstInt(ir.I64, 2))
+	ir.NewBuilder(def).Ret(ir.ConstInt(ir.I64, 3))
+	mach, err := interp.NewMachine(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]int64{{10, 1}, {20, 2}, {99, 3}} {
+		v, err := mach.Call("f", interp.Val{I: tc[0]})
+		if err != nil || v.I != tc[1] {
+			t.Fatalf("switch(%d) = %v err=%v, want %d", tc[0], v.I, err, tc[1])
+		}
+	}
+}
+
+func TestFloatInputBuiltin(t *testing.T) {
+	m := ir.NewModule("fi")
+	f := m.Add(ir.NewFunction("main", ir.I64, nil, nil))
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(b)
+	v := bd.CallBuiltin("input_f64", ir.F64)
+	v2 := bd.CallBuiltin("input_f64", ir.F64) // exhausted -> 0
+	s := bd.Binary(ir.OpFAdd, v, v2)
+	bd.Ret(bd.Cast(ir.OpFPToSI, s, ir.I64))
+	res, err := interp.Run(m, interp.Options{FloatInput: []float64{2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 2 {
+		t.Fatalf("ret = %d, want 2", res.Ret)
+	}
+}

@@ -1,0 +1,124 @@
+package ir
+
+// Block is a basic block: a maximal straight-line sequence of instructions
+// ending in exactly one terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	Fn     *Function
+	// ID is a function-unique number; printing uses Name when set, else bID.
+	ID int
+}
+
+// Label returns the printable label of the block.
+func (b *Block) Label() string {
+	if b.Name != "" {
+		return b.Name
+	}
+	return "b" + itoa(b.ID)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Term returns the block's terminator, or nil if the block is not yet
+// terminated (legal only mid-construction).
+func (b *Block) Term() *Instr {
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].IsTerminator() {
+		return b.Instrs[n-1]
+	}
+	return nil
+}
+
+// Succs returns the successor blocks of b.
+func (b *Block) Succs() []*Block {
+	if t := b.Term(); t != nil {
+		return t.Succs()
+	}
+	return nil
+}
+
+// Append adds an instruction to the end of the block and sets its parent.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Parent = b
+	in.ID = b.Fn.nextID()
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// InsertBefore inserts instruction in immediately before position idx.
+func (b *Block) InsertBefore(idx int, in *Instr) {
+	in.Parent = b
+	if in.ID == 0 {
+		in.ID = b.Fn.nextID()
+	}
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+}
+
+// InsertBeforeTerm inserts in immediately before the block's terminator; if
+// the block has no terminator it appends.
+func (b *Block) InsertBeforeTerm(in *Instr) {
+	if b.Term() == nil {
+		b.Append(in)
+		return
+	}
+	b.InsertBefore(len(b.Instrs)-1, in)
+}
+
+// RemoveAt deletes the instruction at index idx.
+func (b *Block) RemoveAt(idx int) {
+	b.Instrs = append(b.Instrs[:idx], b.Instrs[idx+1:]...)
+}
+
+// Remove deletes instruction in from the block, if present.
+func (b *Block) Remove(in *Instr) {
+	for i, x := range b.Instrs {
+		if x == in {
+			b.RemoveAt(i)
+			return
+		}
+	}
+}
+
+// Phis returns the phi instructions at the head of the block.
+func (b *Block) Phis() []*Instr {
+	var out []*Instr
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	for i, in := range b.Instrs {
+		if in.Op != OpPhi {
+			return i
+		}
+	}
+	return len(b.Instrs)
+}

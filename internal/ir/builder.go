@@ -1,0 +1,165 @@
+package ir
+
+import "fmt"
+
+// Builder appends instructions to a current block, inferring result types.
+// It is the construction API used by the front end and by the
+// transformation passes when they synthesize new code.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at block b.
+func NewBuilder(b *Block) *Builder { return &Builder{Fn: b.Fn, Cur: b} }
+
+// SetBlock repositions the builder at block b.
+func (bd *Builder) SetBlock(b *Block) { bd.Cur = b }
+
+func (bd *Builder) emit(in *Instr) *Instr { return bd.Cur.Append(in) }
+
+// Binary emits a two-operand arithmetic/bitwise instruction. The result
+// type is the type of the left operand.
+func (bd *Builder) Binary(op Opcode, lhs, rhs Value) *Instr {
+	return bd.emit(&Instr{Op: op, Ty: lhs.Type(), Args: []Value{lhs, rhs}})
+}
+
+// Add emits an integer add.
+func (bd *Builder) Add(a, b Value) *Instr { return bd.Binary(OpAdd, a, b) }
+
+// Sub emits an integer sub.
+func (bd *Builder) Sub(a, b Value) *Instr { return bd.Binary(OpSub, a, b) }
+
+// Mul emits an integer mul.
+func (bd *Builder) Mul(a, b Value) *Instr { return bd.Binary(OpMul, a, b) }
+
+// And emits a bitwise and.
+func (bd *Builder) And(a, b Value) *Instr { return bd.Binary(OpAnd, a, b) }
+
+// Or emits a bitwise or.
+func (bd *Builder) Or(a, b Value) *Instr { return bd.Binary(OpOr, a, b) }
+
+// Xor emits a bitwise xor.
+func (bd *Builder) Xor(a, b Value) *Instr { return bd.Binary(OpXor, a, b) }
+
+// FNeg emits a floating-point negation.
+func (bd *Builder) FNeg(v Value) *Instr {
+	return bd.emit(&Instr{Op: OpFNeg, Ty: v.Type(), Args: []Value{v}})
+}
+
+// ICmp emits an integer comparison producing an i1.
+func (bd *Builder) ICmp(pred CmpPred, a, b Value) *Instr {
+	return bd.emit(&Instr{Op: OpICmp, Ty: I1, Pred: pred, Args: []Value{a, b}})
+}
+
+// FCmp emits a floating-point comparison producing an i1.
+func (bd *Builder) FCmp(pred CmpPred, a, b Value) *Instr {
+	return bd.emit(&Instr{Op: OpFCmp, Ty: I1, Pred: pred, Args: []Value{a, b}})
+}
+
+// Alloca emits a stack allocation of elem, producing an elem*.
+func (bd *Builder) Alloca(elem *Type) *Instr {
+	return bd.emit(&Instr{Op: OpAlloca, Ty: PtrTo(elem), AllocaTy: elem})
+}
+
+// Load emits a load through ptr.
+func (bd *Builder) Load(ptr Value) *Instr {
+	et := ptr.Type().Elem
+	if et == nil {
+		panic(fmt.Sprintf("ir: load from non-pointer %s", ptr.Type()))
+	}
+	return bd.emit(&Instr{Op: OpLoad, Ty: et, Args: []Value{ptr}})
+}
+
+// Store emits a store of val through ptr.
+func (bd *Builder) Store(val, ptr Value) *Instr {
+	return bd.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{val, ptr}})
+}
+
+// GEP emits an address computation. Semantics follow LLVM: the first index
+// scales by the size of the pointee; each further index steps into an array
+// element or (with a constant index) a struct field. The result type is a
+// pointer to the indexed element.
+func (bd *Builder) GEP(base Value, idxs ...Value) *Instr {
+	ty := base.Type()
+	if !ty.IsPtr() {
+		panic(fmt.Sprintf("ir: gep on non-pointer %s", ty))
+	}
+	elem := ty.Elem
+	for _, idx := range idxs[1:] {
+		switch {
+		case elem.IsArray():
+			elem = elem.Elem
+		case elem.IsStruct():
+			c, ok := idx.(*Const)
+			if !ok || c.I < 0 || int(c.I) >= len(elem.Fields) {
+				panic(fmt.Sprintf("ir: gep struct index must be a constant in range, got %v into %s", idx, elem))
+			}
+			elem = elem.Fields[c.I]
+		default:
+			panic(fmt.Sprintf("ir: gep steps into non-aggregate %s", elem))
+		}
+	}
+	args := append([]Value{base}, idxs...)
+	return bd.emit(&Instr{Op: OpGEP, Ty: PtrTo(elem), Args: args})
+}
+
+// Cast emits a conversion of v to type to using opcode op.
+func (bd *Builder) Cast(op Opcode, v Value, to *Type) *Instr {
+	return bd.emit(&Instr{Op: op, Ty: to, Args: []Value{v}})
+}
+
+// Select emits cond ? a : b.
+func (bd *Builder) Select(cond, a, b Value) *Instr {
+	return bd.emit(&Instr{Op: OpSelect, Ty: a.Type(), Args: []Value{cond, a, b}})
+}
+
+// Phi emits an empty phi of type ty at the head of the current block;
+// incoming edges are added with SetPhiIncoming.
+func (bd *Builder) Phi(ty *Type) *Instr {
+	in := &Instr{Op: OpPhi, Ty: ty}
+	in.Parent = bd.Cur
+	in.ID = bd.Fn.nextID()
+	bd.Cur.InsertBefore(bd.Cur.FirstNonPhi(), in)
+	return in
+}
+
+// Call emits a direct call to callee.
+func (bd *Builder) Call(callee *Function, args ...Value) *Instr {
+	return bd.emit(&Instr{Op: OpCall, Ty: callee.RetType(), Callee: callee, Args: args})
+}
+
+// CallBuiltin emits a call to a named runtime builtin with result type ret.
+func (bd *Builder) CallBuiltin(name string, ret *Type, args ...Value) *Instr {
+	return bd.emit(&Instr{Op: OpCall, Ty: ret, Builtin: name, Args: args})
+}
+
+// Br emits an unconditional branch to target.
+func (bd *Builder) Br(target *Block) *Instr {
+	return bd.emit(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{target}})
+}
+
+// CondBr emits a conditional branch on cond.
+func (bd *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return bd.emit(&Instr{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Switch emits a switch on v with the given default and cases.
+func (bd *Builder) Switch(v Value, def *Block, vals []int64, dests []*Block) *Instr {
+	blocks := append([]*Block{def}, dests...)
+	return bd.emit(&Instr{Op: OpSwitch, Ty: Void, Args: []Value{v}, Blocks: blocks, SwitchVals: vals})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (bd *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Ty: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return bd.emit(in)
+}
+
+// Unreachable emits an unreachable terminator.
+func (bd *Builder) Unreachable() *Instr {
+	return bd.emit(&Instr{Op: OpUnreachable, Ty: Void})
+}

@@ -1,0 +1,111 @@
+package ir
+
+// Clone returns a deep copy of the module. Functions, blocks and
+// instructions are duplicated; globals are duplicated too so that
+// transformations on the clone never touch the original.
+func (m *Module) Clone() *Module {
+	nm := NewModule(m.Name)
+	gmap := make(map[*Global]*Global, len(m.Globals))
+	for _, g := range m.Globals {
+		ng := &Global{Name: g.Name, Elem: g.Elem, Const: g.Const}
+		ng.InitI = append([]int64(nil), g.InitI...)
+		ng.InitF = append([]float64(nil), g.InitF...)
+		nm.AddGlobal(ng)
+		gmap[g] = ng
+	}
+	fmap := make(map[*Function]*Function, len(m.Functions))
+	for _, f := range m.Functions {
+		nf := &Function{Name: f.Name, Sig: f.Sig, nid: f.nid}
+		for _, p := range f.Params {
+			nf.Params = append(nf.Params, &Param{Name: p.Name, Ty: p.Ty, Index: p.Index})
+		}
+		nm.Add(nf)
+		fmap[f] = nf
+	}
+	for _, f := range m.Functions {
+		cloneBody(f, fmap[f], fmap, gmap)
+	}
+	return nm
+}
+
+// CloneFunctionInto copies the body of src into dst (which must be a
+// declaration with a matching signature), remapping function references via
+// fmap and global references via gmap. Maps may be nil for identity.
+func cloneBody(src, dst *Function, fmap map[*Function]*Function, gmap map[*Global]*Global) {
+	bmap := make(map[*Block]*Block, len(src.Blocks))
+	imap := make(map[*Instr]*Instr, 16)
+	for _, b := range src.Blocks {
+		nb := &Block{Name: b.Name, Fn: dst, ID: b.ID}
+		dst.Blocks = append(dst.Blocks, nb)
+		bmap[b] = nb
+	}
+	mapVal := func(v Value) Value {
+		switch x := v.(type) {
+		case *Instr:
+			return imap[x]
+		case *Param:
+			return dst.Params[x.Index]
+		case *Global:
+			if gmap != nil {
+				if ng, ok := gmap[x]; ok {
+					return ng
+				}
+			}
+			return x
+		case *Function:
+			if fmap != nil {
+				if nf, ok := fmap[x]; ok {
+					return nf
+				}
+			}
+			return x
+		default:
+			return v
+		}
+	}
+	// First pass: create instruction shells so that forward references
+	// (phis) can be resolved in the second pass.
+	for _, b := range src.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, Ty: in.Ty, Pred: in.Pred, Builtin: in.Builtin,
+				AllocaTy: in.AllocaTy, Parent: nb, ID: in.ID,
+			}
+			ni.SwitchVals = append([]int64(nil), in.SwitchVals...)
+			if in.Callee != nil {
+				ni.Callee = in.Callee
+				if fmap != nil {
+					if nf, ok := fmap[in.Callee]; ok {
+						ni.Callee = nf
+					}
+				}
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+			imap[in] = ni
+		}
+	}
+	for _, b := range src.Blocks {
+		for _, in := range b.Instrs {
+			ni := imap[in]
+			for _, a := range in.Args {
+				ni.Args = append(ni.Args, mapVal(a))
+			}
+			for _, tb := range in.Blocks {
+				ni.Blocks = append(ni.Blocks, bmap[tb])
+			}
+		}
+	}
+}
+
+// CloneFunction returns a deep copy of function f inside the same module
+// context (globals and callees are shared, not copied). The clone is not
+// registered in any module.
+func CloneFunction(f *Function) *Function {
+	nf := &Function{Name: f.Name, Sig: f.Sig, Mod: f.Mod, nid: f.nid}
+	for _, p := range f.Params {
+		nf.Params = append(nf.Params, &Param{Name: p.Name, Ty: p.Ty, Index: p.Index})
+	}
+	cloneBody(f, nf, nil, nil)
+	return nf
+}

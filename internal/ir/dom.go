@@ -1,0 +1,215 @@
+package ir
+
+// DomTree is the dominator tree of a function, computed with the
+// Cooper-Harvey-Kennedy iterative algorithm. Unreachable blocks are absent
+// from all maps.
+type DomTree struct {
+	Fn *Function
+	// IDom maps each block (except the entry) to its immediate dominator.
+	IDom map[*Block]*Block
+	// Children maps each block to the blocks it immediately dominates.
+	Children map[*Block][]*Block
+	// Order is a reverse-postorder numbering of the reachable blocks.
+	Order map[*Block]int
+	// RPO is the reachable blocks in reverse postorder.
+	RPO []*Block
+	// preds caches the predecessor map used during construction.
+	preds map[*Block][]*Block
+}
+
+// NewDomTree computes the dominator tree of f.
+func NewDomTree(f *Function) *DomTree {
+	t := &DomTree{
+		Fn:       f,
+		IDom:     make(map[*Block]*Block),
+		Children: make(map[*Block][]*Block),
+		Order:    make(map[*Block]int),
+		preds:    f.Preds(),
+	}
+	if len(f.Blocks) == 0 {
+		return t
+	}
+	// Reverse postorder via iterative DFS.
+	seen := make(map[*Block]bool)
+	var post []*Block
+	type frame struct {
+		b *Block
+		i int
+	}
+	stack := []frame{{f.Entry(), 0}}
+	seen[f.Entry()] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := fr.b.Succs()
+		if fr.i < len(succs) {
+			s := succs[fr.i]
+			fr.i++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	t.RPO = make([]*Block, len(post))
+	for i := range post {
+		t.RPO[i] = post[len(post)-1-i]
+	}
+	for i, b := range t.RPO {
+		t.Order[b] = i
+	}
+
+	entry := f.Entry()
+	t.IDom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.RPO[1:] {
+			var newIDom *Block
+			for _, p := range t.preds[b] {
+				if t.IDom[p] == nil {
+					continue
+				}
+				if newIDom == nil {
+					newIDom = p
+				} else {
+					newIDom = t.intersect(p, newIDom)
+				}
+			}
+			if newIDom != nil && t.IDom[b] != newIDom {
+				t.IDom[b] = newIDom
+				changed = true
+			}
+		}
+	}
+	delete(t.IDom, entry)
+	t.IDom[entry] = nil
+	for b, d := range t.IDom {
+		if d != nil {
+			t.Children[d] = append(t.Children[d], b)
+		}
+	}
+	// Deterministic child order.
+	for _, kids := range t.Children {
+		for i := 1; i < len(kids); i++ {
+			for j := i; j > 0 && t.Order[kids[j]] < t.Order[kids[j-1]]; j-- {
+				kids[j], kids[j-1] = kids[j-1], kids[j]
+			}
+		}
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.Order[a] > t.Order[b] {
+			if t.IDom[a] == nil {
+				return b
+			}
+			a = t.IDom[a]
+		}
+		for t.Order[b] > t.Order[a] {
+			if t.IDom[b] == nil {
+				return a
+			}
+			b = t.IDom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.IDom[b]
+	}
+	return false
+}
+
+// Frontiers computes the dominance frontier of every reachable block.
+func (t *DomTree) Frontiers() map[*Block][]*Block {
+	df := make(map[*Block][]*Block, len(t.RPO))
+	for _, b := range t.RPO {
+		preds := t.preds[b]
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			if _, ok := t.Order[p]; !ok {
+				continue // unreachable predecessor
+			}
+			runner := p
+			for runner != nil && runner != t.IDom[b] {
+				if !containsBlock(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				runner = t.IDom[runner]
+			}
+		}
+	}
+	return df
+}
+
+func containsBlock(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Loop is a natural loop discovered from a back edge.
+type Loop struct {
+	Header *Block
+	// Blocks is the loop body including the header.
+	Blocks map[*Block]bool
+	// Latches are the blocks with a back edge to the header.
+	Latches []*Block
+}
+
+// NaturalLoops finds the natural loops of f using the dominator tree:
+// every edge latch→header where header dominates latch defines a loop.
+// Loops sharing a header are merged.
+func (t *DomTree) NaturalLoops() []*Loop {
+	byHeader := make(map[*Block]*Loop)
+	var order []*Block
+	for _, b := range t.RPO {
+		for _, s := range b.Succs() {
+			if t.Dominates(s, b) {
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+					byHeader[s] = l
+					order = append(order, s)
+				}
+				l.Latches = append(l.Latches, b)
+				// Walk backwards from the latch collecting the body.
+				stack := []*Block{b}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.Blocks[x] {
+						continue
+					}
+					l.Blocks[x] = true
+					for _, p := range t.preds[x] {
+						if _, ok := t.Order[p]; ok {
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}

@@ -1,0 +1,90 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the function's control-flow graph in Graphviz dot syntax,
+// one record-shaped node per basic block with its instructions listed.
+// Useful for inspecting what obfuscation does to a CFG:
+//
+//	minicc -obf fla -emit-dot prog.c | dot -Tsvg > cfg.svg
+func (f *Function) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	for _, b := range f.Blocks {
+		var body strings.Builder
+		fmt.Fprintf(&body, "%s:\\l", b.Label())
+		for _, in := range b.Instrs {
+			body.WriteString("  " + dotEscape(in.String()) + "\\l")
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\"];\n", b.Label(), body.String())
+	}
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term == nil {
+			continue
+		}
+		for i, s := range term.Succs() {
+			attr := ""
+			switch term.Op {
+			case OpCondBr:
+				if i == 0 {
+					attr = " [label=\"T\", color=darkgreen]"
+				} else {
+					attr = " [label=\"F\", color=red3]"
+				}
+			case OpSwitch:
+				if i == 0 {
+					attr = " [label=\"default\", style=dashed]"
+				} else {
+					attr = fmt.Sprintf(" [label=\"%d\"]", term.SwitchVals[i-1])
+				}
+			}
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n", b.Label(), s.Label(), attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DOT renders every defined function of the module as a cluster in one
+// digraph.
+func (m *Module) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph module {\n")
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	for fi, f := range m.Functions {
+		if f.IsDecl() {
+			continue
+		}
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=%q;\n", fi, "@"+f.Name)
+		qual := func(b *Block) string { return f.Name + "." + b.Label() }
+		for _, b := range f.Blocks {
+			var body strings.Builder
+			fmt.Fprintf(&body, "%s:\\l", b.Label())
+			for _, in := range b.Instrs {
+				body.WriteString("  " + dotEscape(in.String()) + "\\l")
+			}
+			fmt.Fprintf(&sb, "    %q [label=\"%s\"];\n", qual(b), body.String())
+		}
+		for _, b := range f.Blocks {
+			if term := b.Term(); term != nil {
+				for _, s := range term.Succs() {
+					fmt.Fprintf(&sb, "    %q -> %q;\n", qual(b), qual(s))
+				}
+			}
+		}
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

@@ -1,0 +1,105 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func TestFunctionDOT(t *testing.T) {
+	m, err := minic.CompileSource(`int main() {
+		int x = input();
+		switch (x) {
+		case 1: return 10;
+		case 2: return 20;
+		}
+		if (x > 5) return 1;
+		return 0;
+	}`, "dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := m.Func("main").DOT()
+	for _, want := range []string{
+		"digraph", "entry", "->",
+		"label=\"T\"",       // condbr true edge
+		"label=\"default\"", // switch default edge
+		"label=\"1\"",       // switch case edge
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every block appears as a node.
+	for _, b := range m.Func("main").Blocks {
+		if !strings.Contains(dot, "\""+b.Label()+"\"") {
+			t.Fatalf("block %s not rendered", b.Label())
+		}
+	}
+}
+
+func TestModuleDOT(t *testing.T) {
+	m, err := minic.CompileSource(`
+	int helper(int v) { return v * 2; }
+	int main() { return helper(21); }`, "dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := m.DOT()
+	if !strings.Contains(dot, "cluster_") {
+		t.Fatal("module DOT missing function clusters")
+	}
+	if !strings.Contains(dot, "@helper") || !strings.Contains(dot, "@main") {
+		t.Fatalf("module DOT missing function labels:\n%s", dot)
+	}
+	// Quotes in instruction text must be escaped.
+	if strings.Contains(dot, "label=\"\"") {
+		t.Fatal("empty label generated")
+	}
+}
+
+func TestDOTEscaping(t *testing.T) {
+	// String literals introduce quotes inside instruction text.
+	m, err := minic.CompileSource(`int main() { prints("say \"hi\""); return 0; }`, "dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := m.Func("main").DOT()
+	if strings.Contains(dot, `say "hi"`) {
+		t.Fatal("unescaped quotes in dot output")
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Fatal("no digraph emitted")
+	}
+}
+
+func TestGlobalDefPrinting(t *testing.T) {
+	m, err := minic.CompileSource(`
+	float fg = 1.25;
+	float fa[2] = {0.5, 2.75};
+	int ig = 7;
+	int ia[3] = {1, 2, 3};
+	const int c = 5;
+	int main() { return ig + c + (int)fg + ia[0] + (int)fa[1]; }`, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := m.String()
+	for _, want := range []string{
+		"@fg = global double 1.25",
+		"@fa = global [2 x double] [0.5, 2.75]",
+		"@ig = global i64 7",
+		"@ia = global [3 x i64] [1, 2, 3]",
+		"@c = constant i64 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("module printout missing %q:\n%s", want, text)
+		}
+	}
+	// The printed module with float globals must parse back.
+	if _, err := ir.ParseModule(text); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+}

@@ -1,0 +1,242 @@
+package ir
+
+// Function is an IR function: a signature plus a list of basic blocks. The
+// first block is the entry block.
+type Function struct {
+	Name   string
+	Sig    *Type // FuncKind
+	Params []*Param
+	Blocks []*Block
+	Mod    *Module
+	nid    int
+}
+
+// NewFunction creates a function with the given name, return type and
+// parameter names/types, and registers it in no module (use Module.Add).
+func NewFunction(name string, ret *Type, paramNames []string, paramTypes []*Type) *Function {
+	f := &Function{Name: name, Sig: FuncOf(ret, paramTypes...)}
+	for i, pn := range paramNames {
+		f.Params = append(f.Params, &Param{Name: pn, Ty: paramTypes[i], Index: i})
+	}
+	return f
+}
+
+// Type returns the function's type (used when a function appears as a call
+// operand or function pointer).
+func (f *Function) Type() *Type { return PtrTo(f.Sig) }
+
+// Ref returns "@name".
+func (f *Function) Ref() string { return "@" + f.Name }
+
+// RetType returns the declared return type.
+func (f *Function) RetType() *Type { return f.Sig.Ret }
+
+// Entry returns the entry block, or nil for a declaration.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// IsDecl reports whether the function has no body.
+func (f *Function) IsDecl() bool { return len(f.Blocks) == 0 }
+
+// NewBlock appends a fresh empty block with the given name hint.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{Name: name, Fn: f, ID: f.nextID()}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// InsertBlockAfter inserts a fresh block immediately after block pos.
+func (f *Function) InsertBlockAfter(pos *Block, name string) *Block {
+	b := &Block{Name: name, Fn: f, ID: f.nextID()}
+	for i, blk := range f.Blocks {
+		if blk == pos {
+			f.Blocks = append(f.Blocks, nil)
+			copy(f.Blocks[i+2:], f.Blocks[i+1:])
+			f.Blocks[i+1] = b
+			return b
+		}
+	}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// RemoveBlock deletes block b from the function (it must be unreferenced).
+func (f *Function) RemoveBlock(b *Block) {
+	for i, blk := range f.Blocks {
+		if blk == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (f *Function) nextID() int {
+	f.nid++
+	return f.nid
+}
+
+// Preds returns a map from each block to its predecessor blocks, in
+// deterministic block order. A block appearing twice as a successor (e.g.
+// both switch cases target it) is listed once per edge.
+func (f *Function) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// NumInstrs returns the total instruction count of the function.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// ForEachInstr calls fn for every instruction in block order.
+func (f *Function) ForEachInstr(fn func(*Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			fn(in)
+		}
+	}
+}
+
+// ReplaceUses rewrites every use of old with new across the whole function.
+func (f *Function) ReplaceUses(old, new Value) int {
+	n := 0
+	f.ForEachInstr(func(in *Instr) { n += in.ReplaceUses(old, new) })
+	return n
+}
+
+// Users returns the instructions that use v as an operand.
+func (f *Function) Users(v Value) []*Instr {
+	var out []*Instr
+	f.ForEachInstr(func(in *Instr) {
+		for _, a := range in.Args {
+			if a == v {
+				out = append(out, in)
+				return
+			}
+		}
+	})
+	return out
+}
+
+// HasUses reports whether any instruction uses v.
+func (f *Function) HasUses(v Value) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of blocks reachable from the entry block.
+func (f *Function) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool, len(f.Blocks))
+	if len(f.Blocks) == 0 {
+		return seen
+	}
+	stack := []*Block{f.Blocks[0]}
+	seen[f.Blocks[0]] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry, fixing up
+// phi nodes in the survivors. It returns the number of removed blocks.
+func (f *Function) RemoveUnreachable() int {
+	reach := f.Reachable()
+	if len(reach) == len(f.Blocks) {
+		return 0
+	}
+	var dead []*Block
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			dead = append(dead, b)
+		}
+	}
+	f.Blocks = kept
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			for _, d := range dead {
+				phi.RemovePhiIncoming(d)
+			}
+		}
+	}
+	return len(dead)
+}
+
+// Module is a translation unit: globals plus functions.
+type Module struct {
+	Name      string
+	Globals   []*Global
+	Functions []*Function
+	fnByName  map[string]*Function
+	gByName   map[string]*Global
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:     name,
+		fnByName: make(map[string]*Function),
+		gByName:  make(map[string]*Global),
+	}
+}
+
+// Add registers function f in the module.
+func (m *Module) Add(f *Function) *Function {
+	f.Mod = m
+	m.Functions = append(m.Functions, f)
+	m.fnByName[f.Name] = f
+	return f
+}
+
+// AddGlobal registers global g in the module.
+func (m *Module) AddGlobal(g *Global) *Global {
+	m.Globals = append(m.Globals, g)
+	m.gByName[g.Name] = g
+	return g
+}
+
+// Func returns the function named name, or nil.
+func (m *Module) Func(name string) *Function { return m.fnByName[name] }
+
+// Global returns the global named name, or nil.
+func (m *Module) Global(name string) *Global { return m.gByName[name] }
+
+// NumInstrs returns the total instruction count across all functions.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Functions {
+		n += f.NumInstrs()
+	}
+	return n
+}

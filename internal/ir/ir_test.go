@@ -1,0 +1,276 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs:
+//
+//	entry -> then/els -> join(phi) -> ret
+func buildDiamond(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("test")
+	f := m.Add(NewFunction("max", I64, []string{"a", "b"}, []*Type{I64, I64}))
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+
+	bd := NewBuilder(entry)
+	cmp := bd.ICmp(CmpSGT, f.Params[0], f.Params[1])
+	bd.CondBr(cmp, then, els)
+
+	bd.SetBlock(then)
+	bd.Br(join)
+	bd.SetBlock(els)
+	bd.Br(join)
+
+	bd.SetBlock(join)
+	phi := bd.Phi(I64)
+	phi.SetPhiIncoming(then, f.Params[0])
+	phi.SetPhiIncoming(els, f.Params[1])
+	bd.Ret(phi)
+	return m, f
+}
+
+func TestVerifyDiamond(t *testing.T) {
+	m, _ := buildDiamond(t)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("bad")
+	f := m.Add(NewFunction("f", Void, nil, nil))
+	b := f.NewBlock("entry")
+	NewBuilder(b).Add(ConstInt(I64, 1), ConstInt(I64, 2))
+	if err := m.Verify(); err == nil {
+		t.Fatal("expected error for unterminated block")
+	}
+}
+
+func TestVerifyCatchesBadPhi(t *testing.T) {
+	m, f := buildDiamond(t)
+	join := f.Blocks[3]
+	phi := join.Phis()[0]
+	phi.RemovePhiIncoming(f.Blocks[1]) // drop "then" edge
+	if err := m.Verify(); err == nil {
+		t.Fatal("expected error for phi missing a predecessor edge")
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	m := NewModule("bad")
+	f := m.Add(NewFunction("f", I64, nil, nil))
+	b := f.NewBlock("entry")
+	bd := NewBuilder(b)
+	a := bd.Add(ConstInt(I64, 1), ConstInt(I64, 2))
+	c := bd.Add(a, ConstInt(I64, 3))
+	bd.Ret(c)
+	// Swap so c precedes a.
+	b.Instrs[0], b.Instrs[1] = b.Instrs[1], b.Instrs[0]
+	if err := m.Verify(); err == nil {
+		t.Fatal("expected dominance error")
+	}
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	_, f := buildDiamond(t)
+	dt := NewDomTree(f)
+	entry, then, els, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if dt.IDom[then] != entry || dt.IDom[els] != entry || dt.IDom[join] != entry {
+		t.Fatalf("wrong idoms: %v %v %v", dt.IDom[then], dt.IDom[els], dt.IDom[join])
+	}
+	if !dt.Dominates(entry, join) {
+		t.Fatal("entry must dominate join")
+	}
+	if dt.Dominates(then, join) {
+		t.Fatal("then must not dominate join")
+	}
+	df := dt.Frontiers()
+	if len(df[then]) != 1 || df[then][0] != join {
+		t.Fatalf("DF(then) = %v, want [join]", df[then])
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	m := NewModule("loop")
+	f := m.Add(NewFunction("f", I64, []string{"n"}, []*Type{I64}))
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	bd := NewBuilder(entry)
+	iv := bd.Alloca(I64)
+	bd.Store(ConstInt(I64, 0), iv)
+	bd.Br(head)
+
+	bd.SetBlock(head)
+	i := bd.Load(iv)
+	cmp := bd.ICmp(CmpSLT, i, f.Params[0])
+	bd.CondBr(cmp, body, exit)
+
+	bd.SetBlock(body)
+	i2 := bd.Load(iv)
+	bd.Store(bd.Add(i2, ConstInt(I64, 1)), iv)
+	bd.Br(head)
+
+	bd.SetBlock(exit)
+	bd.Ret(bd.Load(iv))
+
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	loops := NewDomTree(f).NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != head {
+		t.Fatalf("header = %s", l.Header.Label())
+	}
+	if !l.Blocks[body] || l.Blocks[entry] || l.Blocks[exit] {
+		t.Fatalf("wrong loop body: %v", l.Blocks)
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	m, f := buildDiamond(t)
+	dead := f.NewBlock("dead")
+	NewBuilder(dead).Br(f.Blocks[3]) // dead -> join
+	join := f.Blocks[3]
+	phi := join.Phis()[0]
+	phi.SetPhiIncoming(dead, ConstInt(I64, 0))
+	if n := f.RemoveUnreachable(); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if len(phi.Args) != 2 {
+		t.Fatalf("phi edge from dead block not removed: %v", phi.Args)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify after removal: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, f := buildDiamond(t)
+	c := m.Clone()
+	cf := c.Func("max")
+	if cf == nil || cf == f {
+		t.Fatal("clone did not produce a distinct function")
+	}
+	if cf.NumInstrs() != f.NumInstrs() {
+		t.Fatalf("clone has %d instrs, original %d", cf.NumInstrs(), f.NumInstrs())
+	}
+	// Mutating the clone must not affect the original.
+	cf.Blocks[0].Instrs = nil
+	if f.NumInstrs() == cf.NumInstrs() {
+		t.Fatal("clone shares instruction storage with original")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("original damaged by clone mutation: %v", err)
+	}
+}
+
+func TestConstNormalization(t *testing.T) {
+	c := ConstInt(I8, 300)
+	if c.I != 44 {
+		t.Fatalf("i8 300 = %d, want 44", c.I)
+	}
+	c = ConstInt(I8, -1)
+	if c.I != -1 {
+		t.Fatalf("i8 -1 = %d, want -1", c.I)
+	}
+	c = ConstInt(I1, 3)
+	if c.I != 1 { // i1 canonicalizes to 0/1, matching ConstBool
+		t.Fatalf("i1 3 = %d, want 1", c.I)
+	}
+}
+
+func TestOpcodeCount(t *testing.T) {
+	if NumOpcodes != 63 {
+		t.Fatalf("NumOpcodes = %d, want 63 (histogram dimensionality)", NumOpcodes)
+	}
+	seen := map[string]bool{}
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		name := op.String()
+		if name == "" || name == "badop" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate opcode name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestPredInverseSwap(t *testing.T) {
+	for p := CmpEQ; p <= CmpUGE; p++ {
+		if p.Inverse().Inverse() != p {
+			t.Fatalf("inverse not involutive for %s", p)
+		}
+		if p.Swapped().Swapped() != p {
+			t.Fatalf("swap not involutive for %s", p)
+		}
+	}
+}
+
+func TestPrinterSmoke(t *testing.T) {
+	m, _ := buildDiamond(t)
+	s := m.String()
+	for _, want := range []string{"define i64 @max", "icmp sgt", "phi i64", "ret i64"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("printer output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want int
+	}{
+		{I1, 1}, {I8, 1}, {I32, 4}, {I64, 8}, {F64, 8},
+		{PtrTo(I64), 8}, {ArrayOf(I32, 10), 40}, {ArrayOf(ArrayOf(I64, 2), 3), 48},
+	}
+	for _, c := range cases {
+		if got := c.ty.Size(); got != c.want {
+			t.Errorf("size(%s) = %d, want %d", c.ty, got, c.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PtrTo(I64).Equal(PtrTo(I64)) {
+		t.Fatal("structurally equal pointers differ")
+	}
+	if PtrTo(I64).Equal(PtrTo(I32)) {
+		t.Fatal("i64* equals i32*")
+	}
+	if !FuncOf(I64, I64, F64).Equal(FuncOf(I64, I64, F64)) {
+		t.Fatal("equal function types differ")
+	}
+	if FuncOf(I64, I64).Equal(FuncOf(I64, I64, I64)) {
+		t.Fatal("different arity equal")
+	}
+}
+
+func TestReplaceUses(t *testing.T) {
+	m := NewModule("r")
+	f := m.Add(NewFunction("f", I64, []string{"x"}, []*Type{I64}))
+	b := f.NewBlock("entry")
+	bd := NewBuilder(b)
+	a := bd.Add(f.Params[0], ConstInt(I64, 1))
+	s := bd.Mul(a, a)
+	bd.Ret(s)
+	n := f.ReplaceUses(a, f.Params[0])
+	if n != 2 {
+		t.Fatalf("replaced %d uses, want 2", n)
+	}
+	if s.Args[0] != f.Params[0] || s.Args[1] != f.Params[0] {
+		t.Fatal("operands not rewritten")
+	}
+}

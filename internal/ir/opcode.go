@@ -1,0 +1,255 @@
+package ir
+
+// Opcode identifies the operation an instruction performs. The set mirrors
+// the LLVM instruction set and contains exactly NumOpcodes = 63 entries; the
+// histogram embedding is indexed by Opcode, so this count is load-bearing.
+type Opcode int
+
+// The 63 opcodes of the IR. The block of "exotic" opcodes at the end
+// (vectors, exceptions, atomics) exists so that the opcode space matches the
+// 63-dimensional histogram of the paper; the front end and the transformation
+// passes in this repository never emit them, exactly as the paper's C subset
+// of POJ-104 rarely exercises them.
+const (
+	// Terminators.
+	OpRet Opcode = iota
+	OpBr
+	OpCondBr
+	OpSwitch
+	OpUnreachable
+
+	// Integer arithmetic and bitwise logic.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpUDiv
+	OpSRem
+	OpURem
+	OpShl
+	OpLShr
+	OpAShr
+	OpAnd
+	OpOr
+	OpXor
+
+	// Floating-point arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFRem
+	OpFNeg
+
+	// Memory.
+	OpAlloca
+	OpLoad
+	OpStore
+	OpGEP
+
+	// Conversions.
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpFPTrunc
+	OpFPExt
+	OpFPToSI
+	OpFPToUI
+	OpSIToFP
+	OpUIToFP
+	OpPtrToInt
+	OpIntToPtr
+	OpBitcast
+	OpAddrSpaceCast
+
+	// Other.
+	OpICmp
+	OpFCmp
+	OpPhi
+	OpSelect
+	OpCall
+	OpFreeze
+	OpVAArg
+
+	// Aggregates and vectors (never emitted by the MiniC front end).
+	OpExtractValue
+	OpInsertValue
+	OpExtractElement
+	OpInsertElement
+	OpShuffleVector
+
+	// Atomics and fences (never emitted).
+	OpFence
+	OpCmpXchg
+	OpAtomicRMW
+
+	// Exception handling and exotic control flow (never emitted).
+	OpIndirectBr
+	OpInvoke
+	OpCallBr
+	OpResume
+	OpLandingPad
+	OpCatchPad
+	OpCleanupPad
+
+	// NumOpcodes is the number of distinct opcodes; it is the dimension of
+	// the opcode-histogram program embedding.
+	NumOpcodes
+)
+
+var opcodeNames = [NumOpcodes]string{
+	OpRet: "ret", OpBr: "br", OpCondBr: "condbr", OpSwitch: "switch",
+	OpUnreachable: "unreachable",
+	OpAdd:         "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpUDiv: "udiv",
+	OpSRem: "srem", OpURem: "urem", OpShl: "shl", OpLShr: "lshr",
+	OpAShr: "ashr", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFRem: "frem", OpFNeg: "fneg",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "getelementptr",
+	OpTrunc: "trunc", OpZExt: "zext", OpSExt: "sext", OpFPTrunc: "fptrunc",
+	OpFPExt: "fpext", OpFPToSI: "fptosi", OpFPToUI: "fptoui",
+	OpSIToFP: "sitofp", OpUIToFP: "uitofp", OpPtrToInt: "ptrtoint",
+	OpIntToPtr: "inttoptr", OpBitcast: "bitcast", OpAddrSpaceCast: "addrspacecast",
+	OpICmp: "icmp", OpFCmp: "fcmp", OpPhi: "phi", OpSelect: "select",
+	OpCall: "call", OpFreeze: "freeze", OpVAArg: "va_arg",
+	OpExtractValue: "extractvalue", OpInsertValue: "insertvalue",
+	OpExtractElement: "extractelement", OpInsertElement: "insertelement",
+	OpShuffleVector: "shufflevector",
+	OpFence:         "fence", OpCmpXchg: "cmpxchg", OpAtomicRMW: "atomicrmw",
+	OpIndirectBr: "indirectbr", OpInvoke: "invoke", OpCallBr: "callbr",
+	OpResume: "resume", OpLandingPad: "landingpad", OpCatchPad: "catchpad",
+	OpCleanupPad: "cleanuppad",
+}
+
+// String returns the LLVM-style mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op < 0 || op >= NumOpcodes {
+		return "badop"
+	}
+	return opcodeNames[op]
+}
+
+// IsTerminator reports whether op terminates a basic block.
+func (op Opcode) IsTerminator() bool {
+	switch op {
+	case OpRet, OpBr, OpCondBr, OpSwitch, OpUnreachable, OpIndirectBr,
+		OpInvoke, OpCallBr, OpResume:
+		return true
+	}
+	return false
+}
+
+// IsIntBinary reports whether op is a two-operand integer arithmetic or
+// bitwise instruction.
+func (op Opcode) IsIntBinary() bool { return op >= OpAdd && op <= OpXor }
+
+// IsFloatBinary reports whether op is a two-operand floating-point
+// arithmetic instruction.
+func (op Opcode) IsFloatBinary() bool { return op >= OpFAdd && op <= OpFRem }
+
+// IsCast reports whether op is a conversion instruction.
+func (op Opcode) IsCast() bool { return op >= OpTrunc && op <= OpAddrSpaceCast }
+
+// IsCommutative reports whether the operands of op may be swapped without
+// changing the result.
+func (op Opcode) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpFAdd, OpFMul:
+		return true
+	}
+	return false
+}
+
+// HasSideEffects reports whether an instruction with this opcode may write
+// memory, perform I/O or alter control flow, and therefore must not be
+// removed by dead-code elimination even when its result is unused. Calls are
+// treated conservatively.
+func (op Opcode) HasSideEffects() bool {
+	switch op {
+	case OpStore, OpCall, OpFence, OpCmpXchg, OpAtomicRMW, OpVAArg:
+		return true
+	}
+	return op.IsTerminator()
+}
+
+// CmpPred is the predicate of an icmp or fcmp instruction.
+type CmpPred int
+
+// Integer predicates (signed and unsigned) followed by ordered
+// floating-point predicates.
+const (
+	CmpEQ CmpPred = iota
+	CmpNE
+	CmpSLT
+	CmpSLE
+	CmpSGT
+	CmpSGE
+	CmpULT
+	CmpULE
+	CmpUGT
+	CmpUGE
+)
+
+var predNames = [...]string{
+	CmpEQ: "eq", CmpNE: "ne", CmpSLT: "slt", CmpSLE: "sle", CmpSGT: "sgt",
+	CmpSGE: "sge", CmpULT: "ult", CmpULE: "ule", CmpUGT: "ugt", CmpUGE: "uge",
+}
+
+// String returns the LLVM-style spelling of the predicate.
+func (p CmpPred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return "badpred"
+}
+
+// Inverse returns the predicate that is true exactly when p is false.
+func (p CmpPred) Inverse() CmpPred {
+	switch p {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpSLT:
+		return CmpSGE
+	case CmpSLE:
+		return CmpSGT
+	case CmpSGT:
+		return CmpSLE
+	case CmpSGE:
+		return CmpSLT
+	case CmpULT:
+		return CmpUGE
+	case CmpULE:
+		return CmpUGT
+	case CmpUGT:
+		return CmpULE
+	case CmpUGE:
+		return CmpULT
+	}
+	return p
+}
+
+// Swapped returns the predicate that gives the same result when the two
+// comparison operands are exchanged.
+func (p CmpPred) Swapped() CmpPred {
+	switch p {
+	case CmpSLT:
+		return CmpSGT
+	case CmpSLE:
+		return CmpSGE
+	case CmpSGT:
+		return CmpSLT
+	case CmpSGE:
+		return CmpSLE
+	case CmpULT:
+		return CmpUGT
+	case CmpULE:
+		return CmpUGE
+	case CmpUGT:
+		return CmpULT
+	case CmpUGE:
+		return CmpULE
+	}
+	return p
+}

@@ -1,0 +1,808 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModule parses the textual form produced by Module.String back into a
+// module, enabling golden tests and hand-authored IR. The accepted grammar
+// is exactly the printer's output language (an LLVM-flavoured subset), plus
+// blank lines and ';' comments.
+func ParseModule(text string) (*Module, error) {
+	p := &irParser{lines: splitLines(text), mod: NewModule("parsed")}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.mod.Verify(); err != nil {
+		return nil, fmt.Errorf("ir: parsed module is invalid: %w", err)
+	}
+	return p.mod, nil
+}
+
+func splitLines(text string) []string {
+	raw := strings.Split(text, "\n")
+	out := make([]string, len(raw))
+	for i, l := range raw {
+		if idx := strings.Index(l, ";"); idx >= 0 {
+			l = l[:idx]
+		}
+		out[i] = strings.TrimSpace(l)
+	}
+	return out
+}
+
+type irParser struct {
+	lines []string
+	pos   int
+	mod   *Module
+}
+
+func (p *irParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ir: line %d: "+format, append([]interface{}{p.pos + 1}, args...)...)
+}
+
+func (p *irParser) parse() error {
+	// First pass: register function signatures and globals so calls and
+	// global references resolve in any order.
+	for i, l := range p.lines {
+		switch {
+		case strings.HasPrefix(l, "@"):
+			if err := p.parseGlobal(l, i); err != nil {
+				return err
+			}
+		case strings.HasPrefix(l, "define ") || strings.HasPrefix(l, "declare "):
+			if err := p.parseSignature(l, i); err != nil {
+				return err
+			}
+		}
+	}
+	// Second pass: function bodies.
+	for p.pos = 0; p.pos < len(p.lines); p.pos++ {
+		l := p.lines[p.pos]
+		if strings.HasPrefix(l, "define ") {
+			if err := p.parseBody(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseGlobal handles "@name = global|constant <ty> <init>".
+func (p *irParser) parseGlobal(l string, lineNo int) error {
+	p.pos = lineNo
+	rest, ok := cutPrefix(l, "@")
+	if !ok {
+		return p.errf("bad global")
+	}
+	name, rest, ok := cut(rest, " = ")
+	if !ok {
+		return p.errf("global %q missing ' = '", l)
+	}
+	isConst := false
+	switch {
+	case strings.HasPrefix(rest, "global "):
+		rest = rest[len("global "):]
+	case strings.HasPrefix(rest, "constant "):
+		rest = rest[len("constant "):]
+		isConst = true
+	default:
+		return p.errf("global %s: expected 'global' or 'constant'", name)
+	}
+	ty, rest, err := parseTypePrefix(rest)
+	if err != nil {
+		return p.errf("global %s: %v", name, err)
+	}
+	g := &Global{Name: name, Elem: ty, Const: isConst}
+	init := strings.TrimSpace(rest)
+	switch {
+	case init == "zeroinitializer" || init == "":
+		// zero
+	case strings.HasPrefix(init, "["):
+		items := strings.Split(strings.Trim(init, "[]"), ",")
+		for _, it := range items {
+			it = strings.TrimSpace(it)
+			if it == "" {
+				continue
+			}
+			if ty.Elem != nil && ty.Elem.IsFloat() {
+				f, err := strconv.ParseFloat(it, 64)
+				if err != nil {
+					return p.errf("global %s: bad float %q", name, it)
+				}
+				g.InitF = append(g.InitF, f)
+			} else {
+				v, err := strconv.ParseInt(it, 10, 64)
+				if err != nil {
+					return p.errf("global %s: bad int %q", name, it)
+				}
+				g.InitI = append(g.InitI, v)
+			}
+		}
+	default:
+		if ty.IsFloat() {
+			f, err := strconv.ParseFloat(init, 64)
+			if err != nil {
+				return p.errf("global %s: bad float %q", name, init)
+			}
+			g.InitF = []float64{f}
+		} else {
+			v, err := strconv.ParseInt(init, 10, 64)
+			if err != nil {
+				return p.errf("global %s: bad int %q", name, init)
+			}
+			g.InitI = []int64{v}
+		}
+	}
+	p.mod.AddGlobal(g)
+	return nil
+}
+
+// parseSignature handles "define RET @name(params) {" and "declare ...".
+func (p *irParser) parseSignature(l string, lineNo int) error {
+	p.pos = lineNo
+	l = strings.TrimSuffix(strings.TrimSpace(l), "{")
+	l = strings.TrimSpace(l)
+	l = strings.TrimPrefix(strings.TrimPrefix(l, "define "), "declare ")
+	open := strings.IndexByte(l, '(')
+	close := strings.LastIndexByte(l, ')')
+	if open < 0 || close < open {
+		return p.errf("bad function signature %q", l)
+	}
+	head := strings.TrimSpace(l[:open])
+	at := strings.LastIndexByte(head, '@')
+	if at < 0 {
+		return p.errf("signature missing @name")
+	}
+	retTy, _, err := parseTypePrefix(strings.TrimSpace(head[:at]))
+	if err != nil {
+		return p.errf("bad return type: %v", err)
+	}
+	name := strings.TrimSpace(head[at+1:])
+	var pnames []string
+	var ptypes []*Type
+	params := strings.TrimSpace(l[open+1 : close])
+	if params != "" {
+		for _, ps := range strings.Split(params, ",") {
+			ps = strings.TrimSpace(ps)
+			ty, rest, err := parseTypePrefix(ps)
+			if err != nil {
+				return p.errf("bad parameter %q: %v", ps, err)
+			}
+			rest = strings.TrimSpace(rest)
+			if !strings.HasPrefix(rest, "%") {
+				return p.errf("parameter %q missing %%name", ps)
+			}
+			pnames = append(pnames, rest[1:])
+			ptypes = append(ptypes, ty)
+		}
+	}
+	p.mod.Add(NewFunction(name, retTy, pnames, ptypes))
+	return nil
+}
+
+// parseBody consumes the body of the define at p.pos.
+func (p *irParser) parseBody() error {
+	header := p.lines[p.pos]
+	at := strings.IndexByte(header, '@')
+	open := strings.IndexByte(header, '(')
+	if at < 0 || open < at {
+		return p.errf("bad define")
+	}
+	f := p.mod.Func(header[at+1 : open])
+	if f == nil {
+		return p.errf("unknown function in define")
+	}
+	params := make(map[string]Value, len(f.Params))
+	for _, prm := range f.Params {
+		params["%"+prm.Name] = prm
+	}
+
+	// Collect raw block lines up to the closing brace.
+	type rawInstr struct {
+		line int
+		text string
+	}
+	type rawBlock struct {
+		label  string
+		instrs []rawInstr
+	}
+	var blocks []rawBlock
+	p.pos++
+	for ; p.pos < len(p.lines); p.pos++ {
+		l := p.lines[p.pos]
+		switch {
+		case l == "":
+			continue
+		case l == "}":
+			goto done
+		case strings.HasSuffix(l, ":"):
+			blocks = append(blocks, rawBlock{label: strings.TrimSuffix(l, ":")})
+		default:
+			if len(blocks) == 0 {
+				return p.errf("instruction before first label")
+			}
+			blocks[len(blocks)-1].instrs = append(blocks[len(blocks)-1].instrs,
+				rawInstr{p.pos, l})
+		}
+	}
+	return p.errf("unterminated function body")
+done:
+	blockOf := make(map[string]*Block, len(blocks))
+	for _, rb := range blocks {
+		b := f.NewBlock(rb.label)
+		blockOf[rb.label] = b
+	}
+	// Create instruction shells so %tN forward references resolve.
+	instrOf := make(map[string]*Instr)
+	type pending struct {
+		in  *Instr
+		raw rawInstr
+		b   *Block
+	}
+	var work []pending
+	for bi, rb := range blocks {
+		b := f.Blocks[len(f.Blocks)-len(blocks)+bi]
+		for _, ri := range rb.instrs {
+			in := &Instr{Parent: b}
+			if name, _, ok := cut(ri.text, " = "); ok && strings.HasPrefix(name, "%") {
+				instrOf[name] = in
+			}
+			b.Append(in)
+			work = append(work, pending{in, ri, b})
+		}
+	}
+	resolve := func(tok string, ty *Type) (Value, error) {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "null":
+			return ConstNull(ty), nil
+		case strings.HasPrefix(tok, "%"):
+			if v, ok := instrOf[tok]; ok {
+				return v, nil
+			}
+			if v, ok := params[tok]; ok {
+				return v, nil
+			}
+			return nil, fmt.Errorf("unknown value %s", tok)
+		case strings.HasPrefix(tok, "@"):
+			if g := p.mod.Global(tok[1:]); g != nil {
+				return g, nil
+			}
+			if fn := p.mod.Func(tok[1:]); fn != nil {
+				return fn, nil
+			}
+			return nil, fmt.Errorf("unknown symbol %s", tok)
+		default:
+			if ty != nil && ty.IsFloat() {
+				fv, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad float %q", tok)
+				}
+				return ConstFloat(fv), nil
+			}
+			iv, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad constant %q", tok)
+			}
+			if ty == nil {
+				ty = I64
+			}
+			return ConstInt(ty, iv), nil
+		}
+	}
+	for _, w := range work {
+		p.pos = w.raw.line
+		if err := p.parseInstr(w.in, w.raw.text, blockOf, resolve); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// typedRef parses "<ty> <ref>" returning the value.
+func parseTypedRef(s string, resolve func(string, *Type) (Value, error)) (Value, *Type, error) {
+	ty, rest, err := parseTypePrefix(strings.TrimSpace(s))
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := resolve(rest, ty)
+	return v, ty, err
+}
+
+// parseInstr fills the pre-created shell from one printed instruction line.
+func (p *irParser) parseInstr(in *Instr, text string,
+	blockOf map[string]*Block, resolve func(string, *Type) (Value, error)) error {
+
+	// Split "%tN = rest".
+	body := text
+	if lhs, rhs, ok := cut(text, " = "); ok && strings.HasPrefix(lhs, "%") {
+		body = rhs
+	}
+	op, rest, _ := cut(body, " ")
+	label := func(tok string) (*Block, error) {
+		tok = strings.TrimSpace(tok)
+		tok = strings.TrimPrefix(tok, "label ")
+		tok = strings.TrimPrefix(strings.TrimSpace(tok), "%")
+		b, ok := blockOf[tok]
+		if !ok {
+			return nil, p.errf("unknown label %q", tok)
+		}
+		return b, nil
+	}
+
+	switch op {
+	case "ret":
+		in.Op, in.Ty = OpRet, Void
+		if strings.TrimSpace(rest) != "void" {
+			v, _, err := parseTypedRef(rest, resolve)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			in.Args = []Value{v}
+		}
+		return nil
+	case "br":
+		if strings.HasPrefix(rest, "label ") {
+			in.Op, in.Ty = OpBr, Void
+			b, err := label(rest)
+			if err != nil {
+				return err
+			}
+			in.Blocks = []*Block{b}
+			return nil
+		}
+		in.Op, in.Ty = OpCondBr, Void
+		parts := strings.Split(rest, ",")
+		if len(parts) != 3 {
+			return p.errf("bad condbr %q", text)
+		}
+		cond, _, err := parseTypedRef(parts[0], resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		t1, err := label(parts[1])
+		if err != nil {
+			return err
+		}
+		t2, err := label(parts[2])
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{cond}
+		in.Blocks = []*Block{t1, t2}
+		return nil
+	case "switch":
+		in.Op, in.Ty = OpSwitch, Void
+		head, cases, ok := cut(rest, "[")
+		if !ok {
+			return p.errf("bad switch %q", text)
+		}
+		hp := strings.Split(head, ",")
+		if len(hp) != 2 {
+			return p.errf("bad switch head %q", head)
+		}
+		tag, _, err := parseTypedRef(hp[0], resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		def, err := label(hp[1])
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{tag}
+		in.Blocks = []*Block{def}
+		cases = strings.TrimSuffix(strings.TrimSpace(cases), "]")
+		for _, c := range strings.Split(cases, " ") {
+			c = strings.TrimSpace(c)
+			if c == "" || c == "label" {
+				continue
+			}
+			if strings.HasSuffix(c, ":") {
+				v, err := strconv.ParseInt(strings.TrimSuffix(c, ":"), 10, 64)
+				if err != nil {
+					return p.errf("bad case value %q", c)
+				}
+				in.SwitchVals = append(in.SwitchVals, v)
+				continue
+			}
+			b, err := label(c)
+			if err != nil {
+				return err
+			}
+			in.Blocks = append(in.Blocks, b)
+		}
+		if len(in.Blocks) != len(in.SwitchVals)+1 {
+			return p.errf("switch case/target mismatch in %q", text)
+		}
+		return nil
+	case "unreachable":
+		in.Op, in.Ty = OpUnreachable, Void
+		return nil
+	case "alloca":
+		ty, _, err := parseTypePrefix(strings.TrimSpace(rest))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op, in.AllocaTy, in.Ty = OpAlloca, ty, PtrTo(ty)
+		return nil
+	case "load":
+		// load <ty>, <ty*> <ref>
+		lparts := splitTopLevel(rest, ',')
+		if len(lparts) != 2 {
+			return p.errf("bad load %q", text)
+		}
+		ptrPart := lparts[1]
+		ptr, pty, err := parseTypedRef(ptrPart, resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		if !pty.IsPtr() {
+			return p.errf("load from non-pointer")
+		}
+		in.Op, in.Ty, in.Args = OpLoad, pty.Elem, []Value{ptr}
+		return nil
+	case "store":
+		sparts := splitTopLevel(rest, ',')
+		if len(sparts) != 2 {
+			return p.errf("bad store %q", text)
+		}
+		a, b := sparts[0], sparts[1]
+		val, _, err := parseTypedRef(a, resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		ptr, _, err := parseTypedRef(b, resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op, in.Ty, in.Args = OpStore, Void, []Value{val, ptr}
+		return nil
+	case "getelementptr":
+		parts := splitTopLevel(rest, ',')
+		if len(parts) < 2 {
+			return p.errf("bad gep %q", text)
+		}
+		base, bty, err := parseTypedRef(parts[0], resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op = OpGEP
+		in.Args = []Value{base}
+		elem := bty.Elem
+		for i, ip := range parts[1:] {
+			idx, _, err := parseTypedRef(ip, resolve)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			in.Args = append(in.Args, idx)
+			if i > 0 {
+				switch {
+				case elem != nil && elem.IsArray():
+					elem = elem.Elem
+				case elem != nil && elem.IsStruct():
+					c, ok := idx.(*Const)
+					if !ok || c.I < 0 || int(c.I) >= len(elem.Fields) {
+						return p.errf("gep struct index out of range")
+					}
+					elem = elem.Fields[c.I]
+				default:
+					return p.errf("gep steps into non-aggregate")
+				}
+			}
+		}
+		in.Ty = PtrTo(elem)
+		return nil
+	case "icmp", "fcmp":
+		predTok, rest2, ok := cut(rest, " ")
+		if !ok {
+			return p.errf("bad cmp %q", text)
+		}
+		pred, err := parsePred(predTok)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		a, b, ok := cut(rest2, ", ")
+		if !ok {
+			return p.errf("bad cmp operands %q", rest2)
+		}
+		lhs, lty, err := parseTypedRef(a, resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		rhs, err := resolve(b, lty)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op = OpICmp
+		if op == "fcmp" {
+			in.Op = OpFCmp
+		}
+		in.Ty, in.Pred, in.Args = I1, pred, []Value{lhs, rhs}
+		return nil
+	case "phi":
+		ty, rest2, err := parseTypePrefix(strings.TrimSpace(rest))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op, in.Ty = OpPhi, ty
+		for _, edge := range strings.Split(rest2, "],") {
+			edge = strings.Trim(strings.TrimSpace(edge), "[]")
+			if edge == "" {
+				continue
+			}
+			vp, bp, ok := cut(edge, ",")
+			if !ok {
+				return p.errf("bad phi edge %q", edge)
+			}
+			v, err := resolve(vp, ty)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			b, err := label(bp)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, v)
+			in.Blocks = append(in.Blocks, b)
+		}
+		// Move the phi to the block head, keeping phi order.
+		blk := in.Parent
+		blk.Remove(in)
+		blk.InsertBefore(blk.FirstNonPhi(), in)
+		return nil
+	case "select":
+		parts := splitTopLevel(rest, ',')
+		if len(parts) != 3 {
+			return p.errf("bad select %q", text)
+		}
+		cond, _, err := parseTypedRef(parts[0], resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		a, aty, err := parseTypedRef(parts[1], resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		b, _, err := parseTypedRef(parts[2], resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op, in.Ty, in.Args = OpSelect, aty, []Value{cond, a, b}
+		return nil
+	case "call":
+		ty, rest2, err := parseTypePrefix(strings.TrimSpace(rest))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		open := strings.IndexByte(rest2, '(')
+		closeIdx := strings.LastIndexByte(rest2, ')')
+		if open < 0 || closeIdx < open {
+			return p.errf("bad call %q", text)
+		}
+		name := strings.TrimSpace(rest2[:open])
+		name = strings.TrimPrefix(name, "@")
+		in.Op, in.Ty = OpCall, ty
+		if fn := p.mod.Func(name); fn != nil {
+			in.Callee = fn
+		} else {
+			in.Builtin = name
+		}
+		args := strings.TrimSpace(rest2[open+1 : closeIdx])
+		if args != "" {
+			for _, ap := range splitTopLevel(args, ',') {
+				v, _, err := parseTypedRef(ap, resolve)
+				if err != nil {
+					return p.errf("%v", err)
+				}
+				in.Args = append(in.Args, v)
+			}
+		}
+		return nil
+	case "fneg", "freeze":
+		v, ty, err := parseTypedRef(rest, resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op = OpFNeg
+		if op == "freeze" {
+			in.Op = OpFreeze
+		}
+		in.Ty, in.Args = ty, []Value{v}
+		return nil
+	}
+
+	// Casts: "<op> <ty> <ref> to <ty>".
+	if castOp, ok := castOps[op]; ok {
+		fromPart, toPart, found := cut(rest, " to ")
+		if !found {
+			return p.errf("bad cast %q", text)
+		}
+		v, _, err := parseTypedRef(fromPart, resolve)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		to, _, err := parseTypePrefix(strings.TrimSpace(toPart))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op, in.Ty, in.Args = castOp, to, []Value{v}
+		return nil
+	}
+
+	// Binary ops: "<op> <ty> <ref>, <ref>".
+	if binOp, ok := binaryOps[op]; ok {
+		ty, rest2, err := parseTypePrefix(strings.TrimSpace(rest))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		a, b, found := cut(rest2, ", ")
+		if !found {
+			return p.errf("bad binary %q", text)
+		}
+		lhs, err := resolve(a, ty)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		rhs, err := resolve(b, ty)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		in.Op, in.Ty, in.Args = binOp, ty, []Value{lhs, rhs}
+		return nil
+	}
+	return p.errf("unknown instruction %q", text)
+}
+
+var binaryOps = func() map[string]Opcode {
+	m := map[string]Opcode{}
+	for op := OpAdd; op <= OpXor; op++ {
+		m[op.String()] = op
+	}
+	for op := OpFAdd; op <= OpFRem; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var castOps = func() map[string]Opcode {
+	m := map[string]Opcode{}
+	for op := OpTrunc; op <= OpAddrSpaceCast; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parsePred(s string) (CmpPred, error) {
+	for p, n := range predNames {
+		if n == s {
+			return CmpPred(p), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown predicate %q", s)
+}
+
+// parseTypePrefix parses a leading type and returns the remainder.
+func parseTypePrefix(s string) (*Type, string, error) {
+	s = strings.TrimSpace(s)
+	var base *Type
+	switch {
+	case strings.HasPrefix(s, "void"):
+		base, s = Void, s[4:]
+	case strings.HasPrefix(s, "double"):
+		base, s = F64, s[6:]
+	case strings.HasPrefix(s, "i1") && !strings.HasPrefix(s, "i16"):
+		base, s = I1, s[2:]
+	case strings.HasPrefix(s, "i8"):
+		base, s = I8, s[2:]
+	case strings.HasPrefix(s, "i32"):
+		base, s = I32, s[3:]
+	case strings.HasPrefix(s, "i64"):
+		base, s = I64, s[3:]
+	case strings.HasPrefix(s, "["):
+		closeIdx := matchBracket(s, '[', ']')
+		if closeIdx < 0 {
+			return nil, s, fmt.Errorf("unbalanced array type in %q", s)
+		}
+		inner := s[1:closeIdx]
+		np, ep, ok := cut(inner, " x ")
+		if !ok {
+			return nil, s, fmt.Errorf("bad array type %q", inner)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(np))
+		if err != nil {
+			return nil, s, fmt.Errorf("bad array length %q", np)
+		}
+		elem, rest, err := parseTypePrefix(ep)
+		if err != nil {
+			return nil, s, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, s, fmt.Errorf("junk after array element type: %q", rest)
+		}
+		base, s = ArrayOf(elem, n), s[closeIdx+1:]
+	case strings.HasPrefix(s, "{"):
+		closeIdx := matchBracket(s, '{', '}')
+		if closeIdx < 0 {
+			return nil, s, fmt.Errorf("unbalanced struct type in %q", s)
+		}
+		inner := strings.TrimSpace(s[1:closeIdx])
+		var fields []*Type
+		for _, fp := range splitTopLevel(inner, ',') {
+			fp = strings.TrimSpace(fp)
+			if fp == "" {
+				continue
+			}
+			ft, rest, err := parseTypePrefix(fp)
+			if err != nil {
+				return nil, s, err
+			}
+			if strings.TrimSpace(rest) != "" {
+				return nil, s, fmt.Errorf("junk after struct field type: %q", rest)
+			}
+			fields = append(fields, ft)
+		}
+		base, s = StructOf(fields...), s[closeIdx+1:]
+	default:
+		return nil, s, fmt.Errorf("unknown type in %q", s)
+	}
+	for strings.HasPrefix(s, "*") {
+		base, s = PtrTo(base), s[1:]
+	}
+	return base, strings.TrimSpace(s), nil
+}
+
+// matchBracket returns the index of the close rune matching s[0]==open.
+func matchBracket(s string, open, close byte) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case open:
+			depth++
+		case close:
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitTopLevel splits s on sep occurrences not nested in brackets/braces.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func cut(s, sep string) (string, string, bool) {
+	idx := strings.Index(s, sep)
+	if idx < 0 {
+		return s, "", false
+	}
+	return s[:idx], s[idx+len(sep):], true
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if strings.HasPrefix(s, prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}

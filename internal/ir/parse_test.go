@@ -1,0 +1,211 @@
+package ir_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/obfus"
+	"repro/internal/passes"
+)
+
+// roundTrip prints m and parses it back, failing on error.
+func roundTrip(t *testing.T, m *ir.Module) *ir.Module {
+	t.Helper()
+	text := m.String()
+	parsed, err := ir.ParseModule(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	return parsed
+}
+
+func TestParseHandwritten(t *testing.T) {
+	text := `
+; module hand
+@g = global i64 5
+@tab = constant [3 x i64] [10, 20, 30]
+define i64 @main() {
+entry:
+  %t1 = load i64, i64* @g
+  %t2 = getelementptr [3 x i64]* @tab, i64 0, i64 1
+  %t3 = load i64, i64* %t2
+  %t4 = add i64 %t1, %t3
+  %t5 = icmp sgt i64 %t4, 20
+  br i1 %t5, label %big, label %small
+big:
+  ret i64 %t4
+small:
+  %t6 = sub i64 0, %t4
+  ret i64 %t6
+}
+`
+	m, err := ir.ParseModule(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 25 {
+		t.Fatalf("ret = %d, want 25", res.Ret)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"define i64 @f() {\nentry:\n  frobnicate i64 1, 2\n}",            // unknown op
+		"define i64 @f() {\nentry:\n  br label %nowhere\n}",              // unknown label
+		"define i64 @f() {\nentry:\n  ret i64 %undefined\n}",             // unknown value
+		"define i64 @f() {\nentry:\n  ret i64 1",                         // unterminated
+		"define qux @f() {\nentry:\n  ret i64 1\n}",                      // bad type
+		"define i64 @f() {\nentry:\n  %t1 = add i64 1\n  ret i64 %t1\n}", // missing operand
+	}
+	for _, text := range bad {
+		if _, err := ir.ParseModule(text); err == nil {
+			t.Errorf("no error for:\n%s", text)
+		}
+	}
+}
+
+// TestPrintParseRoundTripPrograms round-trips real compiled programs,
+// including optimized and obfuscated forms, checking behaviour equality.
+func TestPrintParseRoundTripPrograms(t *testing.T) {
+	sources := []string{
+		`int main() { int s = 0; for (int i = 0; i < 20; i++) s += i * 3; return s; }`,
+		`int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+		 int main() { return fib(12); }`,
+		`int g[4] = {9, 8, 7, 6};
+		 float h = 2.5;
+		 int main() {
+			int acc = (int)(h * 4.0);
+			for (int i = 0; i < 4; i++) acc += g[i];
+			switch (acc % 3) {
+			case 0: return acc;
+			case 1: return acc + 1;
+			default: return acc - 1;
+			}
+		 }`,
+		`int main() {
+			char s[8];
+			s[0] = 'h'; s[1] = 'i'; s[2] = 0;
+			int n = 0;
+			while (s[n]) n++;
+			prints("ok");
+			return n;
+		 }`,
+	}
+	variants := []struct {
+		name  string
+		apply func(m *ir.Module) error
+	}{
+		{"O0", func(m *ir.Module) error { return nil }},
+		{"O2", func(m *ir.Module) error { return passes.Optimize(m, passes.O2) }},
+		{"fla", func(m *ir.Module) error { return obfus.Apply(m, "fla", rand.New(rand.NewSource(5))) }},
+		{"bcf", func(m *ir.Module) error { return obfus.Apply(m, "bcf", rand.New(rand.NewSource(5))) }},
+	}
+	for si, src := range sources {
+		for _, v := range variants {
+			m, err := minic.CompileSource(src, "rt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := v.apply(m); err != nil {
+				t.Fatalf("source %d %s: %v", si, v.name, err)
+			}
+			want, err := interp.Run(m, interp.Options{})
+			if err != nil {
+				t.Fatalf("source %d %s: run original: %v", si, v.name, err)
+			}
+			parsed := roundTrip(t, m)
+			got, err := interp.Run(parsed, interp.Options{})
+			if err != nil {
+				t.Fatalf("source %d %s: run reparsed: %v", si, v.name, err)
+			}
+			if got.Ret != want.Ret || got.Output != want.Output {
+				t.Fatalf("source %d %s: round trip changed behaviour: %d/%q vs %d/%q",
+					si, v.name, want.Ret, want.Output, got.Ret, got.Output)
+			}
+		}
+	}
+}
+
+// TestPrintParsePrintFixpoint: print(parse(print(m))) == print(m).
+func TestPrintParsePrintFixpoint(t *testing.T) {
+	src := `
+	int helper(int a, int b) { return a * b + a - b; }
+	int main() {
+		int x = 3;
+		int acc = 0;
+		for (int i = 0; i < 5; i++) acc += helper(i, x);
+		return acc;
+	}`
+	m, err := minic.CompileSource(src, "fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.Optimize(m, passes.O1); err != nil {
+		t.Fatal(err)
+	}
+	p1 := m.String()
+	parsed, err := ir.ParseModule(p1)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, p1)
+	}
+	p2 := parsed.String()
+	// Value numbering differs (fresh IDs), so compare shape: same number
+	// of lines, same opcodes per line position.
+	l1 := strings.Split(p1, "\n")
+	l2 := strings.Split(p2, "\n")
+	if len(l1) != len(l2) {
+		t.Fatalf("line counts differ: %d vs %d\n--- p1 ---\n%s\n--- p2 ---\n%s",
+			len(l1), len(l2), p1, p2)
+	}
+	for i := range l1 {
+		if opOf(l1[i]) != opOf(l2[i]) {
+			t.Fatalf("line %d differs: %q vs %q", i, l1[i], l2[i])
+		}
+	}
+}
+
+// opOf extracts the mnemonic of a printed instruction line.
+func opOf(line string) string {
+	line = strings.TrimSpace(line)
+	if idx := strings.Index(line, " = "); idx >= 0 {
+		line = line[idx+3:]
+	}
+	if idx := strings.IndexByte(line, ' '); idx >= 0 {
+		return line[:idx]
+	}
+	return line
+}
+
+func TestParseTypeForms(t *testing.T) {
+	text := `
+define void @f(i64* %p, [4 x [2 x i8]]* %m, double %d, i1 %b, i32 %w) {
+entry:
+  %t1 = getelementptr [4 x [2 x i8]]* %m, i64 0, i64 1, i64 1
+  %t2 = load i8, i8* %t1
+  %t3 = sext i8 %t2 to i64
+  store i64 %t3, i64* %p
+  %t4 = fptosi double %d to i64
+  store i64 %t4, i64* %p
+  ret void
+}
+`
+	m, err := ir.ParseModule(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := m.Func("f")
+	if f == nil || len(f.Params) != 5 {
+		t.Fatal("parameters not parsed")
+	}
+	if !f.Params[1].Ty.Equal(ir.PtrTo(ir.ArrayOf(ir.ArrayOf(ir.I8, 2), 4))) {
+		t.Fatalf("nested array type parsed as %s", f.Params[1].Ty)
+	}
+}

@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in an LLVM-flavoured textual syntax. The output
+// is intended for debugging and golden tests, not for re-parsing.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		sb.WriteString(g.Def())
+		sb.WriteByte('\n')
+	}
+	for _, f := range m.Functions {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Def renders the global's definition line.
+func (g *Global) Def() string {
+	kind := "global"
+	if g.Const {
+		kind = "constant"
+	}
+	init := "zeroinitializer"
+	switch {
+	case len(g.InitF) == 1:
+		init = fmt.Sprintf("%g", g.InitF[0])
+	case len(g.InitF) > 1:
+		parts := make([]string, len(g.InitF))
+		for i, v := range g.InitF {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		init = "[" + strings.Join(parts, ", ") + "]"
+	case len(g.InitI) == 1:
+		init = fmt.Sprintf("%d", g.InitI[0])
+	case len(g.InitI) > 1:
+		parts := make([]string, len(g.InitI))
+		for i, v := range g.InitI {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		init = "[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprintf("@%s = %s %s %s", g.Name, kind, g.Elem, init)
+}
+
+// String renders the function with its blocks and instructions.
+func (f *Function) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.Ty, p.Name)
+	}
+	if f.IsDecl() {
+		fmt.Fprintf(&sb, "declare %s @%s(%s)\n", f.RetType(), f.Name, strings.Join(params, ", "))
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "define %s @%s(%s) {\n", f.RetType(), f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Label())
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders a single instruction.
+func (in *Instr) String() string {
+	ref := func(v Value) string {
+		if v == nil {
+			return "<nil>"
+		}
+		return fmt.Sprintf("%s %s", v.Type(), v.Ref())
+	}
+	switch in.Op {
+	case OpRet:
+		if len(in.Args) == 0 {
+			return "ret void"
+		}
+		return "ret " + ref(in.Args[0])
+	case OpBr:
+		return "br label %" + in.Blocks[0].Label()
+	case OpCondBr:
+		return fmt.Sprintf("br %s, label %%%s, label %%%s",
+			ref(in.Args[0]), in.Blocks[0].Label(), in.Blocks[1].Label())
+	case OpSwitch:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "switch %s, label %%%s [", ref(in.Args[0]), in.Blocks[0].Label())
+		for i, v := range in.SwitchVals {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d: label %%%s", v, in.Blocks[i+1].Label())
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case OpUnreachable:
+		return "unreachable"
+	case OpAlloca:
+		return fmt.Sprintf("%s = alloca %s", in.Ref(), in.AllocaTy)
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s, %s", in.Ref(), in.Ty, ref(in.Args[0]))
+	case OpStore:
+		return fmt.Sprintf("store %s, %s", ref(in.Args[0]), ref(in.Args[1]))
+	case OpGEP:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = ref(a)
+		}
+		return fmt.Sprintf("%s = getelementptr %s", in.Ref(), strings.Join(parts, ", "))
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("%s = %s %s %s, %s", in.Ref(), in.Op, in.Pred,
+			ref(in.Args[0]), in.Args[1].Ref())
+	case OpPhi:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = fmt.Sprintf("[ %s, %%%s ]", a.Ref(), in.Blocks[i].Label())
+		}
+		return fmt.Sprintf("%s = phi %s %s", in.Ref(), in.Ty, strings.Join(parts, ", "))
+	case OpSelect:
+		return fmt.Sprintf("%s = select %s, %s, %s", in.Ref(),
+			ref(in.Args[0]), ref(in.Args[1]), ref(in.Args[2]))
+	case OpCall:
+		name := in.Builtin
+		if in.Callee != nil {
+			name = in.Callee.Name
+		}
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = ref(a)
+		}
+		call := fmt.Sprintf("call %s @%s(%s)", in.Ty, name, strings.Join(parts, ", "))
+		if in.HasResult() {
+			return in.Ref() + " = " + call
+		}
+		return call
+	case OpFNeg, OpFreeze:
+		return fmt.Sprintf("%s = %s %s", in.Ref(), in.Op, ref(in.Args[0]))
+	default:
+		if in.Op.IsCast() {
+			return fmt.Sprintf("%s = %s %s to %s", in.Ref(), in.Op, ref(in.Args[0]), in.Ty)
+		}
+		if len(in.Args) == 2 {
+			return fmt.Sprintf("%s = %s %s %s, %s", in.Ref(), in.Op, in.Ty,
+				in.Args[0].Ref(), in.Args[1].Ref())
+		}
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = ref(a)
+		}
+		return fmt.Sprintf("%s = %s %s", in.Ref(), in.Op, strings.Join(parts, ", "))
+	}
+}

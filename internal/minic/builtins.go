@@ -1,0 +1,116 @@
+package minic
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// builtinSig describes a runtime builtin callable from MiniC.
+type builtinSig struct {
+	// name is the IR-level builtin name.
+	name string
+	// params are the IR parameter types; nil entries accept any scalar
+	// after the usual promotion to i64/f64.
+	params []*ir.Type
+	// ret is the result type.
+	ret *ir.Type
+}
+
+// builtins maps MiniC-level names to runtime builtins. print is handled
+// separately because it dispatches on the argument type.
+var builtins = map[string]builtinSig{
+	"prints": {name: "print_str", params: []*ir.Type{ir.PtrTo(ir.I8)}, ret: ir.Void},
+	"printc": {name: "print_i8", params: []*ir.Type{ir.I8}, ret: ir.Void},
+	"input":  {name: "input_i64", params: nil, ret: ir.I64},
+	"inputf": {name: "input_f64", params: nil, ret: ir.F64},
+	"sqrt":   {name: "sqrt", params: []*ir.Type{ir.F64}, ret: ir.F64},
+	"fabs":   {name: "fabs", params: []*ir.Type{ir.F64}, ret: ir.F64},
+	"sin":    {name: "sin", params: []*ir.Type{ir.F64}, ret: ir.F64},
+	"cos":    {name: "cos", params: []*ir.Type{ir.F64}, ret: ir.F64},
+	"exp":    {name: "exp", params: []*ir.Type{ir.F64}, ret: ir.F64},
+	"log":    {name: "log", params: []*ir.Type{ir.F64}, ret: ir.F64},
+	"floor":  {name: "floor", params: []*ir.Type{ir.F64}, ret: ir.F64},
+	"pow":    {name: "pow", params: []*ir.Type{ir.F64, ir.F64}, ret: ir.F64},
+}
+
+func (c *compiler) genCall(x *CallExpr) (ir.Value, error) {
+	// print dispatches on the promoted argument type.
+	if x.Name == "print" {
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("print takes one argument")
+		}
+		v, err := c.genExpr(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case v.Type().IsFloat():
+			return c.bd.CallBuiltin("print_f64", ir.Void, v), nil
+		case v.Type().IsPtr():
+			return c.bd.CallBuiltin("print_str", ir.Void, v), nil
+		default:
+			v, err = c.convert(v, ir.I64)
+			if err != nil {
+				return nil, err
+			}
+			return c.bd.CallBuiltin("print_i64", ir.Void, v), nil
+		}
+	}
+	if x.Name == "abs" {
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("abs takes one argument")
+		}
+		v, err := c.genExpr(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if v.Type().IsFloat() {
+			return c.bd.CallBuiltin("fabs", ir.F64, v), nil
+		}
+		v, err = c.convert(v, ir.I64)
+		if err != nil {
+			return nil, err
+		}
+		return c.bd.CallBuiltin("abs_i64", ir.I64, v), nil
+	}
+	if sig, ok := builtins[x.Name]; ok {
+		if len(x.Args) != len(sig.params) {
+			return nil, fmt.Errorf("%s takes %d arguments, got %d", x.Name, len(sig.params), len(x.Args))
+		}
+		args := make([]ir.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := c.genExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			v, err = c.convert(v, sig.params[i])
+			if err != nil {
+				return nil, fmt.Errorf("argument %d of %s: %w", i+1, x.Name, err)
+			}
+			args[i] = v
+		}
+		return c.bd.CallBuiltin(sig.name, sig.ret, args...), nil
+	}
+
+	callee := c.fns[x.Name]
+	if callee == nil {
+		return nil, fmt.Errorf("call to undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(callee.Sig.Params) {
+		return nil, fmt.Errorf("%s takes %d arguments, got %d", x.Name, len(callee.Sig.Params), len(x.Args))
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.genExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		v, err = c.convert(v, callee.Sig.Params[i])
+		if err != nil {
+			return nil, fmt.Errorf("argument %d of %s: %w", i+1, x.Name, err)
+		}
+		args[i] = v
+	}
+	return c.bd.Call(callee, args...), nil
+}

@@ -1,0 +1,153 @@
+package minic_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// randExpr builds a random well-typed integer expression over the given
+// variable names.
+func randExpr(rng *rand.Rand, vars []string, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", rng.Intn(200)-100)
+		case 1:
+			return vars[rng.Intn(len(vars))]
+		default:
+			return fmt.Sprintf("%d", rng.Intn(9)+1)
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	case 3:
+		// Division guarded against zero via |d|+1.
+		return fmt.Sprintf("(%s / (%d))", randExpr(rng, vars, depth-1), rng.Intn(20)+1)
+	case 4:
+		return fmt.Sprintf("(%s ^ %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	case 5:
+		return fmt.Sprintf("(%s & %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	case 6:
+		return fmt.Sprintf("(%s | %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
+	default:
+		// The space stops "-" from fusing with a negative literal into the
+		// "--" decrement token.
+		return fmt.Sprintf("(- %s)", randExpr(rng, vars, depth-1))
+	}
+}
+
+// TestQuickPrintParseFixpoint: for random programs, Print∘Parse is a
+// fixpoint and preserves behaviour.
+func TestQuickPrintParseFixpoint(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars := []string{"a", "b", "c"}
+		var sb strings.Builder
+		sb.WriteString("int main() {\n")
+		for i, v := range vars {
+			fmt.Fprintf(&sb, "int %s = %d;\n", v, rng.Intn(40)-20+i)
+		}
+		for i := 0; i < 3+rng.Intn(4); i++ {
+			v := vars[rng.Intn(len(vars))]
+			fmt.Fprintf(&sb, "%s = %s;\n", v, randExpr(rng, vars, 3))
+		}
+		fmt.Fprintf(&sb, "return (%s) %% 100000;\n}\n", randExpr(rng, vars, 2))
+		src := sb.String()
+
+		f1, err := minic.Parse(src)
+		if err != nil {
+			t.Logf("parse: %v\n%s", err, src)
+			return false
+		}
+		p1 := minic.Print(f1)
+		f2, err := minic.Parse(p1)
+		if err != nil {
+			t.Logf("reparse: %v\n%s", err, p1)
+			return false
+		}
+		p2 := minic.Print(f2)
+		if p1 != p2 {
+			t.Logf("printer not a fixpoint:\n%s\nvs\n%s", p1, p2)
+			return false
+		}
+		// Behaviour equality original vs round-tripped.
+		m1, err := minic.Compile(f1, "a")
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		m2, err := minic.Compile(f2, "b")
+		if err != nil {
+			t.Logf("compile roundtrip: %v", err)
+			return false
+		}
+		r1, err1 := interp.Run(m1, interp.Options{MaxSteps: 1_000_000})
+		r2, err2 := interp.Run(m2, interp.Options{MaxSteps: 1_000_000})
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("trap divergence: %v vs %v", err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true // both trapped identically (e.g. division overflow)
+		}
+		return r1.Ret == r2.Ret
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLexerNeverPanics: arbitrary byte strings must produce a token
+// stream or an error, never a panic.
+func TestQuickLexerNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = minic.LexAll(string(data))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParserNeverPanics: same guarantee one level up.
+func TestQuickParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"int", "main", "(", ")", "{", "}", ";", "if", "else", "while",
+		"for", "return", "x", "=", "+", "1", "[", "]", "switch", "case",
+		"0", ":", "break", ",", "*", "&", "float", "char", "'a'", `"s"`,
+	}
+	prop := func(seed int64, n uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < int(n%64); i++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		_, _ = minic.Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

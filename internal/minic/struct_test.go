@@ -1,0 +1,239 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/passes"
+)
+
+func TestStructBasics(t *testing.T) {
+	wantRet(t, `
+	struct Point { int x; int y; };
+	int main() {
+		struct Point p;
+		p.x = 3;
+		p.y = 4;
+		return p.x * p.x + p.y * p.y;
+	}`, 25)
+}
+
+func TestStructMixedFieldTypes(t *testing.T) {
+	wantRet(t, `
+	struct Rec { char tag; int count; float weight; };
+	int main() {
+		struct Rec r;
+		r.tag = 'z';
+		r.count = 10;
+		r.weight = 2.5;
+		return r.tag + r.count + (int)(r.weight * 2.0);
+	}`, int64('z')+10+5)
+}
+
+func TestStructPointerArrow(t *testing.T) {
+	wantRet(t, `
+	struct Point { int x; int y; };
+	void move(struct Point *p, int dx, int dy) {
+		p->x += dx;
+		p->y += dy;
+	}
+	int main() {
+		struct Point p;
+		p.x = 1;
+		p.y = 2;
+		move(&p, 10, 20);
+		return p.x * 100 + p.y;
+	}`, 1122)
+}
+
+func TestStructArrays(t *testing.T) {
+	wantRet(t, `
+	struct Point { int x; int y; };
+	int main() {
+		struct Point pts[5];
+		for (int i = 0; i < 5; i++) {
+			pts[i].x = i;
+			pts[i].y = i * i;
+		}
+		int s = 0;
+		for (int i = 0; i < 5; i++) s += pts[i].x + pts[i].y;
+		return s;
+	}`, 10+30)
+}
+
+func TestStructMemberArray(t *testing.T) {
+	wantRet(t, `
+	struct Buf { int len; int data[8]; };
+	int main() {
+		struct Buf b;
+		b.len = 0;
+		for (int i = 0; i < 8; i++) {
+			b.data[i] = i * 3;
+			b.len++;
+		}
+		int s = 0;
+		for (int i = 0; i < b.len; i++) s += b.data[i];
+		return s * 10 + b.len;
+	}`, 84*10+8)
+}
+
+func TestNestedStructs(t *testing.T) {
+	wantRet(t, `
+	struct Inner { int v; };
+	struct Outer { struct Inner a; struct Inner b; };
+	int main() {
+		struct Outer o;
+		o.a.v = 7;
+		o.b.v = 9;
+		return o.a.v * o.b.v;
+	}`, 63)
+}
+
+func TestLinkedListViaSelfPointer(t *testing.T) {
+	wantRet(t, `
+	struct Node { int val; struct Node *next; };
+	int main() {
+		struct Node a;
+		struct Node b;
+		struct Node c;
+		a.val = 1; a.next = &b;
+		b.val = 2; b.next = &c;
+		c.val = 3; c.next = (struct Node*)0;
+		int s = 0;
+		struct Node *cur = &a;
+		while (cur) {
+			s = s * 10 + cur->val;
+			cur = cur->next;
+		}
+		return s;
+	}`, 123)
+}
+
+func TestStructGlobal(t *testing.T) {
+	wantRet(t, `
+	struct Counter { int hits; int misses; };
+	struct Counter g;
+	void hit() { g.hits++; }
+	void miss() { g.misses++; }
+	int main() {
+		hit(); hit(); hit(); miss();
+		return g.hits * 10 + g.misses;
+	}`, 31)
+}
+
+func TestStructErrors(t *testing.T) {
+	bad := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown struct", `int main() { struct Nope n; return 0; }`, "unknown struct"},
+		{"unknown field", `struct P { int x; };
+			int main() { struct P p; p.z = 1; return 0; }`, "no field"},
+		{"by-value param", `struct P { int x; };
+			int f(struct P p) { return 0; }
+			int main() { return 0; }`, "passed by pointer"},
+		{"by-value return", `struct P { int x; };
+			struct P f() { struct P p; return p; }
+			int main() { return 0; }`, "returned by pointer"},
+		{"recursive by value", `struct P { struct P inner; };
+			int main() { return 0; }`, "must be a pointer"},
+		{"duplicate field", `struct P { int x; int x; };
+			int main() { return 0; }`, "duplicate field"},
+		{"empty struct", `struct P { };
+			int main() { return 0; }`, "no fields"},
+		{"whole-struct assign", `struct P { int x; };
+			int main() { struct P a; struct P b; a = b; return 0; }`, ""},
+		{"struct as value", `struct P { int x; };
+			int main() { struct P a; return a; }`, ""},
+		{"dot on non-struct", `int main() { int x; return x.y; }`, "non-struct"},
+	}
+	for _, tc := range bad {
+		_, err := minic.CompileSource(tc.src, "bad")
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestStructPrintRoundTrip(t *testing.T) {
+	src := `
+	struct Pair { int a; int b; };
+	struct Box { struct Pair p; int tags[4]; };
+	int sum(struct Box *bx) {
+		int s = bx->p.a + bx->p.b;
+		for (int i = 0; i < 4; i++) s += bx->tags[i];
+		return s;
+	}
+	int main() {
+		struct Box b;
+		b.p.a = 1;
+		b.p.b = 2;
+		for (int i = 0; i < 4; i++) b.tags[i] = i;
+		return sum(&b);
+	}`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := minic.Print(f)
+	f2, err := minic.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if p2 := minic.Print(f2); p2 != printed {
+		t.Fatalf("printer not idempotent:\n%s\nvs\n%s", printed, p2)
+	}
+	m, err := minic.Compile(f2, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 9 {
+		t.Fatalf("ret = %d, want 9", res.Ret)
+	}
+}
+
+func TestStructSemanticsUnderOptimizationAndObfuscation(t *testing.T) {
+	src := `
+	struct Acc { int lo; int hi; };
+	void add(struct Acc *a, int v) {
+		a->lo += v;
+		if (a->lo >= 1000) { a->hi++; a->lo -= 1000; }
+	}
+	int main() {
+		struct Acc a;
+		a.lo = 0;
+		a.hi = 0;
+		for (int i = 0; i < 100; i++) add(&a, i * 7);
+		return a.hi * 10000 + a.lo;
+	}`
+	base, err := minic.CompileSource(src, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := interp.Run(base, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []passes.Level{passes.O1, passes.O2, passes.O3} {
+		m, _ := minic.CompileSource(src, "s")
+		if err := passes.Optimize(m, lvl); err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		got, err := interp.Run(m, interp.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		if got.Ret != want.Ret {
+			t.Fatalf("%s changed struct semantics: %d -> %d", lvl, want.Ret, got.Ret)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package minic implements the front end of the arena: a C-subset language
+// ("MiniC") with a lexer, parser, AST, source printer and code generator
+// lowering to the SSA IR of internal/ir. It plays the role of clang in the
+// paper: the dataset generators emit MiniC source, the Zhang-style evaders
+// transform MiniC ASTs, and everything downstream works on IR.
+package minic
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokChar
+	TokString
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	// IntVal/FloatVal hold decoded literal payloads.
+	IntVal   int64
+	FloatVal float64
+	Line     int
+	Col      int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "double": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"switch": true, "case": true, "default": true, "break": true,
+	"continue": true, "return": true, "const": true, "struct": true,
+}
+
+// Lexer tokenizes MiniC source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					return fmt.Errorf("line %d: unterminated block comment", lx.line)
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		case c == '#':
+			// Preprocessor-style lines (e.g. #include) are ignored, so that
+			// C-flavoured generator output lexes cleanly.
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: lx.line, Col: lx.col}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isIdentStart(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		tok.Text = lx.src[start:lx.pos]
+		if keywords[tok.Text] {
+			tok.Kind = TokKeyword
+		} else {
+			tok.Kind = TokIdent
+		}
+		return tok, nil
+
+	case isDigit(c) || (c == '.' && isDigit(lx.peek2())):
+		return lx.lexNumber()
+
+	case c == '\'':
+		return lx.lexChar()
+
+	case c == '"':
+		return lx.lexString()
+	}
+	for _, p := range puncts {
+		if len(lx.src)-lx.pos >= len(p) && lx.src[lx.pos:lx.pos+len(p)] == p {
+			for range p {
+				lx.advance()
+			}
+			tok.Kind = TokPunct
+			tok.Text = p
+			return tok, nil
+		}
+	}
+	return tok, fmt.Errorf("line %d: unexpected character %q", lx.line, string(c))
+}
+
+func (lx *Lexer) lexNumber() (Token, error) {
+	tok := Token{Line: lx.line, Col: lx.col}
+	start := lx.pos
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.pos < len(lx.src) && isHex(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		var v int64
+		if _, err := fmt.Sscanf(text, "%v", &v); err != nil {
+			return tok, fmt.Errorf("line %d: bad hex literal %q", tok.Line, text)
+		}
+		tok.Kind = TokInt
+		tok.Text = text
+		tok.IntVal = v
+		return tok, nil
+	}
+	for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' {
+		isFloat = true
+		lx.advance()
+		for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		save := lx.pos
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			isFloat = true
+			for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	text := lx.src[start:lx.pos]
+	tok.Text = text
+	if isFloat {
+		tok.Kind = TokFloat
+		if _, err := fmt.Sscanf(text, "%g", &tok.FloatVal); err != nil {
+			return tok, fmt.Errorf("line %d: bad float literal %q", tok.Line, text)
+		}
+	} else {
+		tok.Kind = TokInt
+		if _, err := fmt.Sscanf(text, "%d", &tok.IntVal); err != nil {
+			return tok, fmt.Errorf("line %d: bad int literal %q", tok.Line, text)
+		}
+	}
+	return tok, nil
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (lx *Lexer) lexChar() (Token, error) {
+	tok := Token{Kind: TokChar, Line: lx.line, Col: lx.col}
+	lx.advance() // opening quote
+	if lx.pos >= len(lx.src) {
+		return tok, fmt.Errorf("line %d: unterminated char literal", tok.Line)
+	}
+	c := lx.advance()
+	if c == '\\' {
+		e, err := lx.escape()
+		if err != nil {
+			return tok, err
+		}
+		c = e
+	}
+	if lx.pos >= len(lx.src) || lx.advance() != '\'' {
+		return tok, fmt.Errorf("line %d: unterminated char literal", tok.Line)
+	}
+	tok.IntVal = int64(c)
+	tok.Text = string(c)
+	return tok, nil
+}
+
+func (lx *Lexer) lexString() (Token, error) {
+	tok := Token{Kind: TokString, Line: lx.line, Col: lx.col}
+	lx.advance() // opening quote
+	var buf []byte
+	for {
+		if lx.pos >= len(lx.src) {
+			return tok, fmt.Errorf("line %d: unterminated string", tok.Line)
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, err := lx.escape()
+			if err != nil {
+				return tok, err
+			}
+			c = e
+		}
+		buf = append(buf, c)
+	}
+	tok.Text = string(buf)
+	return tok, nil
+}
+
+func (lx *Lexer) escape() (byte, error) {
+	if lx.pos >= len(lx.src) {
+		return 0, fmt.Errorf("line %d: bad escape", lx.line)
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, fmt.Errorf("line %d: unknown escape \\%c", lx.line, c)
+}
+
+// LexAll tokenizes the whole input, returning the tokens excluding EOF.
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,311 @@
+package ml
+
+import (
+	"math/rand"
+)
+
+// CNN is the vector-input variant of Zhang et al.'s DGCNN: the four graph
+// convolution layers are dropped (arrays have no vertices to merge) and
+// what remains is the back half of that architecture — a 1-D convolution,
+// max pooling, a second 1-D convolution, a dense layer with dropout and a
+// softmax classifier.
+type CNN struct {
+	C1, K1    int // first conv: filters, kernel
+	C2, K2    int // second conv
+	Hidden    int
+	Dropout   float64
+	Epochs    int
+	BatchSize int
+	LR        float64
+
+	d, numCl         int
+	l1, p1, l2, flat int // derived layer lengths
+	w1, b1, w2, b2   []float64
+	w3, b3, w4, b4   []float64
+	std              *standardizer
+	rng              *rand.Rand
+}
+
+// NewCNN returns an untrained 1-D CNN with the default shape.
+func NewCNN(rng *rand.Rand) *CNN {
+	return &CNN{
+		C1: 8, K1: 5, C2: 16, K2: 5, Hidden: 64, Dropout: 0.3,
+		Epochs: 50, BatchSize: 32, LR: 1e-3, rng: rng,
+	}
+}
+
+// cnnState holds per-example activations for backprop.
+type cnnState struct {
+	x     []float64
+	a1    []float64 // C1 x l1 post-ReLU
+	pool  []float64 // C1 x p1
+	amax  []int     // argmax index per pooled cell
+	a2    []float64 // C2 x l2 post-ReLU
+	hid   []float64 // Hidden post-ReLU
+	mask  []float64 // dropout mask over hidden
+	probs []float64
+}
+
+// Fit trains the network with minibatch Adam.
+func (m *CNN) Fit(X [][]float64, y []int, numClasses int) error {
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	m.std = fitStandardizer(X)
+	Xs := m.std.applyAll(X)
+	m.d = len(X[0])
+	m.numCl = numClasses
+	m.l1 = m.d - m.K1 + 1
+	if m.l1 < 2 {
+		// Input too short for the kernel: shrink the kernel.
+		m.K1 = m.d/2 + 1
+		m.l1 = m.d - m.K1 + 1
+	}
+	m.p1 = m.l1 / 2
+	m.l2 = m.p1 - m.K2 + 1
+	if m.l2 < 1 {
+		m.K2 = m.p1
+		m.l2 = 1
+	}
+	m.flat = m.C2 * m.l2
+
+	m.w1 = make([]float64, m.C1*m.K1)
+	m.b1 = make([]float64, m.C1)
+	m.w2 = make([]float64, m.C2*m.C1*m.K2)
+	m.b2 = make([]float64, m.C2)
+	m.w3 = make([]float64, m.Hidden*m.flat)
+	m.b3 = make([]float64, m.Hidden)
+	m.w4 = make([]float64, m.numCl*m.Hidden)
+	m.b4 = make([]float64, m.numCl)
+	xavier(m.w1, m.K1, m.C1, m.rng)
+	xavier(m.w2, m.C1*m.K2, m.C2, m.rng)
+	xavier(m.w3, m.flat, m.Hidden, m.rng)
+	xavier(m.w4, m.Hidden, m.numCl, m.rng)
+
+	opts := []*adam{
+		newAdam(len(m.w1), m.LR), newAdam(len(m.b1), m.LR),
+		newAdam(len(m.w2), m.LR), newAdam(len(m.b2), m.LR),
+		newAdam(len(m.w3), m.LR), newAdam(len(m.b3), m.LR),
+		newAdam(len(m.w4), m.LR), newAdam(len(m.b4), m.LR),
+	}
+	params := [][]float64{m.w1, m.b1, m.w2, m.b2, m.w3, m.b3, m.w4, m.b4}
+	grads := make([][]float64, len(params))
+	for i, p := range params {
+		grads[i] = make([]float64, len(p))
+	}
+
+	st := m.newState()
+	n := len(Xs)
+	order := m.rng.Perm(n)
+	for ep := 0; ep < m.Epochs; ep++ {
+		m.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > n {
+				end = n
+			}
+			for _, g := range grads {
+				zero(g)
+			}
+			batch := order[start:end]
+			inv := 1.0 / float64(len(batch))
+			for _, i := range batch {
+				m.forward(Xs[i], st, true)
+				m.backward(st, y[i], inv, grads)
+			}
+			for i, p := range params {
+				opts[i].step(p, grads[i])
+			}
+		}
+	}
+	return nil
+}
+
+func (m *CNN) newState() *cnnState {
+	return &cnnState{
+		a1:    make([]float64, m.C1*m.l1),
+		pool:  make([]float64, m.C1*m.p1),
+		amax:  make([]int, m.C1*m.p1),
+		a2:    make([]float64, m.C2*m.l2),
+		hid:   make([]float64, m.Hidden),
+		mask:  make([]float64, m.Hidden),
+		probs: make([]float64, m.numCl),
+	}
+}
+
+func (m *CNN) forward(x []float64, st *cnnState, train bool) {
+	st.x = x
+	// conv1 (single input channel) + ReLU.
+	for c := 0; c < m.C1; c++ {
+		wb := c * m.K1
+		for p := 0; p < m.l1; p++ {
+			s := m.b1[c]
+			for k := 0; k < m.K1; k++ {
+				s += m.w1[wb+k] * x[p+k]
+			}
+			st.a1[c*m.l1+p] = relu(s)
+		}
+	}
+	// maxpool 2.
+	for c := 0; c < m.C1; c++ {
+		for p := 0; p < m.p1; p++ {
+			i0 := c*m.l1 + 2*p
+			v, ai := st.a1[i0], i0
+			if 2*p+1 < m.l1 && st.a1[i0+1] > v {
+				v, ai = st.a1[i0+1], i0+1
+			}
+			st.pool[c*m.p1+p] = v
+			st.amax[c*m.p1+p] = ai
+		}
+	}
+	// conv2 over C1 channels + ReLU.
+	for c := 0; c < m.C2; c++ {
+		for p := 0; p < m.l2; p++ {
+			s := m.b2[c]
+			for ic := 0; ic < m.C1; ic++ {
+				wb := (c*m.C1 + ic) * m.K2
+				pb := ic*m.p1 + p
+				for k := 0; k < m.K2; k++ {
+					s += m.w2[wb+k] * st.pool[pb+k]
+				}
+			}
+			st.a2[c*m.l2+p] = relu(s)
+		}
+	}
+	// dense + ReLU + dropout.
+	for j := 0; j < m.Hidden; j++ {
+		s := m.b3[j]
+		base := j * m.flat
+		for k := 0; k < m.flat; k++ {
+			s += m.w3[base+k] * st.a2[k]
+		}
+		v := relu(s)
+		if train {
+			if m.rng.Float64() < m.Dropout {
+				st.mask[j] = 0
+			} else {
+				st.mask[j] = 1 / (1 - m.Dropout)
+			}
+			v *= st.mask[j]
+		}
+		st.hid[j] = v
+	}
+	// output logits.
+	for c := 0; c < m.numCl; c++ {
+		s := m.b4[c]
+		base := c * m.Hidden
+		for j := 0; j < m.Hidden; j++ {
+			s += m.w4[base+j] * st.hid[j]
+		}
+		st.probs[c] = s
+	}
+	softmaxInPlace(st.probs)
+}
+
+// backward accumulates gradients for one example (already forwarded).
+// grads order: w1,b1,w2,b2,w3,b3,w4,b4.
+func (m *CNN) backward(st *cnnState, label int, scale float64, grads [][]float64) {
+	gw1, gb1 := grads[0], grads[1]
+	gw2, gb2 := grads[2], grads[3]
+	gw3, gb3 := grads[4], grads[5]
+	gw4, gb4 := grads[6], grads[7]
+
+	dLogits := make([]float64, m.numCl)
+	for c := range dLogits {
+		g := st.probs[c]
+		if c == label {
+			g -= 1
+		}
+		dLogits[c] = g * scale
+	}
+	dHid := make([]float64, m.Hidden)
+	for c := 0; c < m.numCl; c++ {
+		g := dLogits[c]
+		gb4[c] += g
+		base := c * m.Hidden
+		for j := 0; j < m.Hidden; j++ {
+			gw4[base+j] += g * st.hid[j]
+			dHid[j] += g * m.w4[base+j]
+		}
+	}
+	dA2 := make([]float64, m.flat)
+	for j := 0; j < m.Hidden; j++ {
+		if st.hid[j] == 0 {
+			continue // ReLU off or dropped out
+		}
+		g := dHid[j] * st.mask[j]
+		if st.mask[j] == 0 {
+			continue
+		}
+		// hid[j] = relu(z)*mask; relu derivative is 1 where hid>0.
+		gb3[j] += g
+		base := j * m.flat
+		for k := 0; k < m.flat; k++ {
+			gw3[base+k] += g * st.a2[k]
+			dA2[k] += g * m.w3[base+k]
+		}
+	}
+	dPool := make([]float64, m.C1*m.p1)
+	for c := 0; c < m.C2; c++ {
+		for p := 0; p < m.l2; p++ {
+			idx := c*m.l2 + p
+			if st.a2[idx] <= 0 {
+				continue
+			}
+			g := dA2[idx]
+			gb2[c] += g
+			for ic := 0; ic < m.C1; ic++ {
+				wb := (c*m.C1 + ic) * m.K2
+				pb := ic*m.p1 + p
+				for k := 0; k < m.K2; k++ {
+					gw2[wb+k] += g * st.pool[pb+k]
+					dPool[pb+k] += g * m.w2[wb+k]
+				}
+			}
+		}
+	}
+	dA1 := make([]float64, m.C1*m.l1)
+	for i, g := range dPool {
+		if g != 0 {
+			dA1[st.amax[i]] += g
+		}
+	}
+	for c := 0; c < m.C1; c++ {
+		wb := c * m.K1
+		for p := 0; p < m.l1; p++ {
+			idx := c*m.l1 + p
+			if st.a1[idx] <= 0 {
+				continue
+			}
+			g := dA1[idx]
+			if g == 0 {
+				continue
+			}
+			gb1[c] += g
+			for k := 0; k < m.K1; k++ {
+				gw1[wb+k] += g * st.x[p+k]
+			}
+		}
+	}
+}
+
+// Predict returns the argmax class.
+func (m *CNN) Predict(x []float64) int {
+	st := m.newState()
+	for j := range st.mask {
+		st.mask[j] = 1
+	}
+	m.forward(m.std.apply(x), st, false)
+	return argmax(st.probs)
+}
+
+// MemoryBytes counts all parameter tensors. Mirroring the paper's
+// observation, the convolutional model is an order of magnitude heavier in
+// practice because training keeps per-example activation state; we include
+// one activation buffer set in the estimate.
+func (m *CNN) MemoryBytes() int64 {
+	params := len(m.w1) + len(m.b1) + len(m.w2) + len(m.b2) +
+		len(m.w3) + len(m.b3) + len(m.w4) + len(m.b4)
+	acts := m.C1*m.l1 + m.C1*m.p1 + m.C2*m.l2 + m.Hidden + m.numCl
+	return int64(params+acts)*8*3 + m.std.memory() // params + adam m/v
+}

@@ -1,0 +1,528 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/embed"
+)
+
+// DGCNN is Zhang et al. (2018)'s Deep Graph Convolutional Neural Network,
+// the model the paper uses for all graph-shaped program embeddings:
+//
+//  1. four graph convolutional layers (32, 32, 32 and 1 channel) with
+//     hyperbolic-tangent activation, Z_{t+1} = tanh(D⁻¹ Ã Z_t W_t);
+//  2. SortPooling: nodes sorted by the last 1-channel layer, top-k kept;
+//  3. a one-dimensional convolutional layer (kernel = feature width);
+//  4. max pooling;
+//  5. a second one-dimensional convolutional layer;
+//  6. a dense layer followed by dropout;
+//  7. a final dense softmax classifier.
+type DGCNN struct {
+	GCDims  []int // per-layer output channels, last must be 1
+	K       int   // SortPooling size
+	C1      int   // conv-1 filters (kernel = concat width, stride = width)
+	C2, K2  int   // conv-2 filters and kernel
+	Hidden  int
+	Dropout float64
+	Epochs  int
+	LR      float64
+
+	inDim, numCl int
+	catDim       int // sum of GCDims
+	p1, l2, flat int
+
+	gw     []([]float64) // GCN weight matrices, layer t: (prevDim x GCDims[t])
+	w1, b1 []float64
+	w2, b2 []float64
+	w3, b3 []float64
+	w4, b4 []float64
+	rng    *rand.Rand
+}
+
+// NewDGCNN returns an untrained DGCNN with the paper's layer shape.
+func NewDGCNN(rng *rand.Rand) *DGCNN {
+	return &DGCNN{
+		GCDims: []int{32, 32, 32, 1}, K: 16,
+		C1: 16, C2: 32, K2: 5, Hidden: 128, Dropout: 0.5,
+		Epochs: 30, LR: 1e-3, rng: rng,
+	}
+}
+
+// graphPrep is the preprocessed propagation structure of one graph.
+type graphPrep struct {
+	n      int
+	feats  [][]float64
+	nbrs   [][]int32 // incoming neighbours incl. self loop
+	invDeg []float64
+}
+
+func prepGraph(g *embed.Graph) *graphPrep {
+	n := g.NumNodes()
+	p := &graphPrep{n: n, feats: g.NodeFeats, nbrs: make([][]int32, n), invDeg: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		p.nbrs[i] = append(p.nbrs[i], int32(i)) // self loop
+	}
+	for _, e := range g.Edges {
+		// Treat edges as undirected for propagation, standard for GCNs.
+		p.nbrs[e[1]] = append(p.nbrs[e[1]], int32(e[0]))
+		p.nbrs[e[0]] = append(p.nbrs[e[0]], int32(e[1]))
+	}
+	for i := range p.nbrs {
+		p.invDeg[i] = 1.0 / float64(len(p.nbrs[i]))
+	}
+	return p
+}
+
+// dgState holds forward activations of one graph for backprop.
+type dgState struct {
+	zs     [][][]float64 // per layer: n x dim post-tanh
+	sorted []int         // node order chosen by SortPooling
+	pooled []float64     // K x catDim (zero padded)
+	a1     []float64     // K x C1 post-ReLU
+	pool   []float64
+	amax   []int
+	a2     []float64
+	hid    []float64
+	mask   []float64
+	probs  []float64
+}
+
+// FitGraphs trains on a labelled set of graphs.
+func (m *DGCNN) FitGraphs(gs []*embed.Graph, y []int, numClasses int) error {
+	if len(gs) == 0 || len(gs) != len(y) {
+		return errBadGraphSet
+	}
+	if numClasses < 2 {
+		return errBadGraphSet
+	}
+	m.numCl = numClasses
+	m.inDim = 0
+	for _, g := range gs {
+		if g.FeatDim() > m.inDim {
+			m.inDim = g.FeatDim()
+		}
+	}
+	m.catDim = 0
+	for _, d := range m.GCDims {
+		m.catDim += d
+	}
+	m.p1 = m.K / 2
+	m.l2 = m.p1 - m.K2 + 1
+	if m.l2 < 1 {
+		m.K2 = m.p1
+		m.l2 = 1
+	}
+	m.flat = m.C2 * m.l2
+
+	m.gw = make([][]float64, len(m.GCDims))
+	prev := m.inDim
+	for t, d := range m.GCDims {
+		m.gw[t] = make([]float64, prev*d)
+		xavier(m.gw[t], prev, d, m.rng)
+		prev = d
+	}
+	m.w1 = make([]float64, m.C1*m.catDim)
+	m.b1 = make([]float64, m.C1)
+	m.w2 = make([]float64, m.C2*m.C1*m.K2)
+	m.b2 = make([]float64, m.C2)
+	m.w3 = make([]float64, m.Hidden*m.flat)
+	m.b3 = make([]float64, m.Hidden)
+	m.w4 = make([]float64, m.numCl*m.Hidden)
+	m.b4 = make([]float64, m.numCl)
+	xavier(m.w1, m.catDim, m.C1, m.rng)
+	xavier(m.w2, m.C1*m.K2, m.C2, m.rng)
+	xavier(m.w3, m.flat, m.Hidden, m.rng)
+	xavier(m.w4, m.Hidden, m.numCl, m.rng)
+
+	preps := make([]*graphPrep, len(gs))
+	for i, g := range gs {
+		preps[i] = prepGraph(g)
+	}
+
+	params := [][]float64{m.w1, m.b1, m.w2, m.b2, m.w3, m.b3, m.w4, m.b4}
+	params = append(params, m.gw...)
+	opts := make([]*adam, len(params))
+	grads := make([][]float64, len(params))
+	for i, p := range params {
+		opts[i] = newAdam(len(p), m.LR)
+		grads[i] = make([]float64, len(p))
+	}
+
+	order := m.rng.Perm(len(gs))
+	const batch = 8
+	for ep := 0; ep < m.Epochs; ep++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, g := range grads {
+				zero(g)
+			}
+			inv := 1.0 / float64(end-start)
+			for _, i := range order[start:end] {
+				st := m.forward(preps[i], true)
+				m.backward(preps[i], st, y[i], inv, grads)
+			}
+			for i, p := range params {
+				opts[i].step(p, grads[i])
+			}
+		}
+	}
+	return nil
+}
+
+var errBadGraphSet = errStr("ml: bad graph training set")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+// gcnForward computes the stacked GCN layers, returning post-tanh
+// activations per layer.
+func (m *DGCNN) gcnForward(p *graphPrep) [][][]float64 {
+	zs := make([][][]float64, len(m.GCDims))
+	prev := p.feats
+	prevDim := m.inDim
+	for t, d := range m.GCDims {
+		w := m.gw[t]
+		// H = prev * W  (n x d)
+		h := make([][]float64, p.n)
+		for i := 0; i < p.n; i++ {
+			row := make([]float64, d)
+			pr := prev[i]
+			for a := 0; a < len(pr) && a < prevDim; a++ {
+				v := pr[a]
+				if v == 0 {
+					continue
+				}
+				base := a * d
+				for b := 0; b < d; b++ {
+					row[b] += v * w[base+b]
+				}
+			}
+			h[i] = row
+		}
+		// Z = tanh(D^-1 A H)
+		z := make([][]float64, p.n)
+		for i := 0; i < p.n; i++ {
+			row := make([]float64, d)
+			for _, nb := range p.nbrs[i] {
+				hn := h[nb]
+				for b := 0; b < d; b++ {
+					row[b] += hn[b]
+				}
+			}
+			s := p.invDeg[i]
+			for b := 0; b < d; b++ {
+				row[b] = math.Tanh(row[b] * s)
+			}
+			z[i] = row
+		}
+		zs[t] = z
+		prev = z
+		prevDim = d
+	}
+	return zs
+}
+
+func (m *DGCNN) forward(p *graphPrep, train bool) *dgState {
+	st := &dgState{
+		a1:    make([]float64, m.K*m.C1),
+		pool:  make([]float64, m.C1*m.p1),
+		amax:  make([]int, m.C1*m.p1),
+		a2:    make([]float64, m.C2*m.l2),
+		hid:   make([]float64, m.Hidden),
+		mask:  make([]float64, m.Hidden),
+		probs: make([]float64, m.numCl),
+	}
+	st.zs = m.gcnForward(p)
+	// SortPooling on the last (1-channel) layer.
+	last := st.zs[len(st.zs)-1]
+	idxs := make([]int, p.n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.SliceStable(idxs, func(a, b int) bool { return last[idxs[a]][0] > last[idxs[b]][0] })
+	if len(idxs) > m.K {
+		idxs = idxs[:m.K]
+	}
+	st.sorted = idxs
+	st.pooled = make([]float64, m.K*m.catDim)
+	for row, node := range idxs {
+		off := row * m.catDim
+		for _, z := range st.zs {
+			for _, v := range z[node] {
+				st.pooled[off] = v
+				off++
+			}
+		}
+	}
+	// conv1: kernel = catDim, stride = catDim -> per-row dense, ReLU.
+	for c := 0; c < m.C1; c++ {
+		wb := c * m.catDim
+		for r := 0; r < m.K; r++ {
+			s := m.b1[c]
+			pb := r * m.catDim
+			for k := 0; k < m.catDim; k++ {
+				s += m.w1[wb+k] * st.pooled[pb+k]
+			}
+			st.a1[c*m.K+r] = relu(s)
+		}
+	}
+	// maxpool 2 along rows.
+	for c := 0; c < m.C1; c++ {
+		for r := 0; r < m.p1; r++ {
+			i0 := c*m.K + 2*r
+			v, ai := st.a1[i0], i0
+			if 2*r+1 < m.K && st.a1[i0+1] > v {
+				v, ai = st.a1[i0+1], i0+1
+			}
+			st.pool[c*m.p1+r] = v
+			st.amax[c*m.p1+r] = ai
+		}
+	}
+	// conv2 + ReLU.
+	for c := 0; c < m.C2; c++ {
+		for r := 0; r < m.l2; r++ {
+			s := m.b2[c]
+			for ic := 0; ic < m.C1; ic++ {
+				wb := (c*m.C1 + ic) * m.K2
+				pb := ic*m.p1 + r
+				for k := 0; k < m.K2; k++ {
+					s += m.w2[wb+k] * st.pool[pb+k]
+				}
+			}
+			st.a2[c*m.l2+r] = relu(s)
+		}
+	}
+	// dense + ReLU + dropout.
+	for j := 0; j < m.Hidden; j++ {
+		s := m.b3[j]
+		base := j * m.flat
+		for k := 0; k < m.flat; k++ {
+			s += m.w3[base+k] * st.a2[k]
+		}
+		v := relu(s)
+		if train {
+			if m.rng.Float64() < m.Dropout {
+				st.mask[j] = 0
+			} else {
+				st.mask[j] = 1 / (1 - m.Dropout)
+			}
+			v *= st.mask[j]
+		} else {
+			st.mask[j] = 1
+		}
+		st.hid[j] = v
+	}
+	for c := 0; c < m.numCl; c++ {
+		s := m.b4[c]
+		base := c * m.Hidden
+		for j := 0; j < m.Hidden; j++ {
+			s += m.w4[base+j] * st.hid[j]
+		}
+		st.probs[c] = s
+	}
+	softmaxInPlace(st.probs)
+	return st
+}
+
+// backward accumulates gradients for one graph. grads order:
+// w1,b1,w2,b2,w3,b3,w4,b4, gw[0..].
+func (m *DGCNN) backward(p *graphPrep, st *dgState, label int, scale float64, grads [][]float64) {
+	gw1, gb1 := grads[0], grads[1]
+	gw2, gb2 := grads[2], grads[3]
+	gw3, gb3 := grads[4], grads[5]
+	gw4, gb4 := grads[6], grads[7]
+	ggw := grads[8:]
+
+	dHid := make([]float64, m.Hidden)
+	for c := 0; c < m.numCl; c++ {
+		g := st.probs[c]
+		if c == label {
+			g -= 1
+		}
+		g *= scale
+		gb4[c] += g
+		base := c * m.Hidden
+		for j := 0; j < m.Hidden; j++ {
+			gw4[base+j] += g * st.hid[j]
+			dHid[j] += g * m.w4[base+j]
+		}
+	}
+	dA2 := make([]float64, m.flat)
+	for j := 0; j < m.Hidden; j++ {
+		if st.hid[j] == 0 || st.mask[j] == 0 {
+			continue
+		}
+		g := dHid[j] * st.mask[j]
+		gb3[j] += g
+		base := j * m.flat
+		for k := 0; k < m.flat; k++ {
+			gw3[base+k] += g * st.a2[k]
+			dA2[k] += g * m.w3[base+k]
+		}
+	}
+	dPool := make([]float64, m.C1*m.p1)
+	for c := 0; c < m.C2; c++ {
+		for r := 0; r < m.l2; r++ {
+			idx := c*m.l2 + r
+			if st.a2[idx] <= 0 {
+				continue
+			}
+			g := dA2[idx]
+			gb2[c] += g
+			for ic := 0; ic < m.C1; ic++ {
+				wb := (c*m.C1 + ic) * m.K2
+				pb := ic*m.p1 + r
+				for k := 0; k < m.K2; k++ {
+					gw2[wb+k] += g * st.pool[pb+k]
+					dPool[pb+k] += g * m.w2[wb+k]
+				}
+			}
+		}
+	}
+	dA1 := make([]float64, m.K*m.C1)
+	for i, g := range dPool {
+		if g != 0 {
+			dA1[st.amax[i]] += g
+		}
+	}
+	dPooled := make([]float64, len(st.pooled))
+	for c := 0; c < m.C1; c++ {
+		wb := c * m.catDim
+		for r := 0; r < m.K; r++ {
+			idx := c*m.K + r
+			if st.a1[idx] <= 0 {
+				continue
+			}
+			g := dA1[idx]
+			if g == 0 {
+				continue
+			}
+			gb1[c] += g
+			pb := r * m.catDim
+			for k := 0; k < m.catDim; k++ {
+				gw1[wb+k] += g * st.pooled[pb+k]
+				dPooled[pb+k] += g * m.w1[wb+k]
+			}
+		}
+	}
+	// Route pooled gradients back to the selected nodes, split per layer.
+	dZ := make([][][]float64, len(m.GCDims))
+	for t, d := range m.GCDims {
+		dZ[t] = make([][]float64, p.n)
+		_ = d
+	}
+	for row, node := range st.sorted {
+		off := row * m.catDim
+		for t, d := range m.GCDims {
+			if dZ[t][node] == nil {
+				dZ[t][node] = make([]float64, d)
+			}
+			for b := 0; b < d; b++ {
+				dZ[t][node][b] += dPooled[off]
+				off++
+			}
+		}
+	}
+	// Backprop through the GCN stack, last layer first. dZ[t] receives
+	// contributions both from SortPooling (above) and from layer t+1.
+	for t := len(m.GCDims) - 1; t >= 0; t-- {
+		d := m.GCDims[t]
+		var prev [][]float64
+		prevDim := m.inDim
+		if t > 0 {
+			prev = st.zs[t-1]
+			prevDim = m.GCDims[t-1]
+		} else {
+			prev = p.feats
+		}
+		z := st.zs[t]
+		// dM = dZ ⊙ (1 - Z²) ⊙ invDeg (fold the D⁻¹ scaling here)
+		dM := make([][]float64, p.n)
+		any := false
+		for i := 0; i < p.n; i++ {
+			if dZ[t][i] == nil {
+				continue
+			}
+			row := make([]float64, d)
+			s := p.invDeg[i]
+			for b := 0; b < d; b++ {
+				row[b] = dZ[t][i][b] * (1 - z[i][b]*z[i][b]) * s
+			}
+			dM[i] = row
+			any = true
+		}
+		if !any {
+			continue
+		}
+		// dH = Aᵀ dM (undirected A: neighbours both ways, self loop).
+		dH := make([][]float64, p.n)
+		for i := 0; i < p.n; i++ {
+			if dM[i] == nil {
+				continue
+			}
+			for _, nb := range p.nbrs[i] {
+				if dH[nb] == nil {
+					dH[nb] = make([]float64, d)
+				}
+				row := dH[nb]
+				for b := 0; b < d; b++ {
+					row[b] += dM[i][b]
+				}
+			}
+		}
+		// dW += prevᵀ dH ; d(prev) = dH Wᵀ
+		w := m.gw[t]
+		gw := ggw[t]
+		for i := 0; i < p.n; i++ {
+			if dH[i] == nil {
+				continue
+			}
+			pr := prev[i]
+			for a := 0; a < prevDim && a < len(pr); a++ {
+				v := pr[a]
+				base := a * d
+				if v != 0 {
+					for b := 0; b < d; b++ {
+						gw[base+b] += v * dH[i][b]
+					}
+				}
+				if t > 0 {
+					s := 0.0
+					for b := 0; b < d; b++ {
+						s += dH[i][b] * w[base+b]
+					}
+					if s != 0 {
+						if dZ[t-1][i] == nil {
+							dZ[t-1][i] = make([]float64, prevDim)
+						}
+						dZ[t-1][i][a] += s
+					}
+				}
+			}
+		}
+	}
+}
+
+// PredictGraph classifies a single graph.
+func (m *DGCNN) PredictGraph(g *embed.Graph) int {
+	st := m.forward(prepGraph(g), false)
+	return argmax(st.probs)
+}
+
+// MemoryBytes counts the parameter tensors (plus Adam moments, matching
+// how the paper measures trained-model footprints).
+func (m *DGCNN) MemoryBytes() int64 {
+	n := len(m.w1) + len(m.b1) + len(m.w2) + len(m.b2) +
+		len(m.w3) + len(m.b3) + len(m.w4) + len(m.b4)
+	for _, w := range m.gw {
+		n += len(w)
+	}
+	return int64(n) * 8 * 3
+}

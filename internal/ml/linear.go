@@ -1,0 +1,249 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbours classifier with Euclidean distance over
+// standardized features.
+type KNN struct {
+	K     int
+	std   *standardizer
+	X     [][]float64
+	y     []int
+	numCl int
+}
+
+// NewKNN returns an untrained k-NN model.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit memorizes the (standardized) training set.
+func (m *KNN) Fit(X [][]float64, y []int, numClasses int) error {
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	m.std = fitStandardizer(X)
+	m.X = m.std.applyAll(X)
+	m.y = append([]int(nil), y...)
+	m.numCl = numClasses
+	return nil
+}
+
+// Predict votes among the k nearest training rows.
+func (m *KNN) Predict(x []float64) int {
+	xs := m.std.apply(x)
+	type nb struct {
+		d float64
+		c int
+	}
+	k := m.K
+	if k > len(m.X) {
+		k = len(m.X)
+	}
+	// Partial selection of the k smallest distances.
+	nbs := make([]nb, 0, k+1)
+	for i, row := range m.X {
+		d := sqDist(xs, row)
+		if len(nbs) < k {
+			nbs = append(nbs, nb{d, m.y[i]})
+			if len(nbs) == k {
+				sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+			}
+			continue
+		}
+		if d >= nbs[k-1].d {
+			continue
+		}
+		pos := sort.Search(k, func(j int) bool { return nbs[j].d > d })
+		copy(nbs[pos+1:], nbs[pos:k-1])
+		nbs[pos] = nb{d, m.y[i]}
+	}
+	votes := make([]float64, m.numCl)
+	for _, n := range nbs {
+		votes[n.c]++
+	}
+	return argmax(votes)
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// MemoryBytes counts the memorized training matrix.
+func (m *KNN) MemoryBytes() int64 {
+	if len(m.X) == 0 {
+		return 0
+	}
+	return int64(len(m.X))*int64(len(m.X[0]))*8 + int64(len(m.y))*8 + m.std.memory()
+}
+
+// Logistic is multinomial logistic regression (softmax) trained with Adam
+// on the full batch.
+type Logistic struct {
+	Epochs int
+	LR     float64
+	L2     float64
+	w      []float64 // (numCl x (d+1)) row-major, bias last
+	d      int
+	numCl  int
+	std    *standardizer
+	rng    *rand.Rand
+}
+
+// NewLogistic returns an untrained logistic-regression model.
+func NewLogistic(rng *rand.Rand) *Logistic {
+	return &Logistic{Epochs: 200, LR: 0.1, L2: 1e-4, rng: rng}
+}
+
+// Fit trains with full-batch Adam.
+func (m *Logistic) Fit(X [][]float64, y []int, numClasses int) error {
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	m.std = fitStandardizer(X)
+	Xs := m.std.applyAll(X)
+	m.d = len(X[0])
+	m.numCl = numClasses
+	m.w = make([]float64, numClasses*(m.d+1))
+	for i := range m.w {
+		m.w[i] = (m.rng.Float64()*2 - 1) * 0.01
+	}
+	opt := newAdam(len(m.w), m.LR)
+	grads := make([]float64, len(m.w))
+	probs := make([]float64, numClasses)
+	n := float64(len(Xs))
+	for ep := 0; ep < m.Epochs; ep++ {
+		for i := range grads {
+			grads[i] = m.L2 * m.w[i]
+		}
+		for i, x := range Xs {
+			m.logits(x, probs)
+			softmaxInPlace(probs)
+			for c := 0; c < numClasses; c++ {
+				g := probs[c]
+				if c == y[i] {
+					g -= 1
+				}
+				g /= n
+				base := c * (m.d + 1)
+				for j, xv := range x {
+					grads[base+j] += g * xv
+				}
+				grads[base+m.d] += g
+			}
+		}
+		opt.step(m.w, grads)
+	}
+	return nil
+}
+
+func (m *Logistic) logits(x []float64, out []float64) {
+	for c := 0; c < m.numCl; c++ {
+		base := c * (m.d + 1)
+		s := m.w[base+m.d]
+		for j, xv := range x {
+			s += m.w[base+j] * xv
+		}
+		out[c] = s
+	}
+}
+
+// Predict returns the argmax class.
+func (m *Logistic) Predict(x []float64) int {
+	xs := m.std.apply(x)
+	out := make([]float64, m.numCl)
+	m.logits(xs, out)
+	return argmax(out)
+}
+
+// MemoryBytes counts the weight matrix.
+func (m *Logistic) MemoryBytes() int64 { return int64(len(m.w))*8 + m.std.memory() }
+
+// SVM is a linear one-vs-rest support vector machine trained with
+// Pegasos-style stochastic subgradient descent on the hinge loss.
+type SVM struct {
+	Epochs int
+	Lambda float64
+	w      []float64 // (numCl x (d+1)), bias last
+	d      int
+	numCl  int
+	std    *standardizer
+	rng    *rand.Rand
+}
+
+// NewSVM returns an untrained linear SVM.
+func NewSVM(rng *rand.Rand) *SVM {
+	return &SVM{Epochs: 60, Lambda: 1e-4, rng: rng}
+}
+
+// Fit trains the one-vs-rest hinge objective.
+func (m *SVM) Fit(X [][]float64, y []int, numClasses int) error {
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	m.std = fitStandardizer(X)
+	Xs := m.std.applyAll(X)
+	m.d = len(X[0])
+	m.numCl = numClasses
+	m.w = make([]float64, numClasses*(m.d+1))
+	n := len(Xs)
+	order := m.rng.Perm(n)
+	t := 0
+	for ep := 0; ep < m.Epochs; ep++ {
+		m.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			t++
+			eta := 1.0 / (m.Lambda * float64(t+100))
+			x := Xs[i]
+			for c := 0; c < m.numCl; c++ {
+				yc := -1.0
+				if y[i] == c {
+					yc = 1.0
+				}
+				base := c * (m.d + 1)
+				s := m.w[base+m.d]
+				for j, xv := range x {
+					s += m.w[base+j] * xv
+				}
+				// L2 shrink on weights (not bias).
+				for j := 0; j < m.d; j++ {
+					m.w[base+j] *= 1 - eta*m.Lambda
+				}
+				if yc*s < 1 {
+					for j, xv := range x {
+						m.w[base+j] += eta * yc * xv
+					}
+					m.w[base+m.d] += eta * yc
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Predict returns the class with the largest margin.
+func (m *SVM) Predict(x []float64) int {
+	xs := m.std.apply(x)
+	best, bestS := 0, math.Inf(-1)
+	for c := 0; c < m.numCl; c++ {
+		base := c * (m.d + 1)
+		s := m.w[base+m.d]
+		for j, xv := range xs {
+			s += m.w[base+j] * xv
+		}
+		if s > bestS {
+			best, bestS = c, s
+		}
+	}
+	return best
+}
+
+// MemoryBytes counts the weight matrix.
+func (m *SVM) MemoryBytes() int64 { return int64(len(m.w))*8 + m.std.memory() }

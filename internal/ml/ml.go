@@ -1,0 +1,208 @@
+// Package ml implements the six stochastic classification models of the
+// paper from scratch on the standard library: random forest (rf), support
+// vector machine (svm), k-nearest neighbours (knn), logistic regression
+// (lr), multi-layer perceptron (mlp), a 1-D convolutional network (cnn),
+// and Zhang et al.'s Deep Graph Convolutional Neural Network (dgcnn) for
+// graph-shaped embeddings.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/embed"
+)
+
+// Model classifies vector embeddings.
+type Model interface {
+	// Fit trains on rows X with labels y in [0, numClasses).
+	Fit(X [][]float64, y []int, numClasses int) error
+	// Predict returns the predicted class of x.
+	Predict(x []float64) int
+	// MemoryBytes estimates the trained model's resident size — the
+	// quantity Figure 7's second chart compares across models.
+	MemoryBytes() int64
+}
+
+// GraphModel classifies graph embeddings.
+type GraphModel interface {
+	FitGraphs(gs []*embed.Graph, y []int, numClasses int) error
+	PredictGraph(g *embed.Graph) int
+	MemoryBytes() int64
+}
+
+// Names lists the vector models in the paper's order.
+func Names() []string { return []string{"dgcnn", "cnn", "rf", "svm", "knn", "lr", "mlp"} }
+
+// VectorNames lists models usable with vector embeddings.
+func VectorNames() []string { return []string{"cnn", "rf", "svm", "knn", "lr", "mlp"} }
+
+// New constructs a vector model by name with default hyper-parameters.
+func New(name string, rng *rand.Rand) (Model, error) {
+	switch name {
+	case "rf":
+		return NewRandomForest(60, 0, rng), nil
+	case "svm":
+		return NewSVM(rng), nil
+	case "knn":
+		return NewKNN(5), nil
+	case "lr":
+		return NewLogistic(rng), nil
+	case "mlp":
+		return NewMLP(100, rng), nil
+	case "cnn":
+		return NewCNN(rng), nil
+	}
+	return nil, fmt.Errorf("ml: unknown model %q", name)
+}
+
+// --- shared numeric helpers ---
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// standardizer rescales features to zero mean and unit variance; constant
+// features pass through unchanged.
+type standardizer struct {
+	mean, std []float64
+}
+
+func fitStandardizer(X [][]float64) *standardizer {
+	if len(X) == 0 {
+		return &standardizer{}
+	}
+	d := len(X[0])
+	s := &standardizer{mean: make([]float64, d), std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.mean[j]
+			s.std[j] += dv * dv
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-9 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *standardizer) apply(x []float64) []float64 {
+	if s.mean == nil {
+		return x
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		if j < len(s.mean) {
+			out[j] = (v - s.mean[j]) / s.std[j]
+		} else {
+			out[j] = v
+		}
+	}
+	return out
+}
+
+func (s *standardizer) applyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.apply(row)
+	}
+	return out
+}
+
+func (s *standardizer) memory() int64 {
+	return int64(16 * len(s.mean))
+}
+
+// softmaxInPlace converts logits to probabilities.
+func softmaxInPlace(z []float64) {
+	mx := z[argmax(z)]
+	sum := 0.0
+	for i := range z {
+		z[i] = math.Exp(z[i] - mx)
+		sum += z[i]
+	}
+	for i := range z {
+		z[i] /= sum
+	}
+}
+
+// adam is the Adam optimizer state for one parameter tensor.
+type adam struct {
+	m, v []float64
+	t    int
+	lr   float64
+}
+
+func newAdam(n int, lr float64) *adam {
+	return &adam{m: make([]float64, n), v: make([]float64, n), lr: lr}
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// step applies one Adam update of params against grads.
+func (a *adam) step(params, grads []float64) {
+	a.t++
+	b1t := 1 - math.Pow(adamBeta1, float64(a.t))
+	b2t := 1 - math.Pow(adamBeta2, float64(a.t))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = adamBeta1*a.m[i] + (1-adamBeta1)*g
+		a.v[i] = adamBeta2*a.v[i] + (1-adamBeta2)*g*g
+		mh := a.m[i] / b1t
+		vh := a.v[i] / b2t
+		params[i] -= a.lr * mh / (math.Sqrt(vh) + adamEps)
+	}
+}
+
+// xavier initializes a weight slice with scaled uniform noise.
+func xavier(w []float64, fanIn, fanOut int, rng *rand.Rand) {
+	scale := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+func relu(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func checkFit(X [][]float64, y []int, numClasses int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("ml: bad training set: %d rows, %d labels", len(X), len(y))
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("ml: need at least 2 classes, have %d", numClasses)
+	}
+	for _, c := range y {
+		if c < 0 || c >= numClasses {
+			return fmt.Errorf("ml: label %d out of range [0,%d)", c, numClasses)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package ml
+
+import (
+	"math/rand"
+)
+
+// MLP is a one-hidden-layer perceptron with ReLU activation and a softmax
+// output, trained with minibatch Adam — the SciKit-default architecture the
+// paper uses (one hidden layer, 100 units).
+type MLP struct {
+	Hidden    int
+	Epochs    int
+	BatchSize int
+	LR        float64
+
+	d, numCl int
+	w1, b1   []float64 // hidden x d, hidden
+	w2, b2   []float64 // numCl x hidden, numCl
+	std      *standardizer
+	rng      *rand.Rand
+}
+
+// NewMLP returns an untrained MLP with the given hidden width.
+func NewMLP(hidden int, rng *rand.Rand) *MLP {
+	return &MLP{Hidden: hidden, Epochs: 60, BatchSize: 32, LR: 1e-3, rng: rng}
+}
+
+// Fit trains the network.
+func (m *MLP) Fit(X [][]float64, y []int, numClasses int) error {
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	m.std = fitStandardizer(X)
+	Xs := m.std.applyAll(X)
+	m.d = len(X[0])
+	m.numCl = numClasses
+	h := m.Hidden
+	m.w1 = make([]float64, h*m.d)
+	m.b1 = make([]float64, h)
+	m.w2 = make([]float64, numClasses*h)
+	m.b2 = make([]float64, numClasses)
+	xavier(m.w1, m.d, h, m.rng)
+	xavier(m.w2, h, numClasses, m.rng)
+
+	optW1 := newAdam(len(m.w1), m.LR)
+	optB1 := newAdam(len(m.b1), m.LR)
+	optW2 := newAdam(len(m.w2), m.LR)
+	optB2 := newAdam(len(m.b2), m.LR)
+
+	n := len(Xs)
+	order := m.rng.Perm(n)
+	gw1 := make([]float64, len(m.w1))
+	gb1 := make([]float64, len(m.b1))
+	gw2 := make([]float64, len(m.w2))
+	gb2 := make([]float64, len(m.b2))
+	hid := make([]float64, h)
+	probs := make([]float64, numClasses)
+	dHid := make([]float64, h)
+
+	for ep := 0; ep < m.Epochs; ep++ {
+		m.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			zero(gw1)
+			zero(gb1)
+			zero(gw2)
+			zero(gb2)
+			inv := 1.0 / float64(len(batch))
+			for _, i := range batch {
+				x := Xs[i]
+				m.forward(x, hid, probs)
+				softmaxInPlace(probs)
+				// Output layer gradient.
+				for c := 0; c < numClasses; c++ {
+					g := probs[c]
+					if c == y[i] {
+						g -= 1
+					}
+					g *= inv
+					gb2[c] += g
+					base := c * h
+					for j := 0; j < h; j++ {
+						gw2[base+j] += g * hid[j]
+					}
+				}
+				// Hidden layer gradient through ReLU.
+				for j := 0; j < h; j++ {
+					if hid[j] <= 0 {
+						dHid[j] = 0
+						continue
+					}
+					s := 0.0
+					for c := 0; c < numClasses; c++ {
+						g := probs[c]
+						if c == y[i] {
+							g -= 1
+						}
+						s += g * m.w2[c*h+j]
+					}
+					dHid[j] = s * inv
+				}
+				for j := 0; j < h; j++ {
+					if dHid[j] == 0 {
+						continue
+					}
+					gb1[j] += dHid[j]
+					base := j * m.d
+					for k, xv := range x {
+						gw1[base+k] += dHid[j] * xv
+					}
+				}
+			}
+			optW1.step(m.w1, gw1)
+			optB1.step(m.b1, gb1)
+			optW2.step(m.w2, gw2)
+			optB2.step(m.b2, gb2)
+		}
+	}
+	return nil
+}
+
+func (m *MLP) forward(x []float64, hid, out []float64) {
+	h := m.Hidden
+	for j := 0; j < h; j++ {
+		s := m.b1[j]
+		base := j * m.d
+		for k, xv := range x {
+			s += m.w1[base+k] * xv
+		}
+		hid[j] = relu(s)
+	}
+	for c := 0; c < m.numCl; c++ {
+		s := m.b2[c]
+		base := c * h
+		for j := 0; j < h; j++ {
+			s += m.w2[base+j] * hid[j]
+		}
+		out[c] = s
+	}
+}
+
+// Predict returns the argmax class.
+func (m *MLP) Predict(x []float64) int {
+	xs := m.std.apply(x)
+	hid := make([]float64, m.Hidden)
+	out := make([]float64, m.numCl)
+	m.forward(xs, hid, out)
+	return argmax(out)
+}
+
+// MemoryBytes counts all parameter tensors.
+func (m *MLP) MemoryBytes() int64 {
+	return int64(len(m.w1)+len(m.b1)+len(m.w2)+len(m.b2))*8 + m.std.memory()
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

@@ -1,0 +1,254 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART decision tree, stored in a flat arena.
+type treeNode struct {
+	feature int     // split feature; -1 for leaves
+	thresh  float64 // go left when x[feature] <= thresh
+	left    int32
+	right   int32
+	label   int32 // leaf prediction
+}
+
+// DecisionTree is a CART classifier with Gini impurity splits.
+type DecisionTree struct {
+	nodes      []treeNode
+	maxDepth   int
+	minLeaf    int
+	numFeats   int // features sampled per split; 0 = all
+	rng        *rand.Rand
+	numClasses int
+}
+
+// NewDecisionTree builds an untrained tree. maxDepth 0 means unlimited;
+// numFeats 0 considers every feature at every split.
+func NewDecisionTree(maxDepth, numFeats int, rng *rand.Rand) *DecisionTree {
+	return &DecisionTree{maxDepth: maxDepth, minLeaf: 1, numFeats: numFeats, rng: rng}
+}
+
+// Fit trains the tree.
+func (t *DecisionTree) Fit(X [][]float64, y []int, numClasses int) error {
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	t.numClasses = numClasses
+	t.nodes = t.nodes[:0]
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(X, y, idx, 0)
+	return nil
+}
+
+// build grows the subtree over samples idx and returns its node index.
+func (t *DecisionTree) build(X [][]float64, y []int, idx []int, depth int) int32 {
+	counts := make([]int, t.numClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	majority, pure := majorityClass(counts, len(idx))
+	node := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1, label: int32(majority)})
+	if pure || len(idx) <= t.minLeaf || (t.maxDepth > 0 && depth >= t.maxDepth) {
+		return node
+	}
+	feat, thresh, ok := t.bestSplit(X, y, idx, counts)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	l := t.build(X, y, left, depth+1)
+	r := t.build(X, y, right, depth+1)
+	t.nodes[node].feature = feat
+	t.nodes[node].thresh = thresh
+	t.nodes[node].left = l
+	t.nodes[node].right = r
+	return node
+}
+
+func majorityClass(counts []int, n int) (int, bool) {
+	best, bestN := 0, -1
+	for c, k := range counts {
+		if k > bestN {
+			best, bestN = c, k
+		}
+	}
+	return best, bestN == n
+}
+
+// bestSplit scans candidate features for the threshold minimizing the
+// weighted Gini impurity, using the classic sort-and-sweep.
+func (t *DecisionTree) bestSplit(X [][]float64, y []int, idx []int, total []int) (int, float64, bool) {
+	d := len(X[0])
+	feats := make([]int, d)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.numFeats > 0 && t.numFeats < d {
+		t.rng.Shuffle(d, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:t.numFeats]
+	}
+	n := len(idx)
+	bestGini := math.Inf(1)
+	bestFeat, bestThresh := -1, 0.0
+	type pair struct {
+		v float64
+		c int
+	}
+	pairs := make([]pair, n)
+	leftCounts := make([]int, t.numClasses)
+	rightCounts := make([]int, t.numClasses)
+	for _, f := range feats {
+		for k, i := range idx {
+			pairs[k] = pair{X[i][f], y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		if pairs[0].v == pairs[n-1].v {
+			continue
+		}
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = total[c]
+		}
+		leftN, rightN := 0, n
+		leftSq, rightSq := 0.0, sumSquares(rightCounts)
+		for k := 0; k < n-1; k++ {
+			c := pairs[k].c
+			// Incremental sum-of-squares update.
+			leftSq += float64(2*leftCounts[c] + 1)
+			rightSq -= float64(2*rightCounts[c] - 1)
+			leftCounts[c]++
+			rightCounts[c]--
+			leftN++
+			rightN--
+			if pairs[k].v == pairs[k+1].v {
+				continue
+			}
+			gini := giniFromSquares(leftSq, leftN) * float64(leftN) / float64(n)
+			gini += giniFromSquares(rightSq, rightN) * float64(rightN) / float64(n)
+			if gini < bestGini {
+				bestGini = gini
+				bestFeat = f
+				bestThresh = (pairs[k].v + pairs[k+1].v) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+func sumSquares(counts []int) float64 {
+	s := 0.0
+	for _, c := range counts {
+		s += float64(c) * float64(c)
+	}
+	return s
+}
+
+func giniFromSquares(sq float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 1 - sq/(float64(n)*float64(n))
+}
+
+// Predict descends the tree.
+func (t *DecisionTree) Predict(x []float64) int {
+	node := int32(0)
+	for {
+		nd := &t.nodes[node]
+		if nd.feature < 0 {
+			return int(nd.label)
+		}
+		if x[nd.feature] <= nd.thresh {
+			node = nd.left
+		} else {
+			node = nd.right
+		}
+	}
+}
+
+// MemoryBytes counts the node arena.
+func (t *DecisionTree) MemoryBytes() int64 { return int64(len(t.nodes)) * 32 }
+
+// RandomForest is a bagged ensemble of decision trees with per-split
+// feature subsampling (sqrt(d) by default, like SciKit's classifier).
+type RandomForest struct {
+	NumTrees int
+	MaxDepth int
+	trees    []*DecisionTree
+	rng      *rand.Rand
+}
+
+// NewRandomForest builds an untrained forest. maxDepth 0 means unlimited.
+func NewRandomForest(numTrees, maxDepth int, rng *rand.Rand) *RandomForest {
+	return &RandomForest{NumTrees: numTrees, MaxDepth: maxDepth, rng: rng}
+}
+
+// Fit trains each tree on a bootstrap sample.
+func (rf *RandomForest) Fit(X [][]float64, y []int, numClasses int) error {
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	d := len(X[0])
+	mtry := int(math.Sqrt(float64(d)))
+	if mtry < 1 {
+		mtry = 1
+	}
+	rf.trees = make([]*DecisionTree, rf.NumTrees)
+	n := len(X)
+	for ti := range rf.trees {
+		bi := make([]int, n)
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := range bi {
+			j := rf.rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree := NewDecisionTree(rf.MaxDepth, mtry, rand.New(rand.NewSource(rf.rng.Int63())))
+		if err := tree.Fit(bx, by, numClasses); err != nil {
+			return err
+		}
+		rf.trees[ti] = tree
+	}
+	return nil
+}
+
+// Predict takes a majority vote over the ensemble.
+func (rf *RandomForest) Predict(x []float64) int {
+	votes := map[int]int{}
+	best, bestN := 0, -1
+	for _, t := range rf.trees {
+		c := t.Predict(x)
+		votes[c]++
+		if votes[c] > bestN {
+			best, bestN = c, votes[c]
+		}
+	}
+	return best
+}
+
+// MemoryBytes sums the trees.
+func (rf *RandomForest) MemoryBytes() int64 {
+	var n int64
+	for _, t := range rf.trees {
+		n += t.MemoryBytes()
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package obfus
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// BogusControlFlow implements O-LLVM's bcf pass. Selected blocks are split
+// in two; between the halves an opaque predicate — always true, but built
+// from loads of module globals so no intraprocedural analysis can fold it —
+// conditionally branches to a bogus block full of junk computation that
+// jumps back into the real code. The junk never executes, yet it reshapes
+// both the CFG and the opcode histogram.
+//
+// prob is the per-block probability of receiving a bogus detour; at least
+// one block per function is always transformed.
+func BogusControlFlow(f *ir.Function, rng *rand.Rand, prob float64) bool {
+	return bogusControlFlow(f, rng, prob, true)
+}
+
+// BogusControlFlowFoldable is the ablation variant of bcf used by the
+// benchmark harness: the predicate guarding the bogus path is a plain
+// constant-true comparison instead of an opaque global-based one, so SCCP
+// folds it and -O3 removes the detour entirely. Comparing the two variants
+// quantifies how much of bcf's normalization resistance comes from the
+// opacity of its predicates.
+func BogusControlFlowFoldable(f *ir.Function, rng *rand.Rand, prob float64) bool {
+	return bogusControlFlow(f, rng, prob, false)
+}
+
+func bogusControlFlow(f *ir.Function, rng *rand.Rand, prob float64, opaque bool) bool {
+	if f.Mod == nil || f.Mod.Global(opaqueXName) == nil {
+		ensureOpaqueGlobals(f.Mod)
+	}
+	// Snapshot: we add blocks while iterating.
+	blocks := append([]*ir.Block(nil), f.Blocks...)
+	changed := false
+	for i, b := range blocks {
+		mustPick := !changed && i == len(blocks)-1
+		if !mustPick && rng.Float64() >= prob {
+			continue
+		}
+		if addBogusDetour(f, b, rng, opaque) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// addBogusDetour splits b after its phi prefix (at a random point) and
+// wires in the opaque predicate plus a junk block.
+func addBogusDetour(f *ir.Function, b *ir.Block, rng *rand.Rand, opaque bool) bool {
+	first := b.FirstNonPhi()
+	if len(b.Instrs)-first < 1 {
+		return false
+	}
+	// Split point: after the phis, before the terminator at the latest.
+	span := len(b.Instrs) - first // includes terminator
+	cut := first
+	if span > 1 {
+		cut = first + rng.Intn(span-1)
+	}
+
+	// tail gets everything from cut onwards.
+	tail := f.InsertBlockAfter(b, b.Label()+".split")
+	tail.Instrs = append(tail.Instrs, b.Instrs[cut:]...)
+	for _, in := range tail.Instrs {
+		in.Parent = tail
+	}
+	b.Instrs = b.Instrs[:cut]
+
+	// Successor phis now receive control from tail instead of b.
+	for _, s := range tail.Succs() {
+		for _, phi := range s.Phis() {
+			for i, blk := range phi.Blocks {
+				if blk == b {
+					phi.Blocks[i] = tail
+				}
+			}
+		}
+	}
+
+	// Junk block: arithmetic noise over the opaque globals, then a jump
+	// back into the real tail — the classic "fake loop" shape of bcf.
+	junk := f.InsertBlockAfter(b, b.Label()+".bogus")
+	jb := ir.NewBuilder(junk)
+	gx := f.Mod.Global(opaqueXName)
+	gy := f.Mod.Global(opaqueYName)
+	v1 := jb.Load(gx)
+	v2 := jb.Load(gy)
+	noise := []ir.Value{v1, v2}
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		a := noise[rng.Intn(len(noise))]
+		c := noise[rng.Intn(len(noise))]
+		op := []ir.Opcode{ir.OpAdd, ir.OpMul, ir.OpXor, ir.OpSub, ir.OpOr}[rng.Intn(5)]
+		noise = append(noise, jb.Binary(op, a, c))
+	}
+	jb.Store(noise[len(noise)-1], gy)
+	jb.Br(tail)
+
+	bb := ir.NewBuilder(b)
+	var cond ir.Value
+	if opaque {
+		// Opaque predicate: y < 10 || x*(x+1) % 2 == 0 — always true
+		// (x*(x+1) is even), never foldable without knowing the globals.
+		x := bb.Load(gx)
+		y := bb.Load(gy)
+		c1 := bb.ICmp(ir.CmpSLT, y, ir.ConstInt(ir.I64, 10))
+		x1 := bb.Add(x, ir.ConstInt(ir.I64, 1))
+		pr := bb.Mul(x, x1)
+		rem := bb.Binary(ir.OpSRem, pr, ir.ConstInt(ir.I64, 2))
+		c2 := bb.ICmp(ir.CmpEQ, rem, ir.ConstInt(ir.I64, 0))
+		cond = bb.Or(c1, c2)
+	} else {
+		// Foldable predicate (ablation): a comparison of constants that
+		// SCCP resolves instantly.
+		k := int64(rng.Intn(100))
+		cond = bb.ICmp(ir.CmpSLT, ir.ConstInt(ir.I64, k), ir.ConstInt(ir.I64, k+1))
+	}
+	bb.CondBr(cond, tail, junk)
+	return true
+}

@@ -1,0 +1,237 @@
+package obfus
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Flatten implements O-LLVM's control-flow flattening: every basic block
+// becomes a case of a switch inside a dispatch loop, and a state variable
+// selects the next block to run. Before restructuring, SSA values that
+// cross blocks are demoted to stack slots (reg2mem) so that the arbitrary
+// reordering of blocks cannot break dominance.
+func Flatten(f *ir.Function, rng *rand.Rand) bool {
+	if len(f.Blocks) < 2 {
+		return false
+	}
+	if t := f.Entry().Term(); t != nil && t.Op == ir.OpRet {
+		return false
+	}
+	hoistAllocas(f)
+	DemoteRegisters(f)
+
+	entry := f.Entry()
+	cases := append([]*ir.Block(nil), f.Blocks[1:]...)
+	rng.Shuffle(len(cases), func(i, j int) { cases[i], cases[j] = cases[j], cases[i] })
+
+	// State variable.
+	state := &ir.Instr{Op: ir.OpAlloca, Ty: ir.PtrTo(ir.I64), AllocaTy: ir.I64}
+	entry.InsertBefore(0, state)
+
+	ids := make(map[*ir.Block]int64, len(cases))
+	perm := rng.Perm(len(cases))
+	for i, b := range cases {
+		ids[b] = int64(perm[i]*7 + 11) // scrambled, distinct
+	}
+
+	dispatch := f.NewBlock("dispatch")
+
+	// Rewrite terminators to state updates.
+	retarget := func(b *ir.Block) {
+		term := b.Term()
+		switch term.Op {
+		case ir.OpRet, ir.OpUnreachable:
+			return
+		case ir.OpBr:
+			b.Remove(term)
+			bd := ir.NewBuilder(b)
+			bd.Store(ir.ConstInt(ir.I64, ids[term.Blocks[0]]), state)
+			bd.Br(dispatch)
+		case ir.OpCondBr:
+			cond := term.Args[0]
+			b.Remove(term)
+			bd := ir.NewBuilder(b)
+			sel := bd.Select(cond,
+				ir.ConstInt(ir.I64, ids[term.Blocks[0]]),
+				ir.ConstInt(ir.I64, ids[term.Blocks[1]]))
+			bd.Store(sel, state)
+			bd.Br(dispatch)
+		case ir.OpSwitch:
+			tag := term.Args[0]
+			vals := append([]int64(nil), term.SwitchVals...)
+			dests := append([]*ir.Block(nil), term.Blocks...)
+			b.Remove(term)
+			bd := ir.NewBuilder(b)
+			var id ir.Value = ir.ConstInt(ir.I64, ids[dests[0]]) // default
+			for i, v := range vals {
+				cmp := bd.ICmp(ir.CmpEQ, tag, ir.ConstInt(tag.Type(), v))
+				id = bd.Select(cmp, ir.ConstInt(ir.I64, ids[dests[i+1]]), id)
+			}
+			bd.Store(id, state)
+			bd.Br(dispatch)
+		}
+	}
+	retarget(entry)
+	for _, b := range cases {
+		retarget(b)
+	}
+
+	// Dispatcher: load the state and fan out. The first case doubles as
+	// the (unreachable) switch default.
+	bd := ir.NewBuilder(dispatch)
+	s := bd.Load(state)
+	vals := make([]int64, 0, len(cases))
+	dests := make([]*ir.Block, 0, len(cases))
+	for _, b := range cases {
+		vals = append(vals, ids[b])
+		dests = append(dests, b)
+	}
+	bd.Switch(s, dests[0], vals[1:], dests[1:])
+
+	// Physical order: entry, dispatcher, shuffled cases.
+	f.Blocks = append([]*ir.Block{entry, dispatch}, cases...)
+	return true
+}
+
+// hoistAllocas moves every alloca to the head of the entry block. The
+// front end and the passes only create once-executed (static) allocas, but
+// a prior transformation (e.g. bcf splitting the entry) may have left them
+// in blocks that will not dominate the flattened dispatcher cases.
+func hoistAllocas(f *ir.Function) {
+	entry := f.Entry()
+	for _, b := range f.Blocks {
+		if b == entry {
+			continue
+		}
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				in.Parent = entry
+				entry.InsertBefore(0, in)
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+}
+
+// DemoteRegisters rewrites the function so that no SSA value flows between
+// basic blocks: every cross-block value is spilled to a stack slot after
+// its definition and reloaded before each use, and phi nodes become stores
+// in their predecessors. This is LLVM's reg2mem, the enabling step for
+// flattening.
+func DemoteRegisters(f *ir.Function) {
+	entry := f.Entry()
+
+	// Pass 1: spill values used outside their defining block (or by any
+	// phi — phi operands must be materialized in the predecessor).
+	type spill struct {
+		def  *ir.Instr
+		slot *ir.Instr
+	}
+	var spills []spill
+	needSpill := func(def *ir.Instr) bool {
+		if !def.HasResult() || def.Op == ir.OpAlloca {
+			return false
+		}
+		used := false
+		f.ForEachInstr(func(u *ir.Instr) {
+			if used {
+				return
+			}
+			for _, a := range u.Args {
+				if a == ir.Value(def) && (u.Parent != def.Parent || u.Op == ir.OpPhi) {
+					used = true
+				}
+			}
+		})
+		return used
+	}
+	var defs []*ir.Instr
+	f.ForEachInstr(func(in *ir.Instr) { defs = append(defs, in) })
+	for _, def := range defs {
+		if !needSpill(def) {
+			continue
+		}
+		slot := &ir.Instr{Op: ir.OpAlloca, Ty: ir.PtrTo(def.Type()), AllocaTy: def.Type()}
+		entry.InsertBefore(0, slot)
+		spills = append(spills, spill{def, slot})
+	}
+	for _, sp := range spills {
+		// Store right after the definition (after the phi prefix when the
+		// definition is a phi).
+		b := sp.def.Parent
+		pos := indexOf(b, sp.def) + 1
+		if sp.def.Op == ir.OpPhi {
+			pos = b.FirstNonPhi()
+		}
+		st := &ir.Instr{Op: ir.OpStore, Ty: ir.Void, Args: []ir.Value{sp.def, sp.slot}}
+		b.InsertBefore(pos, st)
+
+		// Reload before each outside/phi use.
+		for _, u := range f.Users(sp.def) {
+			if u == st {
+				continue
+			}
+			if u.Op == ir.OpPhi {
+				// Load at the end of each incoming block that carries def.
+				for i, a := range u.Args {
+					if a != ir.Value(sp.def) {
+						continue
+					}
+					pred := u.Blocks[i]
+					ld := &ir.Instr{Op: ir.OpLoad, Ty: sp.def.Type(), Args: []ir.Value{sp.slot}}
+					pred.InsertBeforeTerm(ld)
+					u.Args[i] = ld
+				}
+				continue
+			}
+			if u.Parent == sp.def.Parent {
+				continue
+			}
+			ld := &ir.Instr{Op: ir.OpLoad, Ty: sp.def.Type(), Args: []ir.Value{sp.slot}}
+			u.Parent.InsertBefore(indexOf(u.Parent, u), ld)
+			u.ReplaceUses(sp.def, ld)
+		}
+	}
+
+	// Pass 2: demote the phis themselves. Incoming values are now either
+	// constants/params/globals or loads materialized inside the incoming
+	// block, so storing them at the end of that block is always legal.
+	for _, b := range f.Blocks {
+		phis := b.Phis()
+		if len(phis) == 0 {
+			continue
+		}
+		for _, phi := range phis {
+			slot := &ir.Instr{Op: ir.OpAlloca, Ty: ir.PtrTo(phi.Type()), AllocaTy: phi.Type()}
+			entry.InsertBefore(0, slot)
+			seen := make(map[*ir.Block]bool)
+			for i, pred := range phi.Blocks {
+				if seen[pred] {
+					continue // duplicate edges carry the same value
+				}
+				seen[pred] = true
+				st := &ir.Instr{Op: ir.OpStore, Ty: ir.Void, Args: []ir.Value{phi.Args[i], slot}}
+				pred.InsertBeforeTerm(st)
+			}
+			ld := &ir.Instr{Op: ir.OpLoad, Ty: phi.Type(), Args: []ir.Value{slot}}
+			b.InsertBefore(b.FirstNonPhi(), ld)
+			f.ReplaceUses(phi, ld)
+		}
+		for _, phi := range phis {
+			b.Remove(phi)
+		}
+	}
+}
+
+func indexOf(b *ir.Block, in *ir.Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return len(b.Instrs)
+}

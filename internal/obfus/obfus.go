@@ -1,0 +1,72 @@
+// Package obfus implements the O-LLVM-style IR obfuscation passes used as
+// evaders in the paper's games: instruction substitution (sub), bogus
+// control flow (bcf) and control-flow flattening (fla), plus the combined
+// pass (ollvm) that applies all three.
+package obfus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Apply runs the named obfuscation over every defined function of m,
+// drawing randomness from rng. Known names: "sub", "bcf", "fla", "ollvm".
+func Apply(m *ir.Module, name string, rng *rand.Rand) error {
+	switch name {
+	case "sub":
+		forEachDef(m, func(f *ir.Function) { Substitute(f, rng, 1) })
+	case "bcf":
+		ensureOpaqueGlobals(m)
+		forEachDef(m, func(f *ir.Function) { BogusControlFlow(f, rng, 0.3) })
+	case "fla":
+		forEachDef(m, func(f *ir.Function) { Flatten(f, rng) })
+	case "ollvm":
+		// The combined pipeline stacks all three passes, with the heavier
+		// settings O-LLVM applies when everything is enabled (two
+		// substitution rounds, denser bogus flow). The flattening
+		// dispatcher then multiplies the cost of every bogus block.
+		ensureOpaqueGlobals(m)
+		forEachDef(m, func(f *ir.Function) {
+			Substitute(f, rng, 2)
+			BogusControlFlow(f, rng, 0.5)
+			Flatten(f, rng)
+			BogusControlFlow(f, rng, 0.3)
+		})
+	default:
+		return fmt.Errorf("obfus: unknown transformation %q", name)
+	}
+	if err := m.Verify(); err != nil {
+		return fmt.Errorf("obfus: %s produced invalid IR: %w", name, err)
+	}
+	return nil
+}
+
+// Names lists the IR-level obfuscations, in the paper's order.
+func Names() []string { return []string{"bcf", "fla", "sub", "ollvm"} }
+
+func forEachDef(m *ir.Module, fn func(*ir.Function)) {
+	for _, f := range m.Functions {
+		if !f.IsDecl() {
+			fn(f)
+		}
+	}
+}
+
+// opaque globals backing the always-true predicates of bcf. Loading them
+// keeps SCCP from folding the predicate — exactly why the paper finds bcf
+// "cannot be easily optimized".
+const (
+	opaqueXName = ".bcf_x"
+	opaqueYName = ".bcf_y"
+)
+
+func ensureOpaqueGlobals(m *ir.Module) {
+	if m.Global(opaqueXName) == nil {
+		m.AddGlobal(&ir.Global{Name: opaqueXName, Elem: ir.I64})
+	}
+	if m.Global(opaqueYName) == nil {
+		m.AddGlobal(&ir.Global{Name: opaqueYName, Elem: ir.I64})
+	}
+}

@@ -1,0 +1,294 @@
+package obfus_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/obfus"
+	"repro/internal/passes"
+)
+
+var testPrograms = []struct {
+	name string
+	src  string
+}{
+	{"loops", `int main() {
+		int s = 0;
+		for (int i = 0; i < 40; i++) {
+			if (i % 2 == 0) s += i; else s -= 1;
+		}
+		return s;
+	}`},
+	{"recursion", `
+	int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+	int main() { return fib(14); }`},
+	{"bitops", `int main() {
+		int a = 12345; int b = 54321;
+		int c = (a & b) + (a | b) - (a ^ b);
+		c = c << 2 >> 1;
+		return c % 100000;
+	}`},
+	{"arrays", `int main() {
+		int a[8];
+		for (int i = 0; i < 8; i++) a[i] = i * 3 + 1;
+		int s = 0;
+		for (int i = 7; i >= 0; i--) s = s * 2 + a[i];
+		return s % 1000000;
+	}`},
+	{"switchy", `int main() {
+		int acc = 0;
+		for (int i = 0; i < 12; i++) {
+			switch (i % 4) {
+			case 0: acc += 1; break;
+			case 1: acc += 10; break;
+			case 2: acc += 100; break;
+			default: acc += 1000;
+			}
+		}
+		return acc;
+	}`},
+	{"floats", `int main() {
+		float x = 1.0;
+		for (int i = 0; i < 10; i++) x = x * 1.5 - 0.25;
+		return (int)(x * 100.0);
+	}`},
+	{"calls", `
+	int twice(int v) { return v + v; }
+	int inc(int v) { return v + 1; }
+	int main() {
+		int r = 0;
+		for (int i = 0; i < 9; i++) r = inc(twice(r)) % 10007;
+		return r;
+	}`},
+	{"globals_io", `
+	int g[4] = {2, 4, 6, 8};
+	int main() {
+		int s = 0;
+		for (int i = 0; i < 4; i++) { print(g[i]); s += g[i]; }
+		return s;
+	}`},
+}
+
+func compileRun(t *testing.T, src string) (int64, string) {
+	t.Helper()
+	m, err := minic.CompileSource(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Ret, res.Output
+}
+
+// TestObfuscationsPreserveSemantics applies every obfuscation (with several
+// seeds) to every program and compares behaviour.
+func TestObfuscationsPreserveSemantics(t *testing.T) {
+	for _, prog := range testPrograms {
+		wantRet, wantOut := compileRun(t, prog.src)
+		for _, name := range []string{"sub", "bcf", "fla", "ollvm"} {
+			for seed := int64(1); seed <= 3; seed++ {
+				m, err := minic.CompileSource(prog.src, "t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := obfus.Apply(m, name, rand.New(rand.NewSource(seed))); err != nil {
+					t.Fatalf("%s/%s seed %d: %v", prog.name, name, seed, err)
+				}
+				res, err := interp.Run(m, interp.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: run: %v\nIR:\n%s", prog.name, name, seed, err, m.String())
+				}
+				if res.Ret != wantRet || res.Output != wantOut {
+					t.Fatalf("%s/%s seed %d changed behaviour: ret %d->%d out %q->%q",
+						prog.name, name, seed, wantRet, res.Ret, wantOut, res.Output)
+				}
+			}
+		}
+	}
+}
+
+// TestObfuscationThenOptimizationPreserved runs the Game-3 combination:
+// obfuscate, then normalize with -O3.
+func TestObfuscationThenOptimizationPreserved(t *testing.T) {
+	for _, prog := range testPrograms {
+		wantRet, wantOut := compileRun(t, prog.src)
+		for _, name := range []string{"sub", "bcf", "fla", "ollvm"} {
+			m, err := minic.CompileSource(prog.src, "t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			if err := obfus.Apply(m, name, rng); err != nil {
+				t.Fatalf("%s/%s: %v", prog.name, name, err)
+			}
+			if err := passes.Optimize(m, passes.O3); err != nil {
+				t.Fatalf("%s/%s + O3: %v", prog.name, name, err)
+			}
+			res, err := interp.Run(m, interp.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s + O3: run: %v", prog.name, name, err)
+			}
+			if res.Ret != wantRet || res.Output != wantOut {
+				t.Fatalf("%s/%s + O3 changed behaviour: ret %d->%d out %q->%q",
+					prog.name, name, wantRet, res.Ret, wantOut, res.Output)
+			}
+		}
+	}
+}
+
+func opcodeHistogram(m *ir.Module) [ir.NumOpcodes]int {
+	var h [ir.NumOpcodes]int
+	for _, f := range m.Functions {
+		f.ForEachInstr(func(in *ir.Instr) { h[in.Op]++ })
+	}
+	return h
+}
+
+// TestSubChangesOpcodeMix: instruction substitution must add bitwise noise.
+func TestSubChangesOpcodeMix(t *testing.T) {
+	src := `int main() {
+		int s = 0;
+		for (int i = 0; i < 10; i++) s = s + i;
+		return s - 3;
+	}`
+	m, _ := minic.CompileSource(src, "t")
+	before := opcodeHistogram(m)
+	m2, _ := minic.CompileSource(src, "t")
+	if err := obfus.Apply(m2, "sub", rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	after := opcodeHistogram(m2)
+	if after == before {
+		t.Fatal("sub did not change the opcode histogram")
+	}
+	total := func(h [ir.NumOpcodes]int) int {
+		n := 0
+		for _, v := range h {
+			n += v
+		}
+		return n
+	}
+	if total(after) <= total(before) {
+		t.Fatalf("sub should grow the program: %d -> %d", total(before), total(after))
+	}
+}
+
+// TestFlaCreatesDispatcher: flattening must leave a switch-in-loop shape.
+func TestFlaCreatesDispatcher(t *testing.T) {
+	src := `int main() {
+		int s = 0;
+		for (int i = 0; i < 10; i++) { if (i % 2) s += i; else s -= i; }
+		return s + 100;
+	}`
+	m, _ := minic.CompileSource(src, "t")
+	nSwitchBefore := opcodeHistogram(m)[ir.OpSwitch]
+	if err := obfus.Apply(m, "fla", rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	h := opcodeHistogram(m)
+	if h[ir.OpSwitch] <= nSwitchBefore {
+		t.Fatal("flattening did not introduce a dispatcher switch")
+	}
+	if h[ir.OpPhi] != 0 {
+		t.Fatal("flattened code must not contain phis")
+	}
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 105 {
+		t.Fatalf("ret = %d, want 105", res.Ret)
+	}
+}
+
+// TestBCFAddsBlocksAndResistsO3: bogus control flow adds CFG mass that -O3
+// cannot fully remove (the opaque predicate is built on globals).
+func TestBCFAddsBlocksAndResistsO3(t *testing.T) {
+	src := `int main() {
+		int s = 1;
+		for (int i = 1; i < 8; i++) s *= i;
+		return s % 10000;
+	}`
+	m, _ := minic.CompileSource(src, "t")
+	blocksBefore := len(m.Func("main").Blocks)
+	if err := obfus.Apply(m, "bcf", rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Func("main").Blocks) <= blocksBefore {
+		t.Fatal("bcf did not add blocks")
+	}
+	if err := passes.Optimize(m, passes.O3); err != nil {
+		t.Fatal(err)
+	}
+	// The opaque predicate must survive optimization: there should still
+	// be at least one conditional branch guarding a bogus path.
+	if opcodeHistogram(m)[ir.OpCondBr] == 0 {
+		t.Fatalf("O3 folded the opaque predicate:\n%s", m.String())
+	}
+}
+
+// TestDemoteRegistersRoundTrip: demotion alone must preserve semantics and
+// eliminate cross-block SSA uses.
+func TestDemoteRegistersRoundTrip(t *testing.T) {
+	src := `int main() {
+		int a = 3; int b = 4; int s = 0;
+		for (int i = 0; i < 6; i++) { int t = a; a = b; b = t + b; s += a; }
+		return s;
+	}`
+	m, _ := minic.CompileSource(src, "t")
+	f := m.Func("main")
+	passes.Mem2Reg(f) // create real cross-block SSA + phis first
+	want, _ := compileRun(t, src)
+	obfus.DemoteRegisters(f)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("demotion produced invalid IR: %v\n%s", err, m.String())
+	}
+	// No value may cross blocks now.
+	f.ForEachInstr(func(in *ir.Instr) {
+		for _, a := range in.Args {
+			if d, ok := a.(*ir.Instr); ok && d.Op != ir.OpAlloca && d.Parent != in.Parent {
+				t.Fatalf("cross-block use of %s survives demotion", d.Ref())
+			}
+		}
+	})
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != want {
+		t.Fatalf("demotion changed result: %d, want %d", res.Ret, want)
+	}
+}
+
+// TestOllvmStacksAllThree: the combined pass applies and still runs.
+func TestOllvmStacksAllThree(t *testing.T) {
+	src := testPrograms[0].src
+	wantRet, _ := compileRun(t, src)
+	m, _ := minic.CompileSource(src, "t")
+	sizeBefore := m.NumInstrs()
+	if err := obfus.Apply(m, "ollvm", rand.New(rand.NewSource(9))); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInstrs() < sizeBefore*2 {
+		t.Fatalf("ollvm should grow code substantially: %d -> %d", sizeBefore, m.NumInstrs())
+	}
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != wantRet {
+		t.Fatalf("ret = %d, want %d", res.Ret, wantRet)
+	}
+}
+
+func TestUnknownTransformRejected(t *testing.T) {
+	m, _ := minic.CompileSource("int main() { return 0; }", "t")
+	if err := obfus.Apply(m, "nope", rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for unknown transformation")
+	}
+}

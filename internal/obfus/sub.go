@@ -1,0 +1,160 @@
+package obfus
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Substitute is O-LLVM's instruction-substitution pass: integer add, sub,
+// and, or and xor instructions are replaced by longer, semantically
+// equivalent sequences (mixed boolean-arithmetic identities and
+// random-constant detours). rounds controls how many times the whole
+// function is rewritten; each round can expand the previous round's output.
+func Substitute(f *ir.Function, rng *rand.Rand, rounds int) bool {
+	changed := false
+	for r := 0; r < rounds; r++ {
+		for _, b := range f.Blocks {
+			// Iterate over a snapshot: expansions insert instructions.
+			snapshot := append([]*ir.Instr(nil), b.Instrs...)
+			for _, in := range snapshot {
+				if !in.Ty.IsInt() || in.Ty.Bits < 8 {
+					continue
+				}
+				var repl ir.Value
+				switch in.Op {
+				case ir.OpAdd:
+					repl = expandAdd(b, in, rng)
+				case ir.OpSub:
+					repl = expandSub(b, in, rng)
+				case ir.OpAnd:
+					repl = expandAnd(b, in)
+				case ir.OpOr:
+					repl = expandOr(b, in)
+				case ir.OpXor:
+					repl = expandXor(b, in)
+				}
+				if repl != nil {
+					f.ReplaceUses(in, repl)
+					b.Remove(in)
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// insertion helper: emits instructions immediately before pos in its block.
+type inserter struct {
+	b   *ir.Block
+	idx int
+}
+
+func before(b *ir.Block, pos *ir.Instr) *inserter {
+	for i, in := range b.Instrs {
+		if in == pos {
+			return &inserter{b: b, idx: i}
+		}
+	}
+	return &inserter{b: b, idx: len(b.Instrs)}
+}
+
+func (ins *inserter) emit(op ir.Opcode, ty *ir.Type, args ...ir.Value) *ir.Instr {
+	in := &ir.Instr{Op: op, Ty: ty, Args: args}
+	ins.b.InsertBefore(ins.idx, in)
+	ins.idx++
+	return in
+}
+
+// expandAdd rewrites a+b using one of O-LLVM's four encodings.
+func expandAdd(b *ir.Block, in *ir.Instr, rng *rand.Rand) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	ty := in.Ty
+	ins := before(b, in)
+	switch rng.Intn(4) {
+	case 0: // a - (-b)
+		neg := ins.emit(ir.OpSub, ty, ir.ConstInt(ty, 0), y)
+		return ins.emit(ir.OpSub, ty, x, neg)
+	case 1: // -(-a - b)
+		na := ins.emit(ir.OpSub, ty, ir.ConstInt(ty, 0), x)
+		t := ins.emit(ir.OpSub, ty, na, y)
+		return ins.emit(ir.OpSub, ty, ir.ConstInt(ty, 0), t)
+	case 2: // (a ^ b) + 2*(a & b)
+		xor := ins.emit(ir.OpXor, ty, x, y)
+		and := ins.emit(ir.OpAnd, ty, x, y)
+		dbl := ins.emit(ir.OpShl, ty, and, ir.ConstInt(ty, 1))
+		return ins.emit(ir.OpAdd, ty, xor, dbl)
+	default: // a + r + b - r
+		r := ir.ConstInt(ty, int64(rng.Intn(2048)+1))
+		t1 := ins.emit(ir.OpAdd, ty, x, r)
+		t2 := ins.emit(ir.OpAdd, ty, t1, y)
+		return ins.emit(ir.OpSub, ty, t2, r)
+	}
+}
+
+// expandSub rewrites a-b.
+func expandSub(b *ir.Block, in *ir.Instr, rng *rand.Rand) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	// Skip canonical negation (0-b): rewriting it loops forever.
+	if c, ok := x.(*ir.Const); ok && c.I == 0 {
+		return nil
+	}
+	ty := in.Ty
+	ins := before(b, in)
+	switch rng.Intn(3) {
+	case 0: // a + (-b)
+		neg := ins.emit(ir.OpSub, ty, ir.ConstInt(ty, 0), y)
+		return ins.emit(ir.OpAdd, ty, x, neg)
+	case 1: // (a ^ b) - 2*(~a & b)
+		xor := ins.emit(ir.OpXor, ty, x, y)
+		na := ins.emit(ir.OpXor, ty, x, ir.ConstInt(ty, -1))
+		and := ins.emit(ir.OpAnd, ty, na, y)
+		dbl := ins.emit(ir.OpShl, ty, and, ir.ConstInt(ty, 1))
+		return ins.emit(ir.OpSub, ty, xor, dbl)
+	default: // a - r - b + r
+		r := ir.ConstInt(ty, int64(rng.Intn(2048)+1))
+		t1 := ins.emit(ir.OpSub, ty, x, r)
+		t2 := ins.emit(ir.OpSub, ty, t1, y)
+		return ins.emit(ir.OpAdd, ty, t2, r)
+	}
+}
+
+// expandAnd rewrites a&b as (a ^ ~b) & a.
+func expandAnd(b *ir.Block, in *ir.Instr) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	ty := in.Ty
+	ins := before(b, in)
+	nb := ins.emit(ir.OpXor, ty, y, ir.ConstInt(ty, -1))
+	xor := ins.emit(ir.OpXor, ty, x, nb)
+	return ins.emit(ir.OpAnd, ty, xor, x)
+}
+
+// expandOr rewrites a|b as (a & b) | (a ^ b).
+func expandOr(b *ir.Block, in *ir.Instr) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	ty := in.Ty
+	ins := before(b, in)
+	and := ins.emit(ir.OpAnd, ty, x, y)
+	xor := ins.emit(ir.OpXor, ty, x, y)
+	return ins.emit(ir.OpOr, ty, and, xor)
+}
+
+// expandXor rewrites a^b as (~a & b) | (a & ~b).
+func expandXor(b *ir.Block, in *ir.Instr) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	// Skip canonical not (x ^ -1): its expansion contains another not.
+	if c, ok := y.(*ir.Const); ok && c.I == -1 {
+		return nil
+	}
+	if c, ok := x.(*ir.Const); ok && c.I == -1 {
+		return nil
+	}
+	ty := in.Ty
+	ins := before(b, in)
+	na := ins.emit(ir.OpXor, ty, x, ir.ConstInt(ty, -1))
+	nb := ins.emit(ir.OpXor, ty, y, ir.ConstInt(ty, -1))
+	l := ins.emit(ir.OpAnd, ty, na, y)
+	r := ins.emit(ir.OpAnd, ty, x, nb)
+	return ins.emit(ir.OpOr, ty, l, r)
+}

@@ -1,0 +1,77 @@
+package passes
+
+import "repro/internal/ir"
+
+// DCE removes instructions whose results are unused and which have no side
+// effects, iterating with a worklist so chains of dead code disappear in
+// one call. Dead allocas with only store users are removed too (the stores
+// become dead once the alloca is only written, never read).
+func DCE(f *ir.Function) bool {
+	changed := false
+	for {
+		uses := make(map[ir.Value]int)
+		f.ForEachInstr(func(in *ir.Instr) {
+			for _, a := range in.Args {
+				uses[a]++
+			}
+		})
+		removed := false
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if isDead(in, uses, f) {
+					removed, changed = true, true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !removed {
+			return changed
+		}
+	}
+}
+
+func isDead(in *ir.Instr, uses map[ir.Value]int, f *ir.Function) bool {
+	if in.Op.HasSideEffects() || in.IsTerminator() {
+		return false
+	}
+	if in.Op == ir.OpAlloca {
+		// An alloca whose only uses are stores *into* it is write-only.
+		onlyStores := true
+		f.ForEachInstr(func(u *ir.Instr) {
+			for i, a := range u.Args {
+				if a != ir.Value(in) {
+					continue
+				}
+				if !(u.Op == ir.OpStore && i == 1) {
+					onlyStores = false
+				}
+			}
+		})
+		if !onlyStores {
+			return false
+		}
+		if uses[in] > 0 {
+			// Remove the dead stores first; the alloca goes next round.
+			removeStoresTo(f, in)
+			return false
+		}
+		return true
+	}
+	return uses[in] == 0
+}
+
+func removeStoresTo(f *ir.Function, a *ir.Instr) {
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore && in.Args[1] == ir.Value(a) {
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+}

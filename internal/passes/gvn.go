@@ -1,0 +1,104 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// GVN performs dominator-scoped global value numbering: a pure instruction
+// computing the same expression as one that dominates it is replaced by the
+// earlier result. Memory operations and calls are left alone (no alias
+// analysis).
+func GVN(f *ir.Function) bool {
+	f.RemoveUnreachable()
+	dt := ir.NewDomTree(f)
+	changed := false
+
+	// id assigns stable numbers to values for hashing.
+	ids := make(map[ir.Value]int)
+	nextID := 0
+	idOf := func(v ir.Value) string {
+		if c, ok := v.(*ir.Const); ok {
+			if c.Ty.IsFloat() {
+				return fmt.Sprintf("f%v", c.F)
+			}
+			return fmt.Sprintf("c%d:%s", c.I, c.Ty)
+		}
+		id, ok := ids[v]
+		if !ok {
+			nextID++
+			id = nextID
+			ids[v] = id
+		}
+		return fmt.Sprintf("v%d", id)
+	}
+
+	type scope struct {
+		table map[string]*ir.Instr
+		prev  *scope
+	}
+	find := func(s *scope, key string) *ir.Instr {
+		for ; s != nil; s = s.prev {
+			if in, ok := s.table[key]; ok {
+				return in
+			}
+		}
+		return nil
+	}
+
+	var walk func(b *ir.Block, sc *scope)
+	walk = func(b *ir.Block, sc *scope) {
+		local := &scope{table: make(map[string]*ir.Instr), prev: sc}
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			key, ok := gvnKey(in, idOf)
+			if !ok {
+				kept = append(kept, in)
+				continue
+			}
+			if prev := find(local, key); prev != nil {
+				f.ReplaceUses(in, prev)
+				changed = true
+				continue // drop the duplicate
+			}
+			local.table[key] = in
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+		for _, c := range dt.Children[b] {
+			walk(c, local)
+		}
+	}
+	if f.Entry() != nil {
+		walk(f.Entry(), nil)
+	}
+	return changed
+}
+
+// gvnKey builds a hash key for pure instructions; ok is false for
+// instructions GVN must not touch.
+func gvnKey(in *ir.Instr, idOf func(ir.Value) string) (string, bool) {
+	switch {
+	case in.Op.IsIntBinary(), in.Op.IsFloatBinary():
+		a, b := idOf(in.Args[0]), idOf(in.Args[1])
+		if in.Op.IsCommutative() && b < a {
+			a, b = b, a
+		}
+		return fmt.Sprintf("%d|%s|%s|%s", in.Op, in.Ty, a, b), true
+	case in.Op == ir.OpICmp || in.Op == ir.OpFCmp:
+		return fmt.Sprintf("%d|%d|%s|%s", in.Op, in.Pred, idOf(in.Args[0]), idOf(in.Args[1])), true
+	case in.Op == ir.OpSelect, in.Op == ir.OpFNeg, in.Op == ir.OpGEP:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d|%s", in.Op, in.Ty)
+		for _, a := range in.Args {
+			sb.WriteByte('|')
+			sb.WriteString(idOf(a))
+		}
+		return sb.String(), true
+	case in.Op.IsCast():
+		return fmt.Sprintf("%d|%s|%s", in.Op, in.Ty, idOf(in.Args[0])), true
+	}
+	return "", false
+}

@@ -1,0 +1,182 @@
+package passes
+
+import "repro/internal/ir"
+
+// Inline replaces calls to small, non-recursive functions with the callee's
+// body. maxSize bounds the callee instruction count. It returns whether any
+// call was inlined.
+func Inline(m *ir.Module, maxSize int) bool {
+	recursive := findRecursive(m)
+	changed := false
+	for _, f := range m.Functions {
+		if f.IsDecl() {
+			continue
+		}
+		// Bound the work: inlining exposes more calls; loop a few times.
+		for round := 0; round < 3; round++ {
+			call := findInlinableCall(f, maxSize, recursive)
+			if call == nil {
+				break
+			}
+			inlineCall(f, call)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func findRecursive(m *ir.Module) map[*ir.Function]bool {
+	// A function is considered recursive when it can reach itself in the
+	// static call graph.
+	callees := make(map[*ir.Function][]*ir.Function)
+	for _, f := range m.Functions {
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op == ir.OpCall && in.Callee != nil {
+				callees[f] = append(callees[f], in.Callee)
+			}
+		})
+	}
+	rec := make(map[*ir.Function]bool)
+	for _, f := range m.Functions {
+		seen := map[*ir.Function]bool{}
+		stack := append([]*ir.Function(nil), callees[f]...)
+		for len(stack) > 0 {
+			g := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if g == f {
+				rec[f] = true
+				break
+			}
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			stack = append(stack, callees[g]...)
+		}
+	}
+	return rec
+}
+
+func findInlinableCall(f *ir.Function, maxSize int, recursive map[*ir.Function]bool) *ir.Instr {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall || in.Callee == nil {
+				continue
+			}
+			c := in.Callee
+			if c == f || c.IsDecl() || recursive[c] || c.NumInstrs() > maxSize {
+				continue
+			}
+			return in
+		}
+	}
+	return nil
+}
+
+// inlineCall splices the callee body in place of the call instruction.
+func inlineCall(f *ir.Function, call *ir.Instr) {
+	callee := call.Callee
+	b := call.Parent
+
+	// Split b at the call: b keeps the prefix, cont gets the suffix.
+	idx := -1
+	for i, in := range b.Instrs {
+		if in == call {
+			idx = i
+			break
+		}
+	}
+	cont := f.InsertBlockAfter(b, b.Label()+".cont")
+	cont.Instrs = append(cont.Instrs, b.Instrs[idx+1:]...)
+	for _, in := range cont.Instrs {
+		in.Parent = cont
+	}
+	b.Instrs = b.Instrs[:idx]
+
+	// Successor phis of b's old terminator now see cont.
+	for _, s := range cont.Succs() {
+		for _, phi := range s.Phis() {
+			for i, blk := range phi.Blocks {
+				if blk == b {
+					phi.Blocks[i] = cont
+				}
+			}
+		}
+	}
+
+	// Clone the callee body into f.
+	body := ir.CloneFunction(callee)
+	bmap := make(map[*ir.Block]*ir.Block, len(body.Blocks))
+	for _, cb := range body.Blocks {
+		nb := f.InsertBlockAfter(b, callee.Name+"."+cb.Label())
+		bmap[cb] = nb
+	}
+	// Map callee params to call arguments.
+	var retVals []ir.Value
+	var retBlocks []*ir.Block
+	for _, cb := range body.Blocks {
+		nb := bmap[cb]
+		for _, in := range cb.Instrs {
+			for i, a := range in.Args {
+				if p, ok := a.(*ir.Param); ok {
+					in.Args[i] = call.Args[p.Index]
+				}
+			}
+			for i, tb := range in.Blocks {
+				in.Blocks[i] = bmap[tb]
+			}
+			if in.Op == ir.OpRet {
+				if len(in.Args) == 1 {
+					retVals = append(retVals, in.Args[0])
+					retBlocks = append(retBlocks, nb)
+				}
+				br := &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Blocks: []*ir.Block{cont}}
+				nb.Append(br)
+				continue
+			}
+			in.Parent = nb
+			in.ID = 0
+			nb.Append(in)
+		}
+	}
+	// Hoist inlined allocas to the caller's entry block so that a call
+	// site inside a loop does not allocate a fresh slot per iteration
+	// (LLVM does the same when inlining static allocas).
+	entry := f.Entry()
+	for _, cb := range body.Blocks {
+		nb := bmap[cb]
+		kept := nb.Instrs[:0]
+		for _, in := range nb.Instrs {
+			if in.Op == ir.OpAlloca {
+				in.Parent = entry
+				entry.InsertBefore(0, in)
+				continue
+			}
+			kept = append(kept, in)
+		}
+		nb.Instrs = kept
+	}
+
+	// Branch from b into the inlined entry.
+	ir.NewBuilder(b).Br(bmap[body.Entry()])
+
+	// Replace the call's value with the merged return value.
+	if call.HasResult() {
+		var repl ir.Value
+		switch len(retVals) {
+		case 0:
+			repl = zeroValue(call.Type())
+		case 1:
+			repl = retVals[0]
+		default:
+			phi := &ir.Instr{Op: ir.OpPhi, Ty: call.Type(), Parent: cont}
+			cont.InsertBefore(0, phi)
+			for i, v := range retVals {
+				phi.SetPhiIncoming(retBlocks[i], v)
+			}
+			repl = phi
+		}
+		f.ReplaceUses(call, repl)
+	}
+	f.RemoveUnreachable()
+}

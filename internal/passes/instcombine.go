@@ -1,0 +1,442 @@
+package passes
+
+import "repro/internal/ir"
+
+// InstCombine is the peephole simplifier. Besides classic algebraic
+// identities (x+0, x*1, x^x, ...), it knows how to invert the
+// mixed-boolean-arithmetic identities that O-LLVM's instruction
+// substitution emits — (a|b)+(a&b) back to a+b, a-(-b) back to a+b, and so
+// on — which is what lets the Game-3 normalizer partially undo `sub`.
+func InstCombine(f *ir.Function) bool {
+	changed := false
+	for {
+		did := false
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				v, ch := simplify(in)
+				if ch {
+					did, changed = true, true
+				}
+				if v != nil {
+					// Everything simplify replaces is pure, so the
+					// superseded instruction can be dropped on the spot.
+					f.ReplaceUses(in, v)
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !did {
+			if changed {
+				DCE(f)
+			}
+			return changed
+		}
+	}
+}
+
+// simplify tries to simplify in. It returns (replacement, true) when the
+// instruction's value should be replaced, (nil, true) when the instruction
+// was rewritten in place, and (nil, false) when no rule applied.
+func simplify(in *ir.Instr) (ir.Value, bool) {
+	if c := foldInstr(in); c != nil {
+		return c, true
+	}
+	// Canonicalize constants to the right of commutative operators so the
+	// rules below only look on one side.
+	if in.Op.IsCommutative() && len(in.Args) == 2 {
+		if _, lc := in.Args[0].(*ir.Const); lc {
+			if _, rc := in.Args[1].(*ir.Const); !rc {
+				in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+			}
+		}
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		return simplifyAdd(in)
+	case ir.OpSub:
+		return simplifySub(in)
+	case ir.OpMul:
+		return simplifyMul(in)
+	case ir.OpSDiv, ir.OpUDiv:
+		if isIntConst(in.Args[1], 1) {
+			return in.Args[0], true
+		}
+	case ir.OpSRem, ir.OpURem:
+		if isIntConst(in.Args[1], 1) {
+			return ir.ConstInt(in.Ty, 0), true
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if isIntConst(in.Args[1], 0) {
+			return in.Args[0], true
+		}
+		if isIntConst(in.Args[0], 0) {
+			return ir.ConstInt(in.Ty, 0), true
+		}
+	case ir.OpAnd:
+		return simplifyAnd(in)
+	case ir.OpOr:
+		return simplifyOr(in)
+	case ir.OpXor:
+		return simplifyXor(in)
+	case ir.OpICmp:
+		return simplifyICmp(in)
+	case ir.OpSelect:
+		if in.Args[1] == in.Args[2] {
+			return in.Args[1], true
+		}
+	case ir.OpFAdd, ir.OpFSub:
+		if fc, ok := in.Args[1].(*ir.Const); ok && fc.F == 0 {
+			return in.Args[0], true
+		}
+	case ir.OpFNeg:
+		if n := asInstr(in.Args[0], ir.OpFNeg); n != nil {
+			return n.Args[0], true
+		}
+	case ir.OpZExt, ir.OpSExt, ir.OpBitcast:
+		if in.Args[0].Type().Equal(in.Ty) {
+			return in.Args[0], true
+		}
+	case ir.OpTrunc:
+		if in.Args[0].Type().Equal(in.Ty) {
+			return in.Args[0], true
+		}
+		// trunc(zext/sext(x)) -> x when the widths round-trip.
+		if src, ok := in.Args[0].(*ir.Instr); ok && (src.Op == ir.OpZExt || src.Op == ir.OpSExt) {
+			if src.Args[0].Type().Equal(in.Ty) {
+				return src.Args[0], true
+			}
+		}
+	case ir.OpFreeze:
+		return in.Args[0], true
+	}
+	return nil, false
+}
+
+func isIntConst(v ir.Value, want int64) bool {
+	c, ok := v.(*ir.Const)
+	return ok && !c.Ty.IsFloat() && c.I == want
+}
+
+func asInstr(v ir.Value, op ir.Opcode) *ir.Instr {
+	in, ok := v.(*ir.Instr)
+	if ok && in.Op == op {
+		return in
+	}
+	return nil
+}
+
+// isNeg reports whether v is 0-x, returning x.
+func isNeg(v ir.Value) (ir.Value, bool) {
+	s := asInstr(v, ir.OpSub)
+	if s != nil && isIntConst(s.Args[0], 0) {
+		return s.Args[1], true
+	}
+	return nil, false
+}
+
+func simplifyAdd(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.Args[0], in.Args[1]
+	if isIntConst(b, 0) {
+		return a, true
+	}
+	// a + (0-b) -> a - b (in place; undoes O-LLVM's add-via-neg encoding).
+	if x, ok := isNeg(b); ok {
+		in.Op = ir.OpSub
+		in.Args = []ir.Value{a, x}
+		return nil, true
+	}
+	if x, ok := isNeg(a); ok {
+		in.Op = ir.OpSub
+		in.Args = []ir.Value{b, x}
+		return nil, true
+	}
+	// (x - c) + c -> x ; (x - y) + y -> x
+	if s := asInstr(a, ir.OpSub); s != nil {
+		if sameValue(s.Args[1], b) {
+			return s.Args[0], true
+		}
+	}
+	if s := asInstr(b, ir.OpSub); s != nil {
+		if sameValue(s.Args[1], a) {
+			return s.Args[0], true
+		}
+	}
+	// (x + c1) + c2 -> x + (c1+c2)
+	if c2, ok := b.(*ir.Const); ok && !c2.Ty.IsFloat() {
+		if s := asInstr(a, ir.OpAdd); s != nil {
+			if c1, ok := s.Args[1].(*ir.Const); ok && !c1.Ty.IsFloat() {
+				in.Args = []ir.Value{s.Args[0], ir.ConstInt(in.Ty, c1.I+c2.I)}
+				return nil, true
+			}
+		}
+	}
+	// MBA inversions (O-LLVM sub pass):
+	//   (a ^ b) + 2*(a & b) -> a + b
+	//   (a | b) + (a & b)   -> a + b
+	if x, y, ok := matchMBAAdd(a, b); ok {
+		in.Args = []ir.Value{x, y}
+		return nil, true
+	}
+	if x, y, ok := matchMBAAdd(b, a); ok {
+		in.Args = []ir.Value{x, y}
+		return nil, true
+	}
+	return nil, false
+}
+
+// sameValue compares two operands, treating equal constants as the same.
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	ca, ok1 := a.(*ir.Const)
+	cb, ok2 := b.(*ir.Const)
+	return ok1 && ok2 && constEq(ca, cb)
+}
+
+// matchMBAAdd recognizes the two MBA encodings of addition; on success it
+// returns the real summands.
+func matchMBAAdd(u, v ir.Value) (ir.Value, ir.Value, bool) {
+	if xor := asInstr(u, ir.OpXor); xor != nil {
+		var and *ir.Instr
+		if shl := asInstr(v, ir.OpShl); shl != nil && isIntConst(shl.Args[1], 1) {
+			and = asInstr(shl.Args[0], ir.OpAnd)
+		} else if mul := asInstr(v, ir.OpMul); mul != nil && isIntConst(mul.Args[1], 2) {
+			and = asInstr(mul.Args[0], ir.OpAnd)
+		}
+		if and != nil && sameOperands(xor, and) {
+			return xor.Args[0], xor.Args[1], true
+		}
+	}
+	or := asInstr(u, ir.OpOr)
+	and := asInstr(v, ir.OpAnd)
+	if or != nil && and != nil && sameOperands(or, and) {
+		return or.Args[0], or.Args[1], true
+	}
+	return nil, nil, false
+}
+
+func sameOperands(a, b *ir.Instr) bool {
+	return (a.Args[0] == b.Args[0] && a.Args[1] == b.Args[1]) ||
+		(a.Args[0] == b.Args[1] && a.Args[1] == b.Args[0])
+}
+
+func simplifySub(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.Args[0], in.Args[1]
+	if isIntConst(b, 0) {
+		return a, true
+	}
+	if a == b {
+		return ir.ConstInt(in.Ty, 0), true
+	}
+	// a - (0 - b) -> a + b (but keep the canonical negation 0-x alone).
+	if x, ok := isNeg(b); ok && !isIntConst(a, 0) {
+		in.Op = ir.OpAdd
+		in.Args = []ir.Value{a, x}
+		return nil, true
+	}
+	// 0 - (0 - x) -> x
+	if isIntConst(a, 0) {
+		if x, ok := isNeg(b); ok {
+			return x, true
+		}
+	}
+	// (x + y) - y -> x ; (x + y) - x -> y
+	if s := asInstr(a, ir.OpAdd); s != nil {
+		if sameValue(s.Args[1], b) {
+			return s.Args[0], true
+		}
+		if sameValue(s.Args[0], b) {
+			return s.Args[1], true
+		}
+	}
+	// (x - c1) - c2 -> x - (c1+c2)
+	if c2, ok := b.(*ir.Const); ok && !c2.Ty.IsFloat() {
+		if s := asInstr(a, ir.OpSub); s != nil {
+			if c1, ok := s.Args[1].(*ir.Const); ok && !c1.Ty.IsFloat() {
+				in.Args = []ir.Value{s.Args[0], ir.ConstInt(in.Ty, c1.I+c2.I)}
+				return nil, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func simplifyMul(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.Args[0], in.Args[1]
+	if isIntConst(b, 1) {
+		return a, true
+	}
+	if isIntConst(b, 0) {
+		return ir.ConstInt(in.Ty, 0), true
+	}
+	// x * 2^k -> x << k for k >= 2 (k == 1 is kept: the MBA matcher wants
+	// to see both mul-by-2 and shl-by-1 forms, and either canonicalization
+	// is fine as long as it is stable).
+	if c, ok := b.(*ir.Const); ok && !c.Ty.IsFloat() && c.I > 2 && c.I&(c.I-1) == 0 {
+		k := int64(0)
+		for v := c.I; v > 1; v >>= 1 {
+			k++
+		}
+		in.Op = ir.OpShl
+		in.Args = []ir.Value{a, ir.ConstInt(in.Ty, k)}
+		return nil, true
+	}
+	return nil, false
+}
+
+func simplifyAnd(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.Args[0], in.Args[1]
+	if a == b {
+		return a, true
+	}
+	if isIntConst(b, 0) {
+		return ir.ConstInt(in.Ty, 0), true
+	}
+	if isIntConst(b, -1) {
+		return a, true
+	}
+	// (a ^ ~b) & a -> a & b  (O-LLVM and-substitution)
+	try := func(x, other ir.Value) (ir.Value, bool) {
+		xor := asInstr(x, ir.OpXor)
+		if xor == nil {
+			return nil, false
+		}
+		if xor.Args[0] == other {
+			if nb, ok := isNot(xor.Args[1]); ok {
+				in.Args = []ir.Value{other, nb}
+				return nil, true
+			}
+		}
+		if xor.Args[1] == other {
+			if na, ok := isNot(xor.Args[0]); ok {
+				in.Args = []ir.Value{other, na}
+				return nil, true
+			}
+		}
+		return nil, false
+	}
+	if v, ok := try(a, b); ok {
+		return v, true
+	}
+	if v, ok := try(b, a); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// isNot reports whether v is x ^ -1 (bitwise not), returning x.
+func isNot(v ir.Value) (ir.Value, bool) {
+	x := asInstr(v, ir.OpXor)
+	if x == nil {
+		return nil, false
+	}
+	if isIntConst(x.Args[1], -1) {
+		return x.Args[0], true
+	}
+	if isIntConst(x.Args[0], -1) {
+		return x.Args[1], true
+	}
+	return nil, false
+}
+
+func simplifyOr(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.Args[0], in.Args[1]
+	if a == b {
+		return a, true
+	}
+	if isIntConst(b, 0) {
+		return a, true
+	}
+	if isIntConst(b, -1) {
+		return ir.ConstInt(in.Ty, -1), true
+	}
+	// (a & b) | (a ^ b) -> a | b  (O-LLVM or-substitution)
+	and := asInstr(a, ir.OpAnd)
+	xor := asInstr(b, ir.OpXor)
+	if and == nil || xor == nil {
+		and = asInstr(b, ir.OpAnd)
+		xor = asInstr(a, ir.OpXor)
+	}
+	if and != nil && xor != nil && sameOperands(and, xor) {
+		in.Args = []ir.Value{and.Args[0], and.Args[1]}
+		return nil, true
+	}
+	// (~a & b) | (a & ~b) -> a ^ b  (O-LLVM xor-substitution)
+	l := asInstr(a, ir.OpAnd)
+	r := asInstr(b, ir.OpAnd)
+	if l != nil && r != nil {
+		if x, y, ok := matchXorHalves(l, r); ok {
+			in.Op = ir.OpXor
+			in.Args = []ir.Value{x, y}
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// matchXorHalves matches {~x & y, x & ~y} in either order, returning (x, y).
+func matchXorHalves(l, r *ir.Instr) (ir.Value, ir.Value, bool) {
+	type half struct{ plain, notted ir.Value }
+	decode := func(in *ir.Instr) (half, bool) {
+		if n, ok := isNot(in.Args[0]); ok {
+			return half{plain: in.Args[1], notted: n}, true
+		}
+		if n, ok := isNot(in.Args[1]); ok {
+			return half{plain: in.Args[0], notted: n}, true
+		}
+		return half{}, false
+	}
+	hl, ok1 := decode(l)
+	hr, ok2 := decode(r)
+	if !ok1 || !ok2 {
+		return nil, nil, false
+	}
+	if hl.notted == hr.plain && hl.plain == hr.notted {
+		return hl.notted, hl.plain, true
+	}
+	return nil, nil, false
+}
+
+func simplifyXor(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.Args[0], in.Args[1]
+	if a == b {
+		return ir.ConstInt(in.Ty, 0), true
+	}
+	if isIntConst(b, 0) {
+		return a, true
+	}
+	// ~(~x) -> x: this xor is n ^ -1 where n is itself m ^ -1.
+	if isIntConst(b, -1) {
+		if x, ok := isNot(a); ok {
+			return x, true
+		}
+	}
+	// (x ^ c1) ^ c2 -> x ^ (c1^c2), but never collapse a double-not here
+	// (handled above) or degenerate to x^0 (the fold pass finishes it).
+	if c2, ok := b.(*ir.Const); ok && !c2.Ty.IsFloat() {
+		if s := asInstr(a, ir.OpXor); s != nil {
+			if c1, ok := s.Args[1].(*ir.Const); ok && !c1.Ty.IsFloat() {
+				in.Args = []ir.Value{s.Args[0], ir.ConstInt(in.Ty, c1.I^c2.I)}
+				return nil, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func simplifyICmp(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.Args[0], in.Args[1]
+	if a == b {
+		switch in.Pred {
+		case ir.CmpEQ, ir.CmpSLE, ir.CmpSGE, ir.CmpULE, ir.CmpUGE:
+			return ir.ConstBool(true), true
+		case ir.CmpNE, ir.CmpSLT, ir.CmpSGT, ir.CmpULT, ir.CmpUGT:
+			return ir.ConstBool(false), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,117 @@
+package passes
+
+import "repro/internal/ir"
+
+// LICM hoists loop-invariant pure computations into a preheader block.
+// Trapping instructions (divisions by non-constant divisors) and memory
+// operations stay put.
+func LICM(f *ir.Function) bool {
+	f.RemoveUnreachable()
+	dt := ir.NewDomTree(f)
+	loops := dt.NaturalLoops()
+	if len(loops) == 0 {
+		return false
+	}
+	preds := f.Preds()
+	changed := false
+	for _, loop := range loops {
+		pre := findOrCreatePreheader(f, loop, preds)
+		if pre == nil {
+			continue
+		}
+		// Iterate: hoisting one instruction can make another invariant.
+		for {
+			hoisted := false
+			for _, b := range f.Blocks {
+				if !loop.Blocks[b] {
+					continue
+				}
+				for _, in := range b.Instrs {
+					if !hoistable(in, loop) {
+						continue
+					}
+					b.Remove(in)
+					pre.InsertBeforeTerm(in)
+					hoisted, changed = true, true
+					break
+				}
+				if hoisted {
+					break
+				}
+			}
+			if !hoisted {
+				break
+			}
+		}
+		// Preheader insertion invalidated the cached predecessor map.
+		preds = f.Preds()
+	}
+	return changed
+}
+
+// hoistable reports whether in is pure, non-trapping and all of its
+// operands are defined outside the loop.
+func hoistable(in *ir.Instr, loop *ir.Loop) bool {
+	switch {
+	case in.Op.IsIntBinary():
+		switch in.Op {
+		case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+			// Only safe when the divisor is a non-zero constant: the loop
+			// body may never execute.
+			c, ok := in.Args[1].(*ir.Const)
+			if !ok || c.I == 0 {
+				return false
+			}
+		}
+	case in.Op.IsFloatBinary(), in.Op == ir.OpFNeg, in.Op == ir.OpSelect,
+		in.Op == ir.OpICmp, in.Op == ir.OpFCmp, in.Op.IsCast(), in.Op == ir.OpGEP:
+		// pure
+	default:
+		return false
+	}
+	for _, a := range in.Args {
+		if d, ok := a.(*ir.Instr); ok && loop.Blocks[d.Parent] {
+			return false
+		}
+	}
+	return true
+}
+
+// findOrCreatePreheader returns a block that is the unique out-of-loop
+// predecessor of the loop header, creating one when needed.
+func findOrCreatePreheader(f *ir.Function, loop *ir.Loop, preds map[*ir.Block][]*ir.Block) *ir.Block {
+	var outside []*ir.Block
+	for _, p := range preds[loop.Header] {
+		if !loop.Blocks[p] {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 0 {
+		return nil // dead loop
+	}
+	if len(outside) == 1 {
+		p := outside[0]
+		if t := p.Term(); t != nil && t.Op == ir.OpBr {
+			return p
+		}
+	}
+	// Build a dedicated preheader: outside preds branch to it, it branches
+	// to the header, and header phis split their incoming edges.
+	pre := f.InsertBlockAfter(outside[0], loop.Header.Name+".pre")
+	ir.NewBuilder(pre).Br(loop.Header)
+	for _, phi := range loop.Header.Phis() {
+		// Merge the outside incoming values into a phi in the preheader.
+		nphi := &ir.Instr{Op: ir.OpPhi, Ty: phi.Ty, Parent: pre}
+		pre.InsertBefore(0, nphi)
+		for _, p := range outside {
+			v := phi.PhiIncoming(p)
+			phi.RemovePhiIncoming(p)
+			nphi.SetPhiIncoming(p, v)
+		}
+		phi.SetPhiIncoming(pre, nphi)
+	}
+	for _, p := range outside {
+		p.Term().RedirectTarget(loop.Header, pre)
+	}
+	return pre
+}

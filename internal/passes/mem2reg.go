@@ -1,0 +1,249 @@
+package passes
+
+import (
+	"repro/internal/ir"
+)
+
+// Mem2Reg promotes allocas whose address never escapes into SSA values,
+// inserting phi nodes at iterated dominance frontiers — the standard
+// SSA-construction algorithm. This is the single most consequential
+// normalization in the arena: it erases the load/store traffic that both
+// clang -O0 output and source-level obfuscation (Zhang et al.'s transforms)
+// rely on, which is why the paper finds those evaders dissolve under
+// optimization.
+func Mem2Reg(f *ir.Function) bool {
+	// Unreachable blocks would be skipped by the dominator-tree walk and
+	// leave stale loads behind; drop them first.
+	f.RemoveUnreachable()
+	allocas := promotableAllocas(f)
+	if len(allocas) == 0 {
+		return false
+	}
+	dt := ir.NewDomTree(f)
+	df := dt.Frontiers()
+	preds := f.Preds()
+
+	// Insert phis at the iterated dominance frontier of each alloca's
+	// store blocks.
+	phiFor := make(map[*ir.Instr]*ir.Instr) // phi -> alloca
+	for _, a := range allocas {
+		defBlocks := make(map[*ir.Block]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore && in.Args[1] == a {
+					defBlocks[b] = true
+				}
+			}
+		}
+		placed := make(map[*ir.Block]bool)
+		work := make([]*ir.Block, 0, len(defBlocks))
+		for b := range defBlocks {
+			work = append(work, b)
+		}
+		// Deterministic order.
+		sortBlocks(work, dt)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b] {
+				if placed[fb] {
+					continue
+				}
+				placed[fb] = true
+				phi := &ir.Instr{Op: ir.OpPhi, Ty: a.AllocaTy, Parent: fb}
+				fb.InsertBefore(0, phi)
+				phiFor[phi] = a
+				if !defBlocks[fb] {
+					defBlocks[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Rename along the dominator tree.
+	isAlloca := make(map[*ir.Instr]bool, len(allocas))
+	for _, a := range allocas {
+		isAlloca[a] = true
+	}
+	var rename func(b *ir.Block, incoming map[*ir.Instr]ir.Value)
+	rename = func(b *ir.Block, incoming map[*ir.Instr]ir.Value) {
+		local := incoming
+		// Copy-on-write: only clone the map when this block writes.
+		cloned := false
+		ensure := func() {
+			if !cloned {
+				nm := make(map[*ir.Instr]ir.Value, len(local))
+				for k, v := range local {
+					nm[k] = v
+				}
+				local = nm
+				cloned = true
+			}
+		}
+		var dead []*ir.Instr
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPhi:
+				if a, ok := phiFor[in]; ok {
+					ensure()
+					local[a] = in
+				}
+			case ir.OpLoad:
+				if a, ok := in.Args[0].(*ir.Instr); ok && isAlloca[a] {
+					v := local[a]
+					if v == nil {
+						v = zeroValue(a.AllocaTy)
+					}
+					f.ReplaceUses(in, v)
+					// Phi operands of other blocks may still reference the
+					// load; the ReplaceUses above covers the whole function.
+					dead = append(dead, in)
+				}
+			case ir.OpStore:
+				if a, ok := in.Args[1].(*ir.Instr); ok && isAlloca[a] {
+					ensure()
+					local[a] = in.Args[0]
+					dead = append(dead, in)
+				}
+			}
+		}
+		// Fill in phi operands of successors.
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				a, ok := phiFor[phi]
+				if !ok {
+					continue
+				}
+				v := local[a]
+				if v == nil {
+					v = zeroValue(a.AllocaTy)
+				}
+				// One incoming entry per CFG edge from b.
+				for _, p := range preds[s] {
+					if p == b {
+						phi.Blocks = append(phi.Blocks, b)
+						phi.Args = append(phi.Args, v)
+					}
+				}
+			}
+		}
+		for _, child := range dt.Children[b] {
+			rename(child, local)
+		}
+		for _, in := range dead {
+			b.Remove(in)
+		}
+	}
+	rename(f.Entry(), make(map[*ir.Instr]ir.Value))
+
+	// Remove the allocas themselves.
+	for _, a := range allocas {
+		if !f.HasUses(a) {
+			a.Parent.Remove(a)
+		}
+	}
+	// Prune trivial phis (single unique incoming value), which the IDF
+	// placement can over-approximate.
+	prunePhis(f)
+	return true
+}
+
+func sortBlocks(bs []*ir.Block, dt *ir.DomTree) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && dt.Order[bs[j]] < dt.Order[bs[j-1]]; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// promotableAllocas returns allocas of scalar type whose address is used
+// only by loads and by stores that write *through* it (never stores of the
+// pointer itself, casts, GEPs or calls).
+func promotableAllocas(f *ir.Function) []*ir.Instr {
+	var out []*ir.Instr
+	var cands []*ir.Instr
+	bad := make(map[*ir.Instr]bool)
+	f.ForEachInstr(func(in *ir.Instr) {
+		if in.Op == ir.OpAlloca && !in.AllocaTy.IsArray() && !in.AllocaTy.IsStruct() {
+			cands = append(cands, in)
+		}
+	})
+	if len(cands) == 0 {
+		return nil
+	}
+	isCand := make(map[*ir.Instr]bool, len(cands))
+	for _, a := range cands {
+		isCand[a] = true
+	}
+	f.ForEachInstr(func(in *ir.Instr) {
+		for i, arg := range in.Args {
+			a, ok := arg.(*ir.Instr)
+			if !ok || !isCand[a] {
+				continue
+			}
+			switch {
+			case in.Op == ir.OpLoad:
+				// ok
+			case in.Op == ir.OpStore && i == 1:
+				// Storing through the alloca: ok. Storing the alloca's
+				// address somewhere (i == 0) escapes it.
+			default:
+				bad[a] = true
+			}
+		}
+	})
+	for _, a := range cands {
+		if !bad[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func zeroValue(t *ir.Type) ir.Value {
+	switch {
+	case t.IsFloat():
+		return ir.ConstFloat(0)
+	case t.IsPtr():
+		return ir.ConstNull(t)
+	default:
+		return ir.ConstInt(t, 0)
+	}
+}
+
+// prunePhis removes phi nodes that are trivial: all incoming values equal
+// (or equal to the phi itself). Iterates to a fixpoint since removing one
+// phi can make another trivial.
+func prunePhis(f *ir.Function) bool {
+	changed := false
+	for {
+		again := false
+		for _, b := range f.Blocks {
+			for _, phi := range b.Phis() {
+				var uniq ir.Value
+				trivial := true
+				for _, v := range phi.Args {
+					if v == phi {
+						continue
+					}
+					if uniq == nil {
+						uniq = v
+					} else if uniq != v {
+						trivial = false
+						break
+					}
+				}
+				if !trivial || uniq == nil {
+					continue
+				}
+				f.ReplaceUses(phi, uniq)
+				b.Remove(phi)
+				again, changed = true, true
+			}
+		}
+		if !again {
+			return changed
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package passes implements the optimizer of the arena: classic scalar
+// optimizations over the SSA IR (mem2reg, SCCP, DCE, SimplifyCFG,
+// InstCombine, GVN, LICM, inlining) arranged into clang-like -O0/-O1/-O2/-O3
+// pipelines. In the paper's games the optimizer plays two roles: an evader
+// (clang -O3 hides programs about as well as O-LLVM) and a normalizer (the
+// Game-3 classifier optimizes challenges to undo naive obfuscation).
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// FuncPass is a transformation over one function. Run reports whether it
+// changed anything.
+type FuncPass struct {
+	Name string
+	Run  func(*ir.Function) bool
+}
+
+// Level selects an optimization pipeline.
+type Level int
+
+// Optimization levels mirroring clang's.
+const (
+	O0 Level = iota
+	O1
+	O2
+	O3
+)
+
+// ParseLevel converts "O0".."O3" (or "-O0".."-O3") to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "O0", "-O0", "0":
+		return O0, nil
+	case "O1", "-O1", "1":
+		return O1, nil
+	case "O2", "-O2", "2":
+		return O2, nil
+	case "O3", "-O3", "3":
+		return O3, nil
+	}
+	return O0, fmt.Errorf("unknown optimization level %q", s)
+}
+
+func (l Level) String() string { return [...]string{"O0", "O1", "O2", "O3"}[l] }
+
+// scalarPasses is the per-function cleanup sequence shared by O1..O3.
+func scalarPasses() []FuncPass {
+	return []FuncPass{
+		{"mem2reg", Mem2Reg},
+		{"instcombine", InstCombine},
+		{"simplifycfg", SimplifyCFG},
+		{"sccp", SCCP},
+		{"dce", DCE},
+		{"simplifycfg", SimplifyCFG},
+	}
+}
+
+// Optimize runs the pipeline for the given level over the module, mutating
+// it in place. The input module is expected to be verified; the output is
+// re-verified and any violation is reported as an error (it would be a bug
+// in a pass).
+func Optimize(m *ir.Module, level Level) error {
+	switch level {
+	case O0:
+		return nil
+	case O1:
+		runFuncPasses(m, scalarPasses())
+	case O2:
+		runFuncPasses(m, scalarPasses())
+		runFuncPasses(m, []FuncPass{
+			{"gvn", GVN},
+			{"instcombine", InstCombine},
+			{"dce", DCE},
+			{"simplifycfg", SimplifyCFG},
+		})
+	case O3:
+		Inline(m, 60)
+		runFuncPasses(m, scalarPasses())
+		runFuncPasses(m, []FuncPass{
+			{"gvn", GVN},
+			{"licm", LICM},
+			{"instcombine", InstCombine},
+			{"unroll", UnrollLoops},
+			{"gvn", GVN},
+			{"sccp", SCCP},
+			{"dce", DCE},
+			{"simplifycfg", SimplifyCFG},
+			{"instcombine", InstCombine},
+			{"dce", DCE},
+			{"simplifycfg", SimplifyCFG},
+		})
+	}
+	if err := m.Verify(); err != nil {
+		return fmt.Errorf("passes: %s pipeline produced invalid IR: %w", level, err)
+	}
+	return nil
+}
+
+// Debug, when set, re-verifies the function after every individual pass and
+// panics with the offending pass's name on the first violation. It turns a
+// late "pipeline produced invalid IR" error into a precise culprit; tests
+// for new passes should flip it on.
+var Debug = false
+
+func runFuncPasses(m *ir.Module, pipeline []FuncPass) {
+	for _, f := range m.Functions {
+		if f.IsDecl() {
+			continue
+		}
+		for _, p := range pipeline {
+			p.Run(f)
+			if Debug {
+				if err := f.Verify(); err != nil {
+					panic(fmt.Sprintf("passes: %s broke @%s: %v\n%s", p.Name, f.Name, err, f.String()))
+				}
+			}
+		}
+	}
+}
+
+// RunPass runs a single named pass over every function (used by tests and
+// the CLI's -passes flag). Known names: mem2reg, instcombine, simplifycfg,
+// sccp, dce, gvn, licm.
+func RunPass(m *ir.Module, name string) (bool, error) {
+	var fn func(*ir.Function) bool
+	switch name {
+	case "mem2reg":
+		fn = Mem2Reg
+	case "instcombine":
+		fn = InstCombine
+	case "simplifycfg":
+		fn = SimplifyCFG
+	case "sccp":
+		fn = SCCP
+	case "dce":
+		fn = DCE
+	case "gvn":
+		fn = GVN
+	case "licm":
+		fn = LICM
+	case "unroll":
+		fn = UnrollLoops
+	case "inline":
+		return Inline(m, 60), nil
+	default:
+		return false, fmt.Errorf("unknown pass %q", name)
+	}
+	changed := false
+	for _, f := range m.Functions {
+		if !f.IsDecl() && fn(f) {
+			changed = true
+		}
+	}
+	return changed, nil
+}

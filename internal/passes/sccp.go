@@ -1,0 +1,310 @@
+package passes
+
+import "repro/internal/ir"
+
+// latKind is the SCCP lattice state of a value.
+type latKind int
+
+const (
+	latUnknown latKind = iota // top: no evidence yet
+	latConst                  // a single constant value
+	latOver                   // bottom: varies at runtime
+)
+
+type latVal struct {
+	kind latKind
+	c    *ir.Const
+}
+
+// SCCP performs sparse conditional constant propagation (Wegman-Zadeck):
+// it simultaneously tracks which CFG edges are executable and which SSA
+// values are constant, so constants propagate through branches that are
+// themselves decided by constants. Afterwards, constant values replace
+// their instructions, always-taken branches become unconditional and the
+// dead blocks are removed. This is the pass that dismantles obfuscation
+// built on transparent predicates (and the reason bcf uses opaque ones).
+func SCCP(f *ir.Function) bool {
+	f.RemoveUnreachable()
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	vals := make(map[*ir.Instr]latVal)
+	execEdge := make(map[[2]*ir.Block]bool)
+	execBlock := make(map[*ir.Block]bool)
+
+	var instrWork []*ir.Instr
+	var blockWork []*ir.Block
+
+	lookup := func(v ir.Value) latVal {
+		switch x := v.(type) {
+		case *ir.Const:
+			return latVal{latConst, x}
+		case *ir.Instr:
+			return vals[x]
+		default:
+			// Params, globals, functions: runtime values.
+			return latVal{kind: latOver}
+		}
+	}
+	users := make(map[*ir.Instr][]*ir.Instr)
+	f.ForEachInstr(func(in *ir.Instr) {
+		for _, a := range in.Args {
+			if d, ok := a.(*ir.Instr); ok {
+				users[d] = append(users[d], in)
+			}
+		}
+	})
+	setVal := func(in *ir.Instr, nv latVal) {
+		old := vals[in]
+		if old.kind == nv.kind && (nv.kind != latConst || constEq(old.c, nv.c)) {
+			return
+		}
+		// Lattice only descends: unknown -> const -> overdefined.
+		if old.kind == latOver {
+			return
+		}
+		if old.kind == latConst && nv.kind == latConst && !constEq(old.c, nv.c) {
+			nv = latVal{kind: latOver}
+		}
+		vals[in] = nv
+		instrWork = append(instrWork, users[in]...)
+	}
+	markEdge := func(from, to *ir.Block) {
+		key := [2]*ir.Block{from, to}
+		if execEdge[key] {
+			// The edge was already executable, but phis in `to` still need
+			// re-evaluation when a new edge to the same block appears.
+			return
+		}
+		execEdge[key] = true
+		if !execBlock[to] {
+			execBlock[to] = true
+			blockWork = append(blockWork, to)
+		} else {
+			// Re-visit phis: a new incoming edge can change their meet.
+			instrWork = append(instrWork, to.Phis()...)
+		}
+	}
+
+	visitInstr := func(in *ir.Instr) {
+		if !execBlock[in.Parent] {
+			return
+		}
+		switch {
+		case in.Op == ir.OpPhi:
+			nv := latVal{kind: latUnknown}
+			for i, inc := range in.Args {
+				if !execEdge[[2]*ir.Block{in.Blocks[i], in.Parent}] {
+					continue
+				}
+				lv := lookup(inc)
+				switch lv.kind {
+				case latUnknown:
+					// no evidence
+				case latOver:
+					nv = latVal{kind: latOver}
+				case latConst:
+					switch nv.kind {
+					case latUnknown:
+						nv = lv
+					case latConst:
+						if !constEq(nv.c, lv.c) {
+							nv = latVal{kind: latOver}
+						}
+					}
+				}
+				if nv.kind == latOver {
+					break
+				}
+			}
+			setVal(in, nv)
+		case in.Op == ir.OpCondBr:
+			cv := lookup(in.Args[0])
+			switch cv.kind {
+			case latConst:
+				if cv.c.I != 0 {
+					markEdge(in.Parent, in.Blocks[0])
+				} else {
+					markEdge(in.Parent, in.Blocks[1])
+				}
+			case latOver:
+				markEdge(in.Parent, in.Blocks[0])
+				markEdge(in.Parent, in.Blocks[1])
+			}
+		case in.Op == ir.OpSwitch:
+			cv := lookup(in.Args[0])
+			switch cv.kind {
+			case latConst:
+				target := in.Blocks[0]
+				for i, sv := range in.SwitchVals {
+					if sv == cv.c.I {
+						target = in.Blocks[i+1]
+						break
+					}
+				}
+				markEdge(in.Parent, target)
+			case latOver:
+				for _, t := range in.Blocks {
+					markEdge(in.Parent, t)
+				}
+			}
+		case in.Op == ir.OpBr:
+			markEdge(in.Parent, in.Blocks[0])
+		case in.Op == ir.OpRet, in.Op == ir.OpUnreachable:
+			// nothing
+		case !in.HasResult():
+			// stores etc.: nothing to track
+		case in.Op == ir.OpSelect:
+			cv := lookup(in.Args[0])
+			switch cv.kind {
+			case latConst:
+				pick := in.Args[2]
+				if cv.c.I != 0 {
+					pick = in.Args[1]
+				}
+				setVal(in, lookup(pick))
+			case latOver:
+				a, b := lookup(in.Args[1]), lookup(in.Args[2])
+				switch {
+				case a.kind == latConst && b.kind == latConst && constEq(a.c, b.c):
+					setVal(in, a)
+				case a.kind == latUnknown || b.kind == latUnknown:
+					// Wait: an unknown arm may still become the same const.
+				default:
+					// Overdefined cond with differing (or overdefined) arms.
+					setVal(in, latVal{kind: latOver})
+				}
+			}
+		default:
+			// Pure ops fold when all operands are constant; loads, calls
+			// and allocas are always overdefined.
+			switch in.Op {
+			case ir.OpLoad, ir.OpCall, ir.OpAlloca, ir.OpGEP, ir.OpVAArg:
+				setVal(in, latVal{kind: latOver})
+				return
+			}
+			anyUnknown := false
+			for _, a := range in.Args {
+				switch lookup(a).kind {
+				case latUnknown:
+					anyUnknown = true
+				case latOver:
+					setVal(in, latVal{kind: latOver})
+					return
+				}
+			}
+			if anyUnknown {
+				return
+			}
+			// All operands constant: try folding with a shallow copy whose
+			// args are the lattice constants.
+			tmp := *in
+			tmp.Args = make([]ir.Value, len(in.Args))
+			for i, a := range in.Args {
+				lv := lookup(a)
+				tmp.Args[i] = lv.c
+			}
+			if c := foldInstr(&tmp); c != nil {
+				setVal(in, latVal{latConst, c})
+			} else {
+				setVal(in, latVal{kind: latOver})
+			}
+		}
+	}
+
+	execBlock[f.Entry()] = true
+	blockWork = append(blockWork, f.Entry())
+	for len(blockWork) > 0 || len(instrWork) > 0 {
+		if len(blockWork) > 0 {
+			b := blockWork[len(blockWork)-1]
+			blockWork = blockWork[:len(blockWork)-1]
+			for _, in := range b.Instrs {
+				visitInstr(in)
+			}
+			continue
+		}
+		in := instrWork[len(instrWork)-1]
+		instrWork = instrWork[:len(instrWork)-1]
+		visitInstr(in)
+	}
+
+	// Rewrite: replace constant instructions, fix constant branches.
+	changed := false
+	for _, b := range f.Blocks {
+		if !execBlock[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			lv := vals[in]
+			if lv.kind == latConst && in.HasResult() && !in.Op.HasSideEffects() {
+				f.ReplaceUses(in, lv.c)
+				changed = true
+			}
+		}
+		term := b.Term()
+		switch term.Op {
+		case ir.OpCondBr:
+			cv := lookup(term.Args[0])
+			if cv.kind == latConst {
+				keep := term.Blocks[1]
+				drop := term.Blocks[0]
+				if cv.c.I != 0 {
+					keep, drop = drop, keep
+				}
+				if drop != keep {
+					for _, phi := range drop.Phis() {
+						phi.RemovePhiIncoming(b)
+					}
+				}
+				term.Op = ir.OpBr
+				term.Args = nil
+				term.Blocks = []*ir.Block{keep}
+				changed = true
+			}
+		case ir.OpSwitch:
+			cv := lookup(term.Args[0])
+			if cv.kind == latConst {
+				target := term.Blocks[0]
+				for i, sv := range term.SwitchVals {
+					if sv == cv.c.I {
+						target = term.Blocks[i+1]
+						break
+					}
+				}
+				for _, t := range term.Blocks {
+					if t != target {
+						for _, phi := range t.Phis() {
+							phi.RemovePhiIncoming(b)
+						}
+					}
+				}
+				term.Op = ir.OpBr
+				term.Args = nil
+				term.Blocks = []*ir.Block{target}
+				term.SwitchVals = nil
+				changed = true
+			}
+		}
+	}
+	if f.RemoveUnreachable() > 0 {
+		changed = true
+	}
+	if changed {
+		DCE(f)
+		prunePhis(f)
+	}
+	return changed
+}
+
+func constEq(a, b *ir.Const) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Ty.IsFloat() != b.Ty.IsFloat() {
+		return false
+	}
+	if a.Ty.IsFloat() {
+		return a.F == b.F
+	}
+	return a.I == b.I
+}

@@ -1,0 +1,217 @@
+package passes
+
+import "repro/internal/ir"
+
+// SimplifyCFG tidies control flow to a fixpoint: it folds constant
+// branches, removes unreachable blocks, merges straight-line block chains,
+// forwards empty blocks, and collapses conditional branches whose targets
+// coincide.
+func SimplifyCFG(f *ir.Function) bool {
+	changed := false
+	for {
+		did := false
+		if f.RemoveUnreachable() > 0 {
+			did = true
+		}
+		if foldConstBranches(f) {
+			did = true
+		}
+		if collapseSameTarget(f) {
+			did = true
+		}
+		if mergeChains(f) {
+			did = true
+		}
+		if forwardEmptyBlocks(f) {
+			did = true
+		}
+		if prunePhis(f) {
+			did = true
+		}
+		if !did {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// foldConstBranches turns condbr/switch on constants into plain branches.
+func foldConstBranches(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term == nil {
+			continue
+		}
+		switch term.Op {
+		case ir.OpCondBr:
+			c, ok := term.Args[0].(*ir.Const)
+			if !ok {
+				continue
+			}
+			keep, drop := term.Blocks[0], term.Blocks[1]
+			if c.I == 0 {
+				keep, drop = drop, keep
+			}
+			if drop != keep {
+				for _, phi := range drop.Phis() {
+					phi.RemovePhiIncoming(b)
+				}
+			}
+			term.Op = ir.OpBr
+			term.Args = nil
+			term.Blocks = []*ir.Block{keep}
+			changed = true
+		case ir.OpSwitch:
+			c, ok := term.Args[0].(*ir.Const)
+			if !ok {
+				continue
+			}
+			target := term.Blocks[0]
+			for i, sv := range term.SwitchVals {
+				if sv == c.I {
+					target = term.Blocks[i+1]
+					break
+				}
+			}
+			for _, t := range term.Blocks {
+				if t != target {
+					for _, phi := range t.Phis() {
+						phi.RemovePhiIncoming(b)
+					}
+				}
+			}
+			term.Op = ir.OpBr
+			term.Args = nil
+			term.Blocks = []*ir.Block{target}
+			term.SwitchVals = nil
+			changed = true
+		}
+	}
+	return changed
+}
+
+// collapseSameTarget rewrites `condbr %c, %t, %t` into `br %t`.
+func collapseSameTarget(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term == nil || term.Op != ir.OpCondBr {
+			continue
+		}
+		if term.Blocks[0] == term.Blocks[1] {
+			term.Op = ir.OpBr
+			term.Args = nil
+			term.Blocks = term.Blocks[:1]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeChains merges a block into its unique successor when that successor
+// has no other predecessors (classic straight-line merging).
+func mergeChains(f *ir.Function) bool {
+	changed := false
+	for {
+		preds := f.Preds()
+		merged := false
+		for _, b := range f.Blocks {
+			term := b.Term()
+			if term == nil || term.Op != ir.OpBr {
+				continue
+			}
+			s := term.Blocks[0]
+			if s == b || s == f.Entry() || len(preds[s]) != 1 {
+				continue
+			}
+			// Absorb s into b. Phis in s have a single incoming value.
+			for _, phi := range s.Phis() {
+				f.ReplaceUses(phi, phi.Args[0])
+			}
+			body := s.Instrs[s.FirstNonPhi():]
+			b.Remove(term)
+			for _, in := range body {
+				in.Parent = b
+				b.Instrs = append(b.Instrs, in)
+			}
+			// Successor phis that referenced s now come from b.
+			for _, ss := range b.Succs() {
+				for _, phi := range ss.Phis() {
+					for i, blk := range phi.Blocks {
+						if blk == s {
+							phi.Blocks[i] = b
+						}
+					}
+				}
+			}
+			f.RemoveBlock(s)
+			merged, changed = true, true
+			break // preds map is stale; recompute
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+// forwardEmptyBlocks removes blocks that contain only an unconditional
+// branch, rerouting predecessors straight to the target.
+func forwardEmptyBlocks(f *ir.Function) bool {
+	changed := false
+	for {
+		preds := f.Preds()
+		did := false
+		for _, b := range f.Blocks {
+			if b == f.Entry() || len(b.Instrs) != 1 {
+				continue
+			}
+			term := b.Term()
+			if term == nil || term.Op != ir.OpBr {
+				continue
+			}
+			target := term.Blocks[0]
+			if target == b {
+				continue
+			}
+			// If the target has phis, rerouting is only safe when each
+			// predecessor of b can carry b's phi value unambiguously —
+			// i.e. the predecessor is not already a predecessor of target.
+			tPhis := target.Phis()
+			ok := true
+			if len(tPhis) > 0 {
+				already := make(map[*ir.Block]bool)
+				for _, tp := range preds[target] {
+					if tp != b {
+						already[tp] = true
+					}
+				}
+				for _, p := range preds[b] {
+					if already[p] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok || len(preds[b]) == 0 {
+				continue
+			}
+			for _, phi := range tPhis {
+				v := phi.PhiIncoming(b)
+				phi.RemovePhiIncoming(b)
+				for _, p := range preds[b] {
+					phi.SetPhiIncoming(p, v)
+				}
+			}
+			for _, p := range preds[b] {
+				p.Term().RedirectTarget(b, target)
+			}
+			f.RemoveBlock(b)
+			did, changed = true, true
+			break
+		}
+		if !did {
+			return changed
+		}
+	}
+}

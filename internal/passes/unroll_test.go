@@ -1,0 +1,198 @@
+package passes_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+func prepUnroll(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m := compile(t, src)
+	// Canonicalize into the two-block loop shape first.
+	for _, p := range []string{"mem2reg", "instcombine", "simplifycfg"} {
+		if _, err := passes.RunPass(m, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestUnrollConstantLoopFoldsAway(t *testing.T) {
+	m := prepUnroll(t, `int main() {
+		int s = 0;
+		for (int i = 0; i < 10; i++) s += i;
+		return s;
+	}`)
+	if !passes.UnrollLoops(m.Func("main")) {
+		t.Fatalf("loop not unrolled:\n%s", m.String())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR after unroll: %v\n%s", err, m.String())
+	}
+	// No loop left.
+	if loops := ir.NewDomTree(m.Func("main")).NaturalLoops(); len(loops) != 0 {
+		t.Fatalf("loop survives unrolling:\n%s", m.String())
+	}
+	ret, _ := runMod(t, m)
+	if ret != 45 {
+		t.Fatalf("ret = %d, want 45", ret)
+	}
+	// With SCCP + cleanup the whole computation becomes the constant 45.
+	if _, err := passes.RunPass(m, "sccp"); err != nil {
+		t.Fatal(err)
+	}
+	passes.DCE(m.Func("main"))
+	passes.SimplifyCFG(m.Func("main"))
+	if n := m.Func("main").NumInstrs(); n > 2 {
+		t.Fatalf("constant loop did not collapse (%d instrs):\n%s", n, m.String())
+	}
+}
+
+func TestUnrollVariableBody(t *testing.T) {
+	// The loop bound is constant but the body folds nothing (depends on
+	// input); unrolling must still preserve semantics.
+	src := `int main() {
+		int x = input();
+		int s = 0;
+		for (int i = 0; i < 8; i++) s = s * 2 + x + i;
+		return s % 1000003;
+	}`
+	m := prepUnroll(t, src)
+	if !passes.UnrollLoops(m.Func("main")) {
+		t.Fatalf("loop not unrolled:\n%s", m.String())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR: %v\n%s", err, m.String())
+	}
+	res, err := interp.Run(m, interp.Options{Input: []int64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := compile(t, src)
+	want, err := interp.Run(base, interp.Options{Input: []int64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != want.Ret {
+		t.Fatalf("ret = %d, want %d", res.Ret, want.Ret)
+	}
+	if res.Steps >= want.Steps {
+		t.Fatalf("unrolled code not faster: %d vs %d steps", res.Steps, want.Steps)
+	}
+}
+
+func TestUnrollSkipsLargeLoops(t *testing.T) {
+	m := prepUnroll(t, `int main() {
+		int s = 0;
+		for (int i = 0; i < 100000; i++) s += i;
+		return s % 1000003;
+	}`)
+	f := m.Func("main")
+	before := f.NumInstrs()
+	passes.UnrollLoops(f)
+	if f.NumInstrs() > before*4 {
+		t.Fatalf("oversized loop was unrolled: %d -> %d instrs", before, f.NumInstrs())
+	}
+	ret, _ := runMod(t, m)
+	if ret != 4999950000%1000003 {
+		t.Fatalf("ret = %d", ret)
+	}
+}
+
+func TestUnrollSkipsDynamicBound(t *testing.T) {
+	m := prepUnroll(t, `int main() {
+		int n = input();
+		int s = 0;
+		for (int i = 0; i < n; i++) s += i;
+		return s;
+	}`)
+	f := m.Func("main")
+	if passes.UnrollLoops(f) {
+		t.Fatalf("dynamic-bound loop unrolled:\n%s", f.String())
+	}
+	res, err := interp.Run(m, interp.Options{Input: []int64{6}})
+	if err != nil || res.Ret != 15 {
+		t.Fatalf("ret=%v err=%v", res, err)
+	}
+}
+
+func TestUnrollWithCalls(t *testing.T) {
+	// Calls in the body have side effects; the unrolled sequence must
+	// replay them the exact number of times, in order.
+	src := `
+	int g = 0;
+	int bump(int v) { g = g * 10 + v; return g; }
+	int main() {
+		for (int i = 1; i <= 4; i++) bump(i);
+		return g;
+	}`
+	m := prepUnroll(t, src)
+	passes.UnrollLoops(m.Func("main"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR: %v", err)
+	}
+	ret, _ := runMod(t, m)
+	if ret != 1234 {
+		t.Fatalf("ret = %d, want 1234 (calls reordered or dropped)", ret)
+	}
+}
+
+func TestUnrollNestedInner(t *testing.T) {
+	src := `int main() {
+		int s = 0;
+		for (int i = 0; i < 6; i++)
+			for (int j = 0; j < 5; j++)
+				s += i * j;
+		return s;
+	}`
+	m := prepUnroll(t, src)
+	passes.UnrollLoops(m.Func("main"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR: %v\n%s", err, m.String())
+	}
+	ret, _ := runMod(t, m)
+	if ret != 150 {
+		t.Fatalf("ret = %d, want 150", ret)
+	}
+}
+
+func TestUnrollDownwardLoop(t *testing.T) {
+	src := `int main() {
+		int s = 0;
+		for (int i = 9; i > 0; i--) s = s * 10 + i % 10;
+		return s % 1000000007;
+	}`
+	m := prepUnroll(t, src)
+	passes.UnrollLoops(m.Func("main"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR: %v", err)
+	}
+	want, _ := runMod(t, compile(t, src))
+	got, _ := runMod(t, m)
+	if got != want {
+		t.Fatalf("ret = %d, want %d", got, want)
+	}
+}
+
+func TestUnrollPreservesArraySemantics(t *testing.T) {
+	src := `int main() {
+		int a[6];
+		for (int i = 0; i < 6; i++) a[i] = i * i + 1;
+		int s = 0;
+		for (int i = 0; i < 6; i++) s = s * 7 + a[i];
+		return s % 1000000007;
+	}`
+	m := prepUnroll(t, src)
+	passes.UnrollLoops(m.Func("main"))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR: %v", err)
+	}
+	want, _ := runMod(t, compile(t, src))
+	got, _ := runMod(t, m)
+	if got != want {
+		t.Fatalf("ret = %d, want %d", got, want)
+	}
+}

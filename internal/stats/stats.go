@@ -1,0 +1,137 @@
+// Package stats provides the evaluation metrics of the paper: accuracy,
+// macro F1 (identical to accuracy on perfectly balanced sets, as Figure 12
+// illustrates), confusion matrices, box-plot summaries of repeated rounds
+// and geometric means for the speedup analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accuracy is hits over tries.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// Confusion builds the numClasses x numClasses confusion matrix
+// (rows = truth, cols = prediction).
+func Confusion(pred, truth []int, numClasses int) [][]int {
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	for i := range pred {
+		if truth[i] >= 0 && truth[i] < numClasses && pred[i] >= 0 && pred[i] < numClasses {
+			m[truth[i]][pred[i]]++
+		}
+	}
+	return m
+}
+
+// MacroF1 averages per-class F1 scores. Classes absent from the truth are
+// skipped.
+func MacroF1(pred, truth []int, numClasses int) float64 {
+	cm := Confusion(pred, truth, numClasses)
+	sum, classes := 0.0, 0
+	for c := 0; c < numClasses; c++ {
+		tp := cm[c][c]
+		fn, fp := 0, 0
+		for k := 0; k < numClasses; k++ {
+			if k != c {
+				fn += cm[c][k]
+				fp += cm[k][c]
+			}
+		}
+		if tp+fn == 0 {
+			continue // class not present
+		}
+		classes++
+		if tp == 0 {
+			continue
+		}
+		prec := float64(tp) / float64(tp+fp)
+		rec := float64(tp) / float64(tp+fn)
+		sum += 2 * prec * rec / (prec + rec)
+	}
+	if classes == 0 {
+		return 0
+	}
+	return sum / float64(classes)
+}
+
+// Summary holds the box-plot statistics of repeated measurements (the
+// paper's plots summarize ten rounds).
+type Summary struct {
+	N                        int
+	Mean, Std                float64
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		s.Mean += x
+	}
+	s.Mean /= float64(len(sorted))
+	for _, x := range sorted {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(sorted)))
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Q1 = quantile(sorted, 0.25)
+	s.Median = quantile(sorted, 0.5)
+	s.Q3 = quantile(sorted, 0.75)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary as "mean ± std [min, max]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f [%.4f, %.4f]", s.Mean, s.Std, s.Min, s.Max)
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,144 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := stats.Accuracy([]int{1, 2, 3}, []int{1, 2, 0}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := stats.Accuracy(nil, nil); got != 0 {
+		t.Fatalf("empty accuracy = %v", got)
+	}
+	if got := stats.Accuracy([]int{1}, []int{1, 2}); got != 0 {
+		t.Fatalf("mismatched lengths should give 0, got %v", got)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	cm := stats.Confusion([]int{0, 1, 1, 0}, []int{0, 1, 0, 1}, 2)
+	if cm[0][0] != 1 || cm[1][1] != 1 || cm[0][1] != 1 || cm[1][0] != 1 {
+		t.Fatalf("confusion = %v", cm)
+	}
+}
+
+func TestMacroF1PerfectAndWorst(t *testing.T) {
+	pred := []int{0, 1, 2, 0, 1, 2}
+	if got := stats.MacroF1(pred, pred, 3); got != 1 {
+		t.Fatalf("perfect F1 = %v", got)
+	}
+	wrong := []int{1, 2, 0, 1, 2, 0}
+	if got := stats.MacroF1(wrong, pred, 3); got != 0 {
+		t.Fatalf("all-wrong F1 = %v", got)
+	}
+}
+
+// On balanced data with symmetric errors, F1 tracks accuracy (the paper's
+// Figure 12 note).
+func TestF1TracksAccuracyOnBalancedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, classes := 600, 6
+	truth := make([]int, n)
+	pred := make([]int, n)
+	for i := range truth {
+		truth[i] = i % classes
+		if rng.Float64() < 0.8 {
+			pred[i] = truth[i]
+		} else {
+			pred[i] = rng.Intn(classes)
+		}
+	}
+	acc := stats.Accuracy(pred, truth)
+	f1 := stats.MacroF1(pred, truth, classes)
+	if math.Abs(acc-f1) > 0.05 {
+		t.Fatalf("acc %v and F1 %v diverge on balanced data", acc, f1)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %v %v", s.Q1, s.Q3)
+	}
+	empty := stats.Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	one := stats.Summarize([]float64{7})
+	if one.Median != 7 || one.Q1 != 7 {
+		t.Fatalf("singleton summary = %+v", one)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := stats.GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean = %v", got)
+	}
+	if got := stats.GeoMean([]float64{2, -1}); got != 0 {
+		t.Fatalf("non-positive input should give 0, got %v", got)
+	}
+	if got := stats.GeoMean(nil); got != 0 {
+		t.Fatalf("empty geomean = %v", got)
+	}
+}
+
+// Properties: summary bounds hold for arbitrary inputs.
+func TestSummaryProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			// Exclude values whose sums/squares overflow float64; the
+			// metric inputs are accuracies and distances, never 1e300.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := stats.Summarize(clean)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accuracy is within [0,1] and equals 1 iff pred == truth.
+func TestAccuracyProperties(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%50) + 1
+		pred := make([]int, m)
+		truth := make([]int, m)
+		allEq := true
+		for i := range pred {
+			pred[i] = rng.Intn(4)
+			truth[i] = rng.Intn(4)
+			if pred[i] != truth[i] {
+				allEq = false
+			}
+		}
+		a := stats.Accuracy(pred, truth)
+		if a < 0 || a > 1 {
+			return false
+		}
+		return (a == 1) == allEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
