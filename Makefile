@@ -1,0 +1,31 @@
+# Build, test and race-check targets for the reproduction.
+#
+#   make build   compile everything
+#   make test    tier-1 suite (what CI must keep green)
+#   make race    vet + race-detector pass over the concurrent packages
+#                (the game harness and the embeddings) — run on every PR
+#   make bench   regenerate the paper figures as benchmark metrics
+#   make perf    the harness speedup benchmark (compile cache + parallel rounds)
+#   make check   everything CI runs: build + test + race
+
+GO ?= go
+
+.PHONY: build test race bench perf check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/embed/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+perf:
+	$(GO) test -run xxx -bench BenchmarkHarnessRounds -benchtime 5x .
+
+check: build test race

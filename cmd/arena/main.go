@@ -27,13 +27,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ml"
 	"repro/internal/passes"
+	"repro/internal/progcache"
 )
 
 func main() {
@@ -102,6 +106,8 @@ type commonFlags struct {
 	rounds   int
 	seed     int64
 	dataset  string
+	jobs     int
+	verbose  bool
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -111,7 +117,84 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.rounds, "rounds", 3, "repetitions per configuration (paper: 10)")
 	fs.Int64Var(&c.seed, "seed", 1, "master random seed")
 	fs.StringVar(&c.dataset, "dataset", "", "load the dataset from a JSON file (see 'arena gen') instead of generating")
+	fs.IntVar(&c.jobs, "j", 0, "parallel workers for rounds and experiment cells (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.verbose, "v", false, "print compile-cache and per-phase timing counters")
 	return c
+}
+
+// workers resolves the -j flag.
+func (c *commonFlags) workers() int {
+	if c.jobs > 0 {
+		return c.jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells runs fn(0..n-1) on a pool of workers and returns the first error
+// in cell order (so error reporting does not depend on scheduling).
+func runCells(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseTally accumulates per-phase wall-clock across game rounds.
+type phaseTally struct {
+	featurize, train time.Duration
+	rounds           int
+}
+
+func (p *phaseTally) add(rs []core.GameResult) {
+	for _, r := range rs {
+		p.featurize += r.FeaturizeTime
+		p.train += r.TrainTime
+		p.rounds++
+	}
+}
+
+// report prints the verbose footer: phase timings plus progcache counters.
+func (p *phaseTally) report(wall time.Duration) {
+	st := progcache.Snapshot()
+	fmt.Printf("timing: wall %v | featurize %v + train %v across %d rounds (cpu-time, parallel)\n",
+		wall.Round(time.Millisecond), p.featurize.Round(time.Millisecond),
+		p.train.Round(time.Millisecond), p.rounds)
+	total := st.Hits + st.Misses
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(st.Hits) / float64(total)
+	}
+	fmt.Printf("progcache: %d hits / %d misses (%.1f%% hit rate), %d modules cached, compile %v, clone %v\n",
+		st.Hits, st.Misses, 100*ratio, st.Entries,
+		st.CompileTime.Round(time.Millisecond), st.CloneTime.Round(time.Millisecond))
 }
 
 // loadSet builds or loads the dataset per the common flags.
@@ -149,14 +232,21 @@ func cmdAll(args []string) error {
 	per := fs.Int("per", 16, "solutions per class")
 	rounds := fs.Int("rounds", 2, "rounds per configuration")
 	seed := fs.Int64("seed", 1, "master seed")
+	jobs := fs.Int("j", 0, "parallel workers passed to every step (0 = GOMAXPROCS)")
+	verbose := fs.Bool("v", false, "print per-step wall clock and compile-cache counters")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	c := func(extra ...string) []string {
-		return append([]string{
+		out := []string{
 			"-classes", fmt.Sprint(*classes), "-per", fmt.Sprint(*per),
 			"-rounds", fmt.Sprint(*rounds), "-seed", fmt.Sprint(*seed),
-		}, extra...)
+			"-j", fmt.Sprint(*jobs),
+		}
+		if *verbose {
+			out = append(out, "-v")
+		}
+		return append(out, extra...)
 	}
 	steps := []struct {
 		title string
@@ -167,8 +257,12 @@ func cmdAll(args []string) error {
 		{"Figure 9 — game 2 (evader: ollvm)", func() error { return cmdGame(2, c("-evader", "ollvm")) }},
 		{"Figure 11 — game 3 (evader: rs, norm O3)", func() error { return cmdGame(3, c("-evader", "rs", "-norm", "O3")) }},
 		{"Figure 12 — class sweep", func() error {
-			return cmdClasses([]string{"-per", fmt.Sprint(*per), "-rounds", fmt.Sprint(*rounds),
-				"-seed", fmt.Sprint(*seed), "-sweep", "4,8,16"})
+			sweepArgs := []string{"-per", fmt.Sprint(*per), "-rounds", fmt.Sprint(*rounds),
+				"-seed", fmt.Sprint(*seed), "-j", fmt.Sprint(*jobs), "-sweep", "4,8,16"}
+			if *verbose {
+				sweepArgs = append(sweepArgs, "-v")
+			}
+			return cmdClasses(sweepArgs)
 		}},
 		{"Figure 10 — histogram distances", func() error { return cmdDistance(c()) }},
 		{"Figure 13 — speedup", func() error { return cmdSpeedup([]string{"-seed", fmt.Sprint(*seed)}) }},
@@ -180,11 +274,22 @@ func cmdAll(args []string) error {
 				"-seed", fmt.Sprint(*seed)})
 		}},
 	}
+	allStart := time.Now()
 	for _, s := range steps {
 		fmt.Printf("\n=== %s ===\n", s.title)
+		stepStart := time.Now()
 		if err := s.run(); err != nil {
 			return fmt.Errorf("%s: %w", s.title, err)
 		}
+		if *verbose {
+			fmt.Printf("step wall clock: %v\n", time.Since(stepStart).Round(time.Millisecond))
+		}
+	}
+	if *verbose {
+		st := progcache.Snapshot()
+		fmt.Printf("\ntotal wall clock: %v | progcache: %d hits / %d misses, %d modules, compile %v\n",
+			time.Since(allStart).Round(time.Millisecond), st.Hits, st.Misses, st.Entries,
+			st.CompileTime.Round(time.Millisecond))
 	}
 	return nil
 }
@@ -219,7 +324,8 @@ func cmdGame(game int, args []string) error {
 		},
 		Seed: c.seed,
 	}
-	results, sum, err := core.RunRounds(set, cfg, c.rounds)
+	start := time.Now()
+	results, sum, err := core.RunRoundsN(set, cfg, c.rounds, c.workers())
 	if err != nil {
 		return err
 	}
@@ -231,6 +337,11 @@ func cmdGame(game int, args []string) error {
 	w.Flush()
 	fmt.Printf("summary: %s  (train %d / test %d per round)\n",
 		sum, results[0].NumTrain, results[0].NumTest)
+	if c.verbose {
+		var tally phaseTally
+		tally.add(results)
+		tally.report(time.Since(start))
+	}
 	return nil
 }
 
@@ -250,8 +361,16 @@ func cmdEmbeddings(args []string) error {
 		"cfg", "cfg_compact", "cdfg", "cdfg_compact", "cdfg_plus",
 		"programl", "ir2vec", "milepost", "histogram",
 	}
-	w := newTable()
-	fmt.Fprintf(w, "game\tembedding\tmodel\tmean acc\tstd\n")
+	// Build the (game, embedding) cell matrix up front so the cells can run
+	// on a worker pool and still print in the paper's order.
+	type cell struct {
+		game    int
+		emb     string
+		model   string
+		results []core.GameResult
+		sum     string
+	}
+	var cells []*cell
 	for _, gs := range strings.Split(*games, ",") {
 		var game int
 		if _, err := fmt.Sscanf(strings.TrimSpace(gs), "%d", &game); err != nil {
@@ -264,18 +383,38 @@ func cmdEmbeddings(args []string) error {
 			if emb == "ir2vec" || emb == "milepost" || emb == "histogram" {
 				model = "cnn"
 			}
-			cfg := core.GameConfig{
-				Game: game, Evader: *evader,
-				Pipeline: core.Pipeline{Embedding: emb, Model: model, Normalizer: passes.O3},
-				Seed:     c.seed,
-			}
-			_, sum, err := core.RunRounds(set, cfg, c.rounds)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%d\t%s\t%s\t%.4f\t%.4f\n", game, emb, model, sum.Mean, sum.Std)
-			w.Flush()
+			cells = append(cells, &cell{game: game, emb: emb, model: model})
 		}
+	}
+	start := time.Now()
+	err = runCells(len(cells), c.workers(), func(i int) error {
+		cl := cells[i]
+		cfg := core.GameConfig{
+			Game: cl.game, Evader: *evader,
+			Pipeline: core.Pipeline{Embedding: cl.emb, Model: cl.model, Normalizer: passes.O3},
+			Seed:     c.seed,
+		}
+		results, sum, err := core.RunRoundsN(set, cfg, c.rounds, c.workers())
+		if err != nil {
+			return err
+		}
+		cl.results = results
+		cl.sum = fmt.Sprintf("%.4f\t%.4f", sum.Mean, sum.Std)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTable()
+	fmt.Fprintf(w, "game\tembedding\tmodel\tmean acc\tstd\n")
+	var tally phaseTally
+	for _, cl := range cells {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\n", cl.game, cl.emb, cl.model, cl.sum)
+		tally.add(cl.results)
+	}
+	w.Flush()
+	if c.verbose {
+		tally.report(time.Since(start))
 	}
 	return nil
 }
@@ -291,21 +430,38 @@ func cmdModels(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := newTable()
-	fmt.Fprintf(w, "model\tmean acc\tstd\tmodel memory\n")
-	for _, model := range ml.VectorNames() {
+	models := ml.VectorNames()
+	rows := make([]string, len(models))
+	cellResults := make([][]core.GameResult, len(models))
+	start := time.Now()
+	err = runCells(len(models), c.workers(), func(i int) error {
 		cfg := core.GameConfig{
 			Game:     0,
-			Pipeline: core.Pipeline{Embedding: *embedding, Model: model},
+			Pipeline: core.Pipeline{Embedding: *embedding, Model: models[i]},
 			Seed:     c.seed,
 		}
-		results, sum, err := core.RunRounds(set, cfg, c.rounds)
+		results, sum, err := core.RunRoundsN(set, cfg, c.rounds, c.workers())
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%s\n", model, sum.Mean, sum.Std,
+		cellResults[i] = results
+		rows[i] = fmt.Sprintf("%s\t%.4f\t%.4f\t%s", models[i], sum.Mean, sum.Std,
 			fmtBytes(results[len(results)-1].ModelMemory))
-		w.Flush()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTable()
+	fmt.Fprintf(w, "model\tmean acc\tstd\tmodel memory\n")
+	var tally phaseTally
+	for i, row := range rows {
+		fmt.Fprintln(w, row)
+		tally.add(cellResults[i])
+	}
+	w.Flush()
+	if c.verbose {
+		tally.report(time.Since(start))
 	}
 	return nil
 }
@@ -318,13 +474,19 @@ func cmdClasses(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w := newTable()
-	fmt.Fprintf(w, "classes\tmodel\tmean acc\tmean F1\trandom\n")
+	var counts []int
 	for _, cs := range strings.Split(*sweep, ",") {
 		var m int
 		if _, err := fmt.Sscanf(strings.TrimSpace(cs), "%d", &m); err != nil {
 			return fmt.Errorf("bad class count %q", cs)
 		}
+		counts = append(counts, m)
+	}
+	rows := make([]string, len(counts))
+	cellResults := make([][]core.GameResult, len(counts))
+	start := time.Now()
+	err := runCells(len(counts), c.workers(), func(i int) error {
+		m := counts[i]
 		set, err := dataset.Generate(m, c.perClass, c.seed)
 		if err != nil {
 			return err
@@ -334,7 +496,7 @@ func cmdClasses(args []string) error {
 			Pipeline: core.Pipeline{Embedding: "histogram", Model: *model},
 			Seed:     c.seed,
 		}
-		results, sum, err := core.RunRounds(set, cfg, c.rounds)
+		results, sum, err := core.RunRoundsN(set, cfg, c.rounds, c.workers())
 		if err != nil {
 			return err
 		}
@@ -343,8 +505,23 @@ func cmdClasses(args []string) error {
 			f1 += r.F1
 		}
 		f1 /= float64(len(results))
-		fmt.Fprintf(w, "%d\t%s\t%.4f\t%.4f\t%.4f\n", m, *model, sum.Mean, f1, 1.0/float64(m))
-		w.Flush()
+		cellResults[i] = results
+		rows[i] = fmt.Sprintf("%d\t%s\t%.4f\t%.4f\t%.4f", m, *model, sum.Mean, f1, 1.0/float64(m))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := newTable()
+	fmt.Fprintf(w, "classes\tmodel\tmean acc\tmean F1\trandom\n")
+	var tally phaseTally
+	for i, row := range rows {
+		fmt.Fprintln(w, row)
+		tally.add(cellResults[i])
+	}
+	w.Flush()
+	if c.verbose {
+		tally.report(time.Since(start))
 	}
 	return nil
 }

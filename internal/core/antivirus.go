@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ir"
-	"repro/internal/minic"
+	"repro/internal/progcache"
 )
 
 // SignatureScanner is the stand-in for the paper's VirusTotal comparison
@@ -32,7 +32,10 @@ func TrainSignatureScanner(malware, benign []string, n int, minSupport float64) 
 	}
 	counts := make(map[string]int)
 	for _, src := range malware {
-		m, err := minic.CompileSource(src, "sig")
+		// n-gram extraction only reads the module, so the shared cached
+		// master is enough — the ensemble trains ten engines over the same
+		// corpora and now compiles each source once instead of ten times.
+		m, err := progcache.CompileShared(src, "sig")
 		if err != nil {
 			return nil, fmt.Errorf("core: signature training: %w", err)
 		}
@@ -42,7 +45,7 @@ func TrainSignatureScanner(malware, benign []string, n int, minSupport float64) 
 	}
 	benignGrams := make(map[string]bool)
 	for _, src := range benign {
-		m, err := minic.CompileSource(src, "sig")
+		m, err := progcache.CompileShared(src, "sig")
 		if err != nil {
 			return nil, fmt.Errorf("core: signature training: %w", err)
 		}

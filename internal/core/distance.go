@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/embed"
-	"repro/internal/minic"
+	"repro/internal/progcache"
 	"repro/internal/stats"
 )
 
@@ -26,7 +26,9 @@ func DistanceAnalysis(samples []dataset.Sample, transforms []string, seed int64)
 	for _, tr := range transforms {
 		dists := make([]float64, 0, len(samples))
 		for _, s := range samples {
-			orig, err := minic.CompileSource(s.Source, "orig")
+			// Histogram only reads the module; share the cached master so
+			// the baseline compile happens once across all transforms.
+			orig, err := progcache.CompileShared(s.Source, "orig")
 			if err != nil {
 				return nil, err
 			}

@@ -9,11 +9,14 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"repro/internal/ir"
 	"repro/internal/minic"
 	"repro/internal/obfus"
 	"repro/internal/passes"
+	"repro/internal/progcache"
 	"repro/internal/srcobf"
 )
 
@@ -24,6 +27,30 @@ func EvaderNames() []string {
 	return []string{"bcf", "fla", "sub", "ollvm", "O3", "rs", "mcmc", "drlsg", "none"}
 }
 
+// TransformNames lists every transformation Transform accepts: the nine
+// evaders plus the remaining optimization levels and the genetic strategy.
+func TransformNames() []string {
+	return append(EvaderNames(), "O0", "O1", "O2", "mem2reg", "ga")
+}
+
+// ValidateEvader checks name against the transformation registry up front,
+// so a typo fails with a clear error instead of surfacing as a per-sample
+// failure from deep inside a featurize worker. The empty string is allowed
+// (it means the passive evader).
+func ValidateEvader(name string) error {
+	if name == "" {
+		return nil
+	}
+	valid := TransformNames()
+	for _, v := range valid {
+		if name == v {
+			return nil
+		}
+	}
+	sort.Strings(valid)
+	return fmt.Errorf("core: unknown evader %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
 // Transform compiles source code and applies the named evader
 // transformation, returning the transformed module:
 //
@@ -32,12 +59,16 @@ func EvaderNames() []string {
 //	mem2reg                SSA promotion only
 //	bcf/fla/sub/ollvm      O-LLVM-style IR obfuscations
 //	rs/mcmc/drlsg/ga       Zhang-style source-level strategies
+//
+// The O0 compile of src is served from the process-wide progcache; every
+// branch that mutates the module works on a private clone, so repeated
+// transforms of the same source skip the front end entirely.
 func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
 	switch name {
 	case "none", "", "O0":
-		return minic.CompileSource(src, "prog")
+		return progcache.Compile(src, "prog")
 	case "O1", "O2", "O3":
-		m, err := minic.CompileSource(src, "prog")
+		m, err := progcache.Compile(src, "prog")
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +78,7 @@ func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
 		}
 		return m, nil
 	case "mem2reg":
-		m, err := minic.CompileSource(src, "prog")
+		m, err := progcache.Compile(src, "prog")
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +87,7 @@ func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
 		}
 		return m, nil
 	case "bcf", "fla", "sub", "ollvm":
-		m, err := minic.CompileSource(src, "prog")
+		m, err := progcache.Compile(src, "prog")
 		if err != nil {
 			return nil, err
 		}
@@ -69,6 +100,8 @@ func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The strategy output is seed-dependent and essentially unique, so
+		// caching it would only grow the cache; compile it directly.
 		return minic.CompileSource(out, "prog")
 	}
 	return nil, fmt.Errorf("core: unknown transformation %q", name)

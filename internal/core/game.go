@@ -5,11 +5,14 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/embed"
+	"repro/internal/ir"
 	"repro/internal/ml"
 	"repro/internal/passes"
+	"repro/internal/progcache"
 	"repro/internal/stats"
 )
 
@@ -31,6 +34,8 @@ type GameConfig struct {
 	// Pipeline is the classifier.
 	Pipeline Pipeline
 	// TrainFrac is the training split (the paper uses 375/500 = 0.75).
+	// Zero means "use the default 0.75"; any other value outside (0, 1)
+	// is rejected.
 	TrainFrac float64
 	// Seed drives the split, the evader and the model initialization.
 	Seed int64
@@ -43,6 +48,11 @@ type GameResult struct {
 	NumTrain    int
 	NumTest     int
 	ModelMemory int64
+	// FeaturizeTime and TrainTime are the wall-clock phase timings of the
+	// round (compile+transform+embed vs. model fit+predict), surfaced so
+	// harnesses can report where the time goes.
+	FeaturizeTime time.Duration
+	TrainTime     time.Duration
 }
 
 // featurized holds one sample's embedding (vector or graph).
@@ -58,8 +68,16 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 	if cfg.Game < 0 || cfg.Game > 3 {
 		return nil, fmt.Errorf("core: game must be 0..3, got %d", cfg.Game)
 	}
-	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+	if cfg.TrainFrac == 0 {
 		cfg.TrainFrac = 0.75
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		return nil, fmt.Errorf("core: TrainFrac must be in (0, 1), got %v", cfg.TrainFrac)
+	}
+	if cfg.Game >= 1 {
+		if err := ValidateEvader(cfg.Evader); err != nil {
+			return nil, err
+		}
 	}
 	emb, err := embed.Get(cfg.Pipeline.Embedding)
 	if err != nil {
@@ -92,6 +110,7 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 		normalizeTest = normalizeTrain
 	}
 
+	featStart := time.Now()
 	trainFeats, err := featurize(train, trainTransform, normalizeTrain, cfg.Pipeline.Normalizer, emb, rng)
 	if err != nil {
 		return nil, err
@@ -102,6 +121,8 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 	}
 
 	res := &GameResult{NumTrain: len(train), NumTest: len(test)}
+	res.FeaturizeTime = time.Since(featStart)
+	trainStart := time.Now()
 	truth := make([]int, len(testFeats))
 	pred := make([]int, len(testFeats))
 	for i, f := range testFeats {
@@ -142,6 +163,7 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 		}
 		res.ModelMemory = model.MemoryBytes()
 	}
+	res.TrainTime = time.Since(trainStart)
 	res.Accuracy = stats.Accuracy(pred, truth)
 	res.F1 = stats.MacroF1(pred, truth, set.NumClasses)
 	return res, nil
@@ -192,7 +214,17 @@ func featurizeOne(s dataset.Sample, transform string, normalize bool,
 	norm passes.Level, emb *embed.Embedding, seed int64) featurized {
 
 	f := featurized{label: s.Class}
-	m, err := Transform(s.Source, transform, rand.New(rand.NewSource(seed)))
+	var m *ir.Module
+	var err error
+	if !normalize && (transform == "" || transform == "none" || transform == "O0") {
+		// The passive evader with no normalizer leaves the module exactly
+		// as compiled, and embeddings only read it — so every round and
+		// every worker can share the one cached master, skipping both the
+		// front end and the clone.
+		m, err = progcache.CompileShared(s.Source, "prog")
+	} else {
+		m, err = Transform(s.Source, transform, rand.New(rand.NewSource(seed)))
+	}
 	if err != nil {
 		f.err = err
 		return f
@@ -213,19 +245,59 @@ func featurizeOne(s dataset.Sample, transform string, normalize bool,
 
 // RunRounds repeats the game the given number of rounds (the paper uses
 // ten), varying the seed, and returns the per-round results plus accuracy
-// summary.
+// summary. Rounds run in parallel across all available CPUs; see RunRoundsN
+// to pick the worker count.
 func RunRounds(set *dataset.Set, cfg GameConfig, rounds int) ([]GameResult, stats.Summary, error) {
-	results := make([]GameResult, 0, rounds)
-	accs := make([]float64, 0, rounds)
+	return RunRoundsN(set, cfg, rounds, 0)
+}
+
+// RunRoundsN is RunRounds with an explicit worker count (0 or negative
+// means GOMAXPROCS). Each round derives its seed from the round index —
+// cfg.Seed + r*7919, byte-identical to the historical serial derivation —
+// so the results do not depend on the worker count or completion order.
+func RunRoundsN(set *dataset.Set, cfg GameConfig, rounds int, workers int) ([]GameResult, stats.Summary, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rounds {
+		workers = rounds
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]GameResult, rounds)
+	errs := make([]error, rounds)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				c := cfg
+				c.Seed = cfg.Seed + int64(r)*7919
+				res, err := RunGame(set, c)
+				if err != nil {
+					errs[r] = err
+					continue
+				}
+				results[r] = *res
+			}
+		}()
+	}
 	for r := 0; r < rounds; r++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(r)*7919
-		res, err := RunGame(set, c)
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, stats.Summary{}, err
 		}
-		results = append(results, *res)
-		accs = append(accs, res.Accuracy)
+	}
+	accs := make([]float64, rounds)
+	for r := range results {
+		accs[r] = results[r].Accuracy
 	}
 	return results, stats.Summarize(accs), nil
 }

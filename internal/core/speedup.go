@@ -6,9 +6,9 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/interp"
-	"repro/internal/minic"
 	"repro/internal/obfus"
 	"repro/internal/passes"
+	"repro/internal/progcache"
 	"repro/internal/stats"
 )
 
@@ -43,7 +43,9 @@ func Speedup(seed int64) (*SpeedupReport, error) {
 	for _, p := range dataset.BenchGame() {
 		row := SpeedupRow{Name: p.Name}
 		steps := func(transform string) (int64, error) {
-			m, err := minic.CompileSource(p.Source, p.Name)
+			// Each configuration mutates the module (passes, obfuscation),
+			// so take a private clone of the one cached O0 compile.
+			m, err := progcache.Compile(p.Source, p.Name)
 			if err != nil {
 				return 0, err
 			}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/minic"
+	"repro/internal/progcache"
 )
 
 // Problem is one programming problem of the benchmark: a named class plus
@@ -75,9 +75,11 @@ func Generate(numClasses, perClass int, seed int64) (*Set, error) {
 	return set, nil
 }
 
-// compileCheck verifies that src is a valid MiniC program.
+// compileCheck verifies that src is a valid MiniC program. The check goes
+// through the progcache, so a successful check also primes the cache with
+// the module every downstream experiment will ask for.
 func compileCheck(src string) error {
-	if _, err := minic.CompileSource(src, "check"); err != nil {
+	if _, err := progcache.CompileShared(src, "check"); err != nil {
 		return fmt.Errorf("generated program does not compile: %w\n%s", err, src)
 	}
 	return nil
@@ -87,7 +89,7 @@ func emitChecked(p Problem, rng *rand.Rand) (string, error) {
 	var lastErr error
 	for try := 0; try < 5; try++ {
 		src := p.Gen(newGen(rand.New(rand.NewSource(rng.Int63()))))
-		if _, err := minic.CompileSource(src, p.Name); err != nil {
+		if _, err := progcache.CompileShared(src, p.Name); err != nil {
 			lastErr = fmt.Errorf("generated solution does not compile: %w\n%s", err, src)
 			continue
 		}

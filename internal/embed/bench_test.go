@@ -1,0 +1,60 @@
+package embed_test
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// benchModule compiles a mid-sized program once for the embedding benches.
+func benchModule(b *testing.B) *ir.Module {
+	b.Helper()
+	const src = `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	int s = 0;
+	for (int i = 0; i < 20; i++) {
+		if (i % 3 == 0) s += fib(i % 10);
+		else if (i % 3 == 1) s ^= i * 7;
+		else s -= i;
+	}
+	int a[16];
+	for (int i = 0; i < 16; i++) a[i] = s + i;
+	for (int i = 0; i < 16; i++) s += a[i] % 13;
+	return s;
+}`
+	m, err := minic.CompileSource(src, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkIR2VecSerial is the single-goroutine baseline for the seed-vector
+// cache.
+func BenchmarkIR2VecSerial(b *testing.B) {
+	m := benchModule(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embed.IR2Vec(m)
+	}
+}
+
+// BenchmarkIR2VecParallel exercises the seed-vector cache from all CPUs the
+// way featurize workers do. Before the sync.Map fix, a global mutex held
+// across the whole vector generation serialized every worker, so this bench
+// barely scaled; with the lock-free read path it scales with GOMAXPROCS.
+func BenchmarkIR2VecParallel(b *testing.B) {
+	m := benchModule(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			embed.IR2Vec(m)
+		}
+	})
+}

@@ -576,19 +576,19 @@ func addScaled(dst Vector, src []float64, w float64) {
 	}
 }
 
-// seedCache memoizes the deterministic seed vectors.
-var (
-	seedMu    sync.Mutex
-	seedCache = map[string][]float64{}
-)
+// seedCache memoizes the deterministic seed vectors. A sync.Map keeps the
+// hot path lock-free: the vocabulary is tiny (one entry per opcode, type
+// and operand kind) and read-mostly, and holding a global mutex while
+// generating the vector serialized every featurize worker.
+var seedCache sync.Map // token string -> []float64
 
 // seedVec derives a deterministic pseudo-random unit-scale vector from a
 // token via an FNV-based SplitMix stream (the "seed embedding vocabulary").
+// The derivation is a pure function of the token, so a racing duplicate
+// computation is harmless — LoadOrStore keeps the first stored copy.
 func seedVec(token string) []float64 {
-	seedMu.Lock()
-	defer seedMu.Unlock()
-	if v, ok := seedCache[token]; ok {
-		return v
+	if v, ok := seedCache.Load(token); ok {
+		return v.([]float64)
 	}
 	var h uint64 = 1469598103934665603
 	for i := 0; i < len(token); i++ {
@@ -606,8 +606,8 @@ func seedVec(token string) []float64 {
 		z ^= z >> 31
 		v[i] = float64(int64(z)) / float64(1<<63) * 0.5
 	}
-	seedCache[token] = v
-	return v
+	stored, _ := seedCache.LoadOrStore(token, v)
+	return stored.([]float64)
 }
 
 // Distance returns the Euclidean distance between two vectors (used for

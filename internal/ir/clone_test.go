@@ -1,0 +1,92 @@
+package ir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/obfus"
+	"repro/internal/passes"
+)
+
+// cloneSample stresses every construct Clone must remap: globals with
+// initializers, calls (direct and recursive), switches, floats, pointers,
+// arrays, structs and phi-producing control flow once optimized.
+const cloneSample = `
+int g_counter;
+double scale(double x) { return x * 2.5; }
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int pick(int k) {
+	switch (k % 4) {
+	case 0: return 1;
+	case 1: return fib(k % 10);
+	case 2: return k * 3;
+	default: return -k;
+	}
+}
+int main() {
+	int a[8];
+	int s = 0;
+	for (int i = 0; i < 8; i++) a[i] = pick(i);
+	for (int i = 0; i < 8; i++) {
+		if (a[i] % 2 == 0) s += a[i];
+		else s -= a[i];
+	}
+	g_counter = s;
+	double d = scale(s);
+	return s + (int)d;
+}`
+
+// TestCloneRoundTrip guards the clone-before-mutate invariant the progcache
+// relies on: a clone must print byte-identically to its master, and
+// mutating the clone (passes, obfuscations) must leave the master's printed
+// form untouched.
+func TestCloneRoundTrip(t *testing.T) {
+	master, err := minic.CompileSource(cloneSample, "clone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := master.String()
+
+	clone := master.Clone()
+	if got := clone.String(); got != before {
+		t.Fatalf("clone prints differently from master:\n--- master ---\n%s\n--- clone ---\n%s", before, got)
+	}
+	if err := clone.Verify(); err != nil {
+		t.Fatalf("clone fails verification: %v", err)
+	}
+
+	// Hammer the clone with every mutating consumer the cache serves.
+	if err := passes.Optimize(clone, passes.O3); err != nil {
+		t.Fatal(err)
+	}
+	if err := obfus.Apply(clone, "ollvm", rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if got := master.String(); got != before {
+		t.Fatalf("mutating the clone changed the master:\n--- before ---\n%s\n--- after ---\n%s", before, got)
+	}
+
+	// A second clone of the untouched master must still match it.
+	if got := master.Clone().String(); got != before {
+		t.Fatal("re-clone after mutation of a sibling clone diverged from the master")
+	}
+}
+
+// TestCloneIsReparseable checks the clone against the parser as well: the
+// printed clone must parse cleanly, and after the parser's normalization
+// (module renaming, ID renumbering) master and clone must still agree.
+func TestCloneIsReparseable(t *testing.T) {
+	master, err := minic.CompileSource(cloneSample, "clone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mNorm := roundTrip(t, master).String()
+	cNorm := roundTrip(t, master.Clone()).String()
+	if mNorm != cNorm {
+		t.Fatalf("normalized clone diverged from normalized master:\n--- master ---\n%s\n--- clone ---\n%s", mNorm, cNorm)
+	}
+}

@@ -1,0 +1,133 @@
+// Package progcache is a process-wide compile-once cache for MiniC
+// sources. Every experiment in the harness replays the same dataset
+// sources across rounds, games, embeddings and models; the front end is
+// deterministic, so the O0 compile of a given source is an immutable
+// artifact that can be compiled once and reused everywhere (the same move
+// as a compiler's module cache). Consumers that go on to mutate the module
+// with passes or obfuscations receive a deep clone of the cached master;
+// read-only consumers can share the master directly.
+package progcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// entry is one cache slot. The sync.Once serializes the first compile of a
+// source (singleflight) without holding any global lock.
+type entry struct {
+	once sync.Once
+	mod  *ir.Module
+	err  error
+}
+
+var (
+	cache   sync.Map // source string -> *entry
+	enabled atomic.Bool
+
+	hits         atomic.Int64
+	misses       atomic.Int64
+	compileNanos atomic.Int64
+	cloneNanos   atomic.Int64
+)
+
+func init() { enabled.Store(true) }
+
+// SetEnabled toggles the cache globally (tests use this to compare cached
+// against uncached runs). Disabling does not drop existing entries; use
+// Reset for that.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the cache is active.
+func Enabled() bool { return enabled.Load() }
+
+// Reset drops every cached module and zeroes the counters.
+func Reset() {
+	cache.Range(func(k, _ any) bool { cache.Delete(k); return true })
+	ResetStats()
+}
+
+// ResetStats zeroes the hit/miss/timing counters without dropping entries.
+func ResetStats() {
+	hits.Store(0)
+	misses.Store(0)
+	compileNanos.Store(0)
+	cloneNanos.Store(0)
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Entries int64
+	// CompileTime is the total front-end time spent on cache misses;
+	// CloneTime is the total time spent deep-cloning cached modules for
+	// mutating consumers.
+	CompileTime time.Duration
+	CloneTime   time.Duration
+}
+
+// Snapshot returns the current counters.
+func Snapshot() Stats {
+	n := int64(0)
+	cache.Range(func(_, _ any) bool { n++; return true })
+	return Stats{
+		Hits:        hits.Load(),
+		Misses:      misses.Load(),
+		Entries:     n,
+		CompileTime: time.Duration(compileNanos.Load()),
+		CloneTime:   time.Duration(cloneNanos.Load()),
+	}
+}
+
+// lookup returns the compiled master module for src. The cache is keyed by
+// the source text alone — the module name only labels printed IR, so one
+// master serves callers that name their modules differently.
+func lookup(src, name string) (*ir.Module, error) {
+	e, loaded := cache.Load(src)
+	if !loaded {
+		e, loaded = cache.LoadOrStore(src, &entry{})
+	}
+	ent := e.(*entry)
+	ent.once.Do(func() {
+		misses.Add(1)
+		start := time.Now()
+		ent.mod, ent.err = minic.CompileSource(src, name)
+		compileNanos.Add(int64(time.Since(start)))
+	})
+	if loaded && ent.err == nil {
+		hits.Add(1)
+	}
+	return ent.mod, ent.err
+}
+
+// Compile returns a freshly cloned module for src that the caller owns and
+// may mutate freely. The underlying compile happens at most once per
+// distinct source for the life of the process.
+func Compile(src, name string) (*ir.Module, error) {
+	if !enabled.Load() {
+		return minic.CompileSource(src, name)
+	}
+	master, err := lookup(src, name)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := master.Clone()
+	cloneNanos.Add(int64(time.Since(start)))
+	m.Name = name
+	return m, nil
+}
+
+// CompileShared returns the cached master module for src. The caller MUST
+// NOT mutate it (no passes, no obfuscations) — it is shared by every other
+// CompileShared caller and is the template Compile clones from. Use it for
+// read-only consumers: embeddings, n-gram scans, compile checks.
+func CompileShared(src, name string) (*ir.Module, error) {
+	if !enabled.Load() {
+		return minic.CompileSource(src, name)
+	}
+	return lookup(src, name)
+}

@@ -1,0 +1,116 @@
+package progcache
+
+import (
+	"sync"
+	"testing"
+)
+
+const testSrc = `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) s += i * i;
+	return s;
+}`
+
+func TestCompileHitsAndMisses(t *testing.T) {
+	Reset()
+	m1, err := Compile(testSrc, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Compile(testSrc, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Snapshot()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("want 1 miss + 1 hit, got %+v", st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("want 1 entry, got %d", st.Entries)
+	}
+	if m1 == m2 {
+		t.Fatal("Compile returned the same module twice; clones must be private")
+	}
+	if m1.Name != "a" || m2.Name != "b" {
+		t.Fatalf("clone names not applied: %q / %q", m1.Name, m2.Name)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	Reset()
+	shared, err := CompileShared(testSrc, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := shared.String()
+	clone, err := Compile(testSrc, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vandalize the clone; the shared master must not notice.
+	clone.Functions[0].Blocks = nil
+	clone.Name = "wrecked"
+	if got := shared.String(); got != before {
+		t.Fatal("mutating a Compile clone changed the shared master")
+	}
+}
+
+func TestErrorCachedOnce(t *testing.T) {
+	Reset()
+	bad := "int main() { return x_undefined; }"
+	if _, err := Compile(bad, "bad"); err == nil {
+		t.Fatal("expected a compile error")
+	}
+	if _, err := Compile(bad, "bad"); err == nil {
+		t.Fatal("expected the cached compile error")
+	}
+	st := Snapshot()
+	if st.Misses != 1 {
+		t.Fatalf("failed compile should be attempted once, got %d misses", st.Misses)
+	}
+}
+
+func TestDisabledBypassesCache(t *testing.T) {
+	Reset()
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if _, err := Compile(testSrc, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileShared(testSrc, "y"); err != nil {
+		t.Fatal(err)
+	}
+	st := Snapshot()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("disabled cache should stay empty, got %+v", st)
+	}
+}
+
+func TestConcurrentSingleflight(t *testing.T) {
+	Reset()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := Compile(testSrc, "p"); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := Snapshot(); st.Misses != 1 {
+		t.Fatalf("concurrent compiles of one source should miss once, got %d", st.Misses)
+	}
+}
