@@ -3,14 +3,16 @@
 #   make build   compile everything
 #   make test    tier-1 suite (what CI must keep green)
 #   make race    vet + race-detector pass over the concurrent packages
-#                (the game harness and the embeddings) — run on every PR
-#   make bench   regenerate the paper figures as benchmark metrics
+#                (the game harness, the embeddings and parallel training)
+#                — run on every PR
+#   make bench   kernel/training benchmarks -> BENCH_ml.json
+#   make bench-figures  regenerate the paper figures as benchmark metrics
 #   make perf    the harness speedup benchmark (compile cache + parallel rounds)
 #   make check   everything CI runs: build + test + race
 
 GO ?= go
 
-.PHONY: build test race bench perf check
+.PHONY: build test race bench bench-figures perf check
 
 build:
 	$(GO) build ./...
@@ -20,9 +22,20 @@ test: build
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/embed/...
+	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ml/...
 
+# Model-training and kernel benchmarks, recorded machine-readably. -cpu 1
+# pins the Fit benches to one worker goroutine so ns/op measures the kernels,
+# not the host's core count; the -cpu 1,4 sub-benches inside BenchmarkFit*
+# cover the parallel path. Results land in BENCH_ml.json.
 bench:
+	{ $(GO) test -run xxx -bench 'BenchmarkFit|BenchmarkPredict' -benchmem -benchtime 5x -cpu 1 ./internal/ml/ ; \
+	  $(GO) test -run xxx -bench 'BenchmarkGraphBuilders|BenchmarkHistogram' -benchmem ./internal/embed/ ; \
+	  $(GO) test -run xxx -bench BenchmarkHarnessRounds -benchtime 3x . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_ml.json
+	@echo wrote BENCH_ml.json
+
+bench-figures:
 	$(GO) test -run xxx -bench . -benchmem .
 
 perf:

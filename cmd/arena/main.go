@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -119,6 +120,16 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.StringVar(&c.dataset, "dataset", "", "load the dataset from a JSON file (see 'arena gen') instead of generating")
 	fs.IntVar(&c.jobs, "j", 0, "parallel workers for rounds and experiment cells (0 = GOMAXPROCS)")
 	fs.BoolVar(&c.verbose, "v", false, "print compile-cache and per-phase timing counters")
+	fs.Func("train-workers", "goroutines per model Fit/evaluation (0 = GOMAXPROCS); "+
+		"results are byte-identical for any value — set 1 when -j already saturates the machine",
+		func(s string) error {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("bad -train-workers %q: %w", s, err)
+			}
+			ml.SetTrainWorkers(n)
+			return nil
+		})
 	return c
 }
 
@@ -233,6 +244,7 @@ func cmdAll(args []string) error {
 	rounds := fs.Int("rounds", 2, "rounds per configuration")
 	seed := fs.Int64("seed", 1, "master seed")
 	jobs := fs.Int("j", 0, "parallel workers passed to every step (0 = GOMAXPROCS)")
+	trainWorkers := fs.String("train-workers", "", "per-Fit goroutines passed to every step (empty = leave default)")
 	verbose := fs.Bool("v", false, "print per-step wall clock and compile-cache counters")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -242,6 +254,9 @@ func cmdAll(args []string) error {
 			"-classes", fmt.Sprint(*classes), "-per", fmt.Sprint(*per),
 			"-rounds", fmt.Sprint(*rounds), "-seed", fmt.Sprint(*seed),
 			"-j", fmt.Sprint(*jobs),
+		}
+		if *trainWorkers != "" {
+			out = append(out, "-train-workers", *trainWorkers)
 		}
 		if *verbose {
 			out = append(out, "-v")

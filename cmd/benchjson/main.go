@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench -benchmem` output read from
+// stdin into a JSON object keyed by benchmark name, for machine-readable
+// records like BENCH_ml.json. Lines that are not benchmark results are
+// ignored, so the raw `go test` stream can be piped straight through.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+}
+
+func parseLine(line string) (string, result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	var r result
+	r.Iters = iters
+	ok := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			break
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsOp, ok = v, true
+		case "B/op":
+			r.BOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		}
+	}
+	if !ok {
+		return "", result{}, false
+	}
+	return f[0], r, true
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, r, ok := parseLine(line); ok {
+			results[name] = r
+		}
+		// Echo the stream so the caller still sees live progress.
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf strings.Builder
+	buf.WriteString("{\n")
+	for i, n := range names {
+		b, err := json.Marshal(results[n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&buf, "  %q: %s", n, b)
+		if i < len(names)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+
+	if *out == "" {
+		fmt.Print(buf.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(buf.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ml"
 	"repro/internal/progcache"
 )
 
@@ -81,6 +82,39 @@ func TestRunRoundsWorkerInvariance(t *testing.T) {
 		}
 		if gotSum != refSum {
 			t.Fatalf("workers=%d: summary %+v != %+v", workers, gotSum, refSum)
+		}
+	}
+}
+
+// TestTrainParallelInvariance checks the end-to-end guarantee of the
+// data-parallel training + parallel evaluation path: a full game round —
+// sharded model fit, worker-pool test-set prediction — must be
+// byte-identical whether ml uses 1, 4 or 8 training workers.
+func TestTrainParallelInvariance(t *testing.T) {
+	defer ml.SetTrainWorkers(0)
+	set := smallSet(t, 4, 8, 35)
+	cfgs := []core.GameConfig{
+		{Game: 0, Pipeline: core.Pipeline{Embedding: "histogram", Model: "mlp"}, Seed: 11},
+		{Game: 1, Evader: "sub", Pipeline: core.Pipeline{Embedding: "cfg", Model: "dgcnn"}, Seed: 11},
+	}
+	for _, cfg := range cfgs {
+		type outcome struct{ acc, f1 float64 }
+		var ref outcome
+		for i, workers := range []int{1, 4, 8} {
+			ml.SetTrainWorkers(workers)
+			res, err := core.RunGame(set, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := outcome{res.Accuracy, res.F1}
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if got != ref {
+				t.Fatalf("%s/%s: workers=%d diverges: %v != %v (serial)",
+					cfg.Pipeline.Embedding, cfg.Pipeline.Model, workers, got, ref)
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -140,9 +141,9 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 		if err := model.FitGraphs(gs, ys, set.NumClasses); err != nil {
 			return nil, err
 		}
-		for i, f := range testFeats {
-			pred[i] = model.PredictGraph(f.graph)
-		}
+		predictAll(len(testFeats), func(i int) {
+			pred[i] = model.PredictGraph(testFeats[i].graph)
+		})
 		res.ModelMemory = model.MemoryBytes()
 	} else {
 		model, err := ml.New(cfg.Pipeline.Model, rand.New(rand.NewSource(rng.Int63())))
@@ -158,15 +159,47 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 		if err := model.Fit(X, ys, set.NumClasses); err != nil {
 			return nil, err
 		}
-		for i, f := range testFeats {
-			pred[i] = model.Predict(f.vec)
-		}
+		predictAll(len(testFeats), func(i int) {
+			pred[i] = model.Predict(testFeats[i].vec)
+		})
 		res.ModelMemory = model.MemoryBytes()
 	}
 	res.TrainTime = time.Since(trainStart)
 	res.Accuracy = stats.Accuracy(pred, truth)
 	res.F1 = stats.MacroF1(pred, truth, set.NumClasses)
 	return res, nil
+}
+
+// predictAll evaluates fn(i) for every test index across all CPUs. Trained
+// models are read-only at prediction time and each call writes only its own
+// pred slot, so the output is identical to the serial loop.
+func predictAll(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // featurize compiles, transforms, optionally normalizes and embeds every

@@ -35,6 +35,35 @@ int main() {
 	return m
 }
 
+// BenchmarkGraphBuilders measures the graph embedding constructors; the
+// interesting number is allocs/op, dominated (before the bulk feature-row
+// allocation) by one one-hot slice per instruction node.
+func BenchmarkGraphBuilders(b *testing.B) {
+	m := benchModule(b)
+	for _, name := range []string{"cfg", "cfg_compact", "cdfg", "cdfg_plus", "programl"} {
+		emb, err := embed.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				emb.Graph(m)
+			}
+		})
+	}
+}
+
+// BenchmarkHistogram covers the hot vector embedding used by most arena
+// pipelines.
+func BenchmarkHistogram(b *testing.B) {
+	m := benchModule(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		embed.Histogram(m)
+	}
+}
+
 // BenchmarkIR2VecSerial is the single-goroutine baseline for the seed-vector
 // cache.
 func BenchmarkIR2VecSerial(b *testing.B) {

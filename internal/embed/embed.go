@@ -112,28 +112,35 @@ func Histogram(m *ir.Module) Vector {
 	return v
 }
 
-// blockHistogram is the per-block opcode histogram used by the compact
-// graph representations.
-func blockHistogram(b *ir.Block) []float64 {
-	v := make([]float64, ir.NumOpcodes)
+// blockHistogramInto accumulates b's opcode histogram into v.
+func blockHistogramInto(v []float64, b *ir.Block) {
 	for _, in := range b.Instrs {
 		v[in.Op]++
 	}
-	return v
 }
 
-// oneHot returns a NumOpcodes-dim indicator vector for op.
-func oneHot(op ir.Opcode) []float64 {
-	v := make([]float64, ir.NumOpcodes)
-	v[op] = 1
-	return v
+// featRows carves n zeroed feature rows of width dim out of one backing
+// array: a single allocation instead of one per node, which dominates the
+// graph builders' allocation profile on instruction-level embeddings.
+func featRows(n, dim int) [][]float64 {
+	backing := make([]float64, n*dim)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows
 }
 
 // moduleInstrs enumerates instructions of all defined functions in a
-// deterministic order, assigning each a node index.
+// deterministic order, assigning each a node index. Both containers are
+// pre-sized by a counting pass.
 func moduleInstrs(m *ir.Module) ([]*ir.Instr, map[*ir.Instr]int) {
-	var instrs []*ir.Instr
-	idx := make(map[*ir.Instr]int)
+	n := 0
+	for _, f := range m.Functions {
+		f.ForEachInstr(func(*ir.Instr) { n++ })
+	}
+	instrs := make([]*ir.Instr, 0, n)
+	idx := make(map[*ir.Instr]int, n)
 	for _, f := range m.Functions {
 		f.ForEachInstr(func(in *ir.Instr) {
 			idx[in] = len(instrs)
@@ -173,9 +180,9 @@ func (g *Graph) addEdge(from, to int, t EdgeType) {
 // with a one-hot opcode feature, control-flow edges only.
 func CFG(m *ir.Module) *Graph {
 	instrs, idx := moduleInstrs(m)
-	g := &Graph{NodeFeats: make([][]float64, len(instrs))}
+	g := &Graph{NodeFeats: featRows(len(instrs), int(ir.NumOpcodes))}
 	for i, in := range instrs {
-		g.NodeFeats[i] = oneHot(in.Op)
+		g.NodeFeats[i][in.Op] = 1
 	}
 	addControlEdges(g, m, idx)
 	return g
@@ -184,12 +191,17 @@ func CFG(m *ir.Module) *Graph {
 // CFGCompact groups instructions into basic blocks: one node per block with
 // an opcode-histogram feature, CFG edges between blocks.
 func CFGCompact(m *ir.Module) *Graph {
-	g := &Graph{}
-	bidx := make(map[*ir.Block]int)
+	nb := 0
+	for _, f := range m.Functions {
+		nb += len(f.Blocks)
+	}
+	g := &Graph{NodeFeats: featRows(nb, int(ir.NumOpcodes))[:0]}
+	bidx := make(map[*ir.Block]int, nb)
 	for _, f := range m.Functions {
 		for _, b := range f.Blocks {
 			bidx[b] = len(g.NodeFeats)
-			g.NodeFeats = append(g.NodeFeats, blockHistogram(b))
+			g.NodeFeats = g.NodeFeats[:len(g.NodeFeats)+1]
+			blockHistogramInto(g.NodeFeats[len(g.NodeFeats)-1], b)
 		}
 	}
 	for _, f := range m.Functions {
@@ -218,9 +230,9 @@ func addDataEdges(g *Graph, m *ir.Module, idx map[*ir.Instr]int) {
 // CDFG adds data-flow (def-use) edges to CFG.
 func CDFG(m *ir.Module) *Graph {
 	instrs, idx := moduleInstrs(m)
-	g := &Graph{NodeFeats: make([][]float64, len(instrs))}
+	g := &Graph{NodeFeats: featRows(len(instrs), int(ir.NumOpcodes))}
 	for i, in := range instrs {
-		g.NodeFeats[i] = oneHot(in.Op)
+		g.NodeFeats[i][in.Op] = 1
 	}
 	addControlEdges(g, m, idx)
 	addDataEdges(g, m, idx)
@@ -231,12 +243,17 @@ func CDFG(m *ir.Module) *Graph {
 // histogram features, control edges, plus data edges between blocks that
 // communicate through SSA values.
 func CDFGCompact(m *ir.Module) *Graph {
-	g := &Graph{}
-	bidx := make(map[*ir.Block]int)
+	nb := 0
+	for _, f := range m.Functions {
+		nb += len(f.Blocks)
+	}
+	g := &Graph{NodeFeats: featRows(nb, int(ir.NumOpcodes))[:0]}
+	bidx := make(map[*ir.Block]int, nb)
 	for _, f := range m.Functions {
 		for _, b := range f.Blocks {
 			bidx[b] = len(g.NodeFeats)
-			g.NodeFeats = append(g.NodeFeats, blockHistogram(b))
+			g.NodeFeats = g.NodeFeats[:len(g.NodeFeats)+1]
+			blockHistogramInto(g.NodeFeats[len(g.NodeFeats)-1], b)
 		}
 	}
 	seen := make(map[[2]int]bool)
@@ -266,9 +283,9 @@ func CDFGCompact(m *ir.Module) *Graph {
 // the loads and stores that touch them.
 func CDFGPlus(m *ir.Module) *Graph {
 	instrs, idx := moduleInstrs(m)
-	g := &Graph{NodeFeats: make([][]float64, len(instrs))}
+	g := &Graph{NodeFeats: featRows(len(instrs), int(ir.NumOpcodes))}
 	for i, in := range instrs {
-		g.NodeFeats[i] = oneHot(in.Op)
+		g.NodeFeats[i][in.Op] = 1
 	}
 	addControlEdges(g, m, idx)
 	addDataEdges(g, m, idx)
@@ -309,12 +326,9 @@ func CDFGPlus(m *ir.Module) *Graph {
 func ProGraML(m *ir.Module) *Graph {
 	instrs, idx := moduleInstrs(m)
 	dim := int(ir.NumOpcodes) + 3
-	g := &Graph{}
-	for _, in := range instrs {
-		v := make([]float64, dim)
-		v[in.Op] = 1
-		g.NodeFeats = append(g.NodeFeats, v)
-		_ = in
+	g := &Graph{NodeFeats: featRows(len(instrs), dim)}
+	for i, in := range instrs {
+		g.NodeFeats[i][in.Op] = 1
 	}
 	addControlEdges(g, m, idx)
 

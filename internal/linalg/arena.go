@@ -1,0 +1,83 @@
+package linalg
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The scratch arena hands out zeroed []float64 buffers and recycles them
+// through size-classed sync.Pools (one pool per power-of-two capacity).
+// Training and inference hot loops grab activation/gradient scratch here
+// instead of allocating per sample, which keeps steady-state allocations
+// flat regardless of epochs × batches × samples.
+
+const arenaMaxClass = 26 // largest pooled buffer: 2^26 floats = 512 MiB
+
+var arenaPools [arenaMaxClass + 1]sync.Pool
+
+func arenaClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Grab returns a zeroed []float64 of length n from the arena. Buffers above
+// the largest size class are plainly allocated.
+func Grab(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := arenaClass(n)
+	if c > arenaMaxClass {
+		return make([]float64, n)
+	}
+	if v := arenaPools[c].Get(); v != nil {
+		buf := v.([]float64)[:n]
+		Zero(buf)
+		return buf
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// Drop returns a buffer obtained from Grab to the arena. Dropping nil or a
+// foreign slice of off-class capacity is harmless (the buffer is simply not
+// pooled).
+func Drop(buf []float64) {
+	c := arenaClass(cap(buf))
+	if cap(buf) == 0 || c > arenaMaxClass || cap(buf) != 1<<c {
+		return
+	}
+	//nolint:staticcheck // pooling the backing array, value type is fine here
+	arenaPools[c].Put(buf[:cap(buf)])
+}
+
+// GrabInts is Grab for []int scratch (pool-backed, zeroed).
+func GrabInts(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	c := arenaClass(n)
+	if c > arenaMaxClass {
+		return make([]int, n)
+	}
+	if v := intPools[c].Get(); v != nil {
+		buf := v.([]int)[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]int, n, 1<<c)
+}
+
+// DropInts returns a GrabInts buffer to the arena.
+func DropInts(buf []int) {
+	c := arenaClass(cap(buf))
+	if cap(buf) == 0 || c > arenaMaxClass || cap(buf) != 1<<c {
+		return
+	}
+	intPools[c].Put(buf[:cap(buf)])
+}
+
+var intPools [arenaMaxClass + 1]sync.Pool

@@ -1,0 +1,79 @@
+package linalg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// naiveGemmNT is the unblocked triple loop the blocked kernel replaces.
+func naiveGemmNT(C, A, B []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += A[i*k+l] * B[j*k+l]
+			}
+			C[i*n+j] += s
+		}
+	}
+}
+
+// The benchmark shape matches the MLP hidden layer over one minibatch:
+// 32 samples × 63 features against 100 hidden units.
+const bm, bn, bk = 32, 100, 63
+
+func benchMats(b *testing.B) (C, A, B2 []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	A = make([]float64, bm*bk)
+	B2 = make([]float64, bn*bk)
+	C = make([]float64, bm*bn)
+	for i := range A {
+		A[i] = rng.NormFloat64()
+	}
+	for i := range B2 {
+		B2[i] = rng.NormFloat64()
+	}
+	return
+}
+
+func BenchmarkGemmNTBlocked(b *testing.B) {
+	C, A, B2 := benchMats(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.GemmNT(C, A, B2, bm, bn, bk)
+	}
+}
+
+func BenchmarkGemmNTNaive(b *testing.B) {
+	C, A, B2 := benchMats(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveGemmNT(C, A, B2, bm, bn, bk)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := make([]float64, 1024)
+	y := make([]float64, 1024)
+	for i := range x {
+		x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += linalg.Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkArenaGrabDrop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := linalg.Grab(512)
+		linalg.Drop(buf)
+	}
+}

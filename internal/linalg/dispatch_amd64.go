@@ -1,0 +1,26 @@
+//go:build amd64
+
+package linalg
+
+// simd reports whether the AVX2+FMA assembly kernels are usable. It is
+// fixed for the life of the process, so kernel selection — and therefore
+// float summation order — depends only on operand shapes, never on which
+// goroutine calls: the deterministic-training guarantee is per machine.
+var simd = cpuHasAVX2FMA()
+
+func cpuHasAVX2FMA() bool
+
+//go:noescape
+func dotv(a, b, out *float64, n int)
+
+//go:noescape
+func dot4(a, b0, b1, b2, b3, out *float64, n int)
+
+//go:noescape
+func saxpy4(ci, b0, b1, b2, b3, coef *float64, n int)
+
+//go:noescape
+func axpyv(y, x *float64, alpha float64, n int)
+
+//go:noescape
+func addv(dst, src *float64, n int)

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package linalg
+
+// simd is false off amd64: every kernel runs its portable Go path. The
+// stubs below are never reached; they satisfy the shared call sites, which
+// the compiler eliminates behind the constant.
+const simd = false
+
+func dotv(a, b, out *float64, n int)             { panic("linalg: no simd") }
+func dot4(a, b0, b1, b2, b3, out *float64, n int) { panic("linalg: no simd") }
+func saxpy4(ci, b0, b1, b2, b3, coef *float64, n int) {
+	panic("linalg: no simd")
+}
+func axpyv(y, x *float64, alpha float64, n int) { panic("linalg: no simd") }
+func addv(dst, src *float64, n int)             { panic("linalg: no simd") }

@@ -1,0 +1,82 @@
+package linalg
+
+// SIMD drivers for the three GEMM variants. They walk the same ascending-k
+// accumulation order per C element as the portable kernels' structure, with
+// the inner stride handled by the AVX2 micro-kernels in kernels_amd64.s.
+// Guarded by `simd`; on other platforms these are dead code.
+
+// gemmNTSIMD: C += A·Bᵀ. Four B rows per pass share each streamed A value
+// (dot4); the j-block outer loop keeps the active B panel hot across all m
+// rows of A.
+func gemmNTSIMD(C, A, B []float64, m, n, k int) {
+	var out [4]float64
+	j := 0
+	for ; j+3 < n; j += 4 {
+		b0, b1, b2, b3 := &B[j*k], &B[(j+1)*k], &B[(j+2)*k], &B[(j+3)*k]
+		for i := 0; i < m; i++ {
+			dot4(&A[i*k], b0, b1, b2, b3, &out[0], k)
+			ci := C[i*n+j : i*n+j+4]
+			ci[0] += out[0]
+			ci[1] += out[1]
+			ci[2] += out[2]
+			ci[3] += out[3]
+		}
+	}
+	for ; j < n; j++ {
+		bj := &B[j*k]
+		for i := 0; i < m; i++ {
+			var s float64
+			dotv(&A[i*k], bj, &s, k)
+			C[i*n+j] += s
+		}
+	}
+}
+
+// gemmNNSIMD: C += A·B in saxpy form, four B rows fused per pass. All-zero
+// coefficient groups are skipped (sparse one-hot node features).
+func gemmNNSIMD(C, A, B []float64, m, n, k int) {
+	var coef [4]float64
+	for i := 0; i < m; i++ {
+		ci := C[i*n : i*n+n]
+		ai := A[i*k : i*k+k]
+		l := 0
+		for ; l+3 < k; l += 4 {
+			a0, a1, a2, a3 := ai[l], ai[l+1], ai[l+2], ai[l+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			coef[0], coef[1], coef[2], coef[3] = a0, a1, a2, a3
+			saxpy4(&ci[0], &B[l*n], &B[(l+1)*n], &B[(l+2)*n], &B[(l+3)*n], &coef[0], n)
+		}
+		for ; l < k; l++ {
+			if a := ai[l]; a != 0 {
+				axpyv(&ci[0], &B[l*n], a, n)
+			}
+		}
+	}
+}
+
+// gemmTNSIMD: C += Aᵀ·B as rank-1 updates, four per pass.
+func gemmTNSIMD(C, A, B []float64, m, n, k int) {
+	var coef [4]float64
+	l := 0
+	for ; l+3 < k; l += 4 {
+		b0, b1, b2, b3 := &B[l*n], &B[(l+1)*n], &B[(l+2)*n], &B[(l+3)*n]
+		for i := 0; i < m; i++ {
+			a0, a1, a2, a3 := A[l*m+i], A[(l+1)*m+i], A[(l+2)*m+i], A[(l+3)*m+i]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			coef[0], coef[1], coef[2], coef[3] = a0, a1, a2, a3
+			saxpy4(&C[i*n], b0, b1, b2, b3, &coef[0], n)
+		}
+	}
+	for ; l < k; l++ {
+		bl := &B[l*n]
+		for i := 0; i < m; i++ {
+			if a := A[l*m+i]; a != 0 {
+				axpyv(&C[i*n], bl, a, n)
+			}
+		}
+	}
+}

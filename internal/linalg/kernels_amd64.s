@@ -1,0 +1,292 @@
+// AVX2+FMA micro-kernels behind the runtime dispatch in dispatch_amd64.go.
+// Every kernel runs a fixed instruction sequence for a given length, so the
+// float summation order is a pure function of the shape — the property the
+// ml package's deterministic data-parallel training relies on.
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+// CPUID leaf 1: FMA (ECX bit 12), OSXSAVE (27), AVX (28); XGETBV XCR0 must
+// have SSE+AVX state (bits 1,2) OS-enabled; CPUID leaf 7: AVX2 (EBX bit 5).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<12 | 1<<27 | 1<<28), R8
+	CMPL R8, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1 << 5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotv(a, b, out *float64, n int)
+// *out = Σ a[i]*b[i]: two 4-lane FMA accumulators over 8-element steps,
+// combined (acc0+acc1), lanes ((l0+l2)+(l1+l3)), then the scalar tail.
+TEXT ·dotv(SB), NOSPLIT, $0-32
+	MOVQ   a+0(FP), SI
+	MOVQ   b+8(FP), R8
+	MOVQ   out+16(FP), DI
+	MOVQ   n+24(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   CX, DX
+	SHRQ   $3, DX
+	JZ     dvmid
+
+dvloop:
+	VMOVUPD     (SI), Y4
+	VFMADD231PD (R8), Y4, Y0
+	VMOVUPD     32(SI), Y5
+	VFMADD231PD 32(R8), Y5, Y1
+	ADDQ        $64, SI
+	ADDQ        $64, R8
+	DECQ        DX
+	JNZ         dvloop
+
+dvmid:
+	TESTQ       $4, CX
+	JZ          dvreduce
+	VMOVUPD     (SI), Y4
+	VFMADD231PD (R8), Y4, Y0
+	ADDQ        $32, SI
+	ADDQ        $32, R8
+
+dvreduce:
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X4
+	VADDPD       X4, X0, X0
+	VUNPCKHPD    X0, X0, X4
+	VADDSD       X4, X0, X0
+	ANDQ         $3, CX
+	JZ           dvstore
+
+dvtail:
+	VMOVSD      (SI), X8
+	VFMADD231SD (R8), X8, X0
+	ADDQ        $8, SI
+	ADDQ        $8, R8
+	DECQ        CX
+	JNZ         dvtail
+
+dvstore:
+	VMOVSD     X0, (DI)
+	VZEROUPPER
+	RET
+
+// func dot4(a, b0, b1, b2, b3, out *float64, n int)
+// out[j] = Σ a[i]*bj[i] for four B rows sharing one A row: each a load is
+// reused by four FMA accumulators.
+TEXT ·dot4(SB), NOSPLIT, $0-56
+	MOVQ   a+0(FP), SI
+	MOVQ   b0+8(FP), R8
+	MOVQ   b1+16(FP), R9
+	MOVQ   b2+24(FP), R10
+	MOVQ   b3+32(FP), R11
+	MOVQ   out+40(FP), DI
+	MOVQ   n+48(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ   CX, DX
+	SHRQ   $2, DX
+	JZ     d4reduce
+
+d4loop:
+	VMOVUPD     (SI), Y4
+	VFMADD231PD (R8), Y4, Y0
+	VFMADD231PD (R9), Y4, Y1
+	VFMADD231PD (R10), Y4, Y2
+	VFMADD231PD (R11), Y4, Y3
+	ADDQ        $32, SI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	DECQ        DX
+	JNZ         d4loop
+
+d4reduce:
+	VEXTRACTF128 $1, Y0, X4
+	VADDPD       X4, X0, X0
+	VUNPCKHPD    X0, X0, X4
+	VADDSD       X4, X0, X0
+	VEXTRACTF128 $1, Y1, X5
+	VADDPD       X5, X1, X1
+	VUNPCKHPD    X1, X1, X5
+	VADDSD       X5, X1, X1
+	VEXTRACTF128 $1, Y2, X6
+	VADDPD       X6, X2, X2
+	VUNPCKHPD    X2, X2, X6
+	VADDSD       X6, X2, X2
+	VEXTRACTF128 $1, Y3, X7
+	VADDPD       X7, X3, X3
+	VUNPCKHPD    X3, X3, X7
+	VADDSD       X7, X3, X3
+	ANDQ         $3, CX
+	JZ           d4store
+
+d4tail:
+	VMOVSD      (SI), X8
+	VFMADD231SD (R8), X8, X0
+	VFMADD231SD (R9), X8, X1
+	VFMADD231SD (R10), X8, X2
+	VFMADD231SD (R11), X8, X3
+	ADDQ        $8, SI
+	ADDQ        $8, R8
+	ADDQ        $8, R9
+	ADDQ        $8, R10
+	ADDQ        $8, R11
+	DECQ        CX
+	JNZ         d4tail
+
+d4store:
+	VMOVSD     X0, (DI)
+	VMOVSD     X1, 8(DI)
+	VMOVSD     X2, 16(DI)
+	VMOVSD     X3, 24(DI)
+	VZEROUPPER
+	RET
+
+// func saxpy4(ci, b0, b1, b2, b3, coef *float64, n int)
+// ci[j] += coef[0]*b0[j] + coef[1]*b1[j] + coef[2]*b2[j] + coef[3]*b3[j],
+// each element accumulating its four fused products in ascending order.
+TEXT ·saxpy4(SB), NOSPLIT, $0-56
+	MOVQ         ci+0(FP), DI
+	MOVQ         b0+8(FP), R8
+	MOVQ         b1+16(FP), R9
+	MOVQ         b2+24(FP), R10
+	MOVQ         b3+32(FP), R11
+	MOVQ         coef+40(FP), AX
+	MOVQ         n+48(FP), CX
+	VBROADCASTSD (AX), Y4
+	VBROADCASTSD 8(AX), Y5
+	VBROADCASTSD 16(AX), Y6
+	VBROADCASTSD 24(AX), Y7
+	MOVQ         CX, DX
+	SHRQ         $2, DX
+	JZ           s4tail
+
+s4loop:
+	VMOVUPD     (DI), Y0
+	VFMADD231PD (R8), Y4, Y0
+	VFMADD231PD (R9), Y5, Y0
+	VFMADD231PD (R10), Y6, Y0
+	VFMADD231PD (R11), Y7, Y0
+	VMOVUPD     Y0, (DI)
+	ADDQ        $32, DI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	DECQ        DX
+	JNZ         s4loop
+
+s4tail:
+	ANDQ $3, CX
+	JZ   s4done
+
+s4tailloop:
+	VMOVSD      (DI), X0
+	VFMADD231SD (R8), X4, X0
+	VFMADD231SD (R9), X5, X0
+	VFMADD231SD (R10), X6, X0
+	VFMADD231SD (R11), X7, X0
+	VMOVSD      X0, (DI)
+	ADDQ        $8, DI
+	ADDQ        $8, R8
+	ADDQ        $8, R9
+	ADDQ        $8, R10
+	ADDQ        $8, R11
+	DECQ        CX
+	JNZ         s4tailloop
+
+s4done:
+	VZEROUPPER
+	RET
+
+// func axpyv(y, x *float64, alpha float64, n int)
+// y[i] += alpha*x[i], fused.
+TEXT ·axpyv(SB), NOSPLIT, $0-32
+	MOVQ         y+0(FP), DI
+	MOVQ         x+8(FP), SI
+	VBROADCASTSD alpha+16(FP), Y4
+	MOVQ         n+24(FP), CX
+	MOVQ         CX, DX
+	SHRQ         $2, DX
+	JZ           avtail
+
+avloop:
+	VMOVUPD     (DI), Y0
+	VFMADD231PD (SI), Y4, Y0
+	VMOVUPD     Y0, (DI)
+	ADDQ        $32, DI
+	ADDQ        $32, SI
+	DECQ        DX
+	JNZ         avloop
+
+avtail:
+	ANDQ $3, CX
+	JZ   avdone
+
+avtailloop:
+	VMOVSD      (DI), X0
+	VFMADD231SD (SI), X4, X0
+	VMOVSD      X0, (DI)
+	ADDQ        $8, DI
+	ADDQ        $8, SI
+	DECQ        CX
+	JNZ         avtailloop
+
+avdone:
+	VZEROUPPER
+	RET
+
+// func addv(dst, src *float64, n int)
+// dst[i] += src[i].
+TEXT ·addv(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   adtail
+
+adloop:
+	VMOVUPD (DI), Y0
+	VADDPD  (SI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	DECQ    DX
+	JNZ     adloop
+
+adtail:
+	ANDQ $3, CX
+	JZ   addone
+
+adtailloop:
+	VMOVSD (DI), X0
+	VADDSD (SI), X0, X0
+	VMOVSD X0, (DI)
+	ADDQ   $8, DI
+	ADDQ   $8, SI
+	DECQ   CX
+	JNZ    adtailloop
+
+addone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,224 @@
+package linalg_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// naive reference kernels (textbook triple loops).
+
+func refGemmNT(C, A, B []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += A[i*k+l] * B[j*k+l]
+			}
+			C[i*n+j] += s
+		}
+	}
+}
+
+func refGemmNN(C, A, B []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += A[i*k+l] * B[l*n+j]
+			}
+			C[i*n+j] += s
+		}
+	}
+}
+
+func refGemmTN(C, A, B []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += A[l*m+i] * B[l*n+j]
+			}
+			C[i*n+j] += s
+		}
+	}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if x := math.Abs(a[i] - b[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestGemmVariantsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{
+		{1, 1, 1}, {2, 3, 4}, {4, 4, 4}, {5, 7, 9}, {8, 100, 63},
+		{3, 5, 1}, {16, 16, 97}, {6, 2, 33}, {9, 13, 8}, {32, 64, 50},
+	}
+	for _, sh := range shapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := randSlice(rng, m*k)
+		bNT := randSlice(rng, n*k)
+		bNN := randSlice(rng, k*n)
+		aTN := randSlice(rng, k*m)
+		seed := randSlice(rng, m*n)
+
+		got, want := append([]float64(nil), seed...), append([]float64(nil), seed...)
+		linalg.GemmNT(got, a, bNT, m, n, k)
+		refGemmNT(want, a, bNT, m, n, k)
+		if d := maxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("GemmNT %v: max diff %g", sh, d)
+		}
+
+		got, want = append([]float64(nil), seed...), append([]float64(nil), seed...)
+		linalg.GemmNN(got, a, bNN, m, n, k)
+		refGemmNN(want, a, bNN, m, n, k)
+		if d := maxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("GemmNN %v: max diff %g", sh, d)
+		}
+
+		got, want = append([]float64(nil), seed...), append([]float64(nil), seed...)
+		linalg.GemmTN(got, aTN, bNN, m, n, k)
+		refGemmTN(want, aTN, bNN, m, n, k)
+		if d := maxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("GemmTN %v: max diff %g", sh, d)
+		}
+	}
+}
+
+// TestGemmDeterminism: repeated calls on the same inputs are byte-identical
+// — the property the ml package's sharded training relies on.
+func TestGemmDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n, k := 7, 31, 63
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, n*k)
+	first := make([]float64, m*n)
+	linalg.GemmNT(first, a, b, m, n, k)
+	for rep := 0; rep < 5; rep++ {
+		got := make([]float64, m*n)
+		linalg.GemmNT(got, a, b, m, n, k)
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("rep %d: element %d differs: %v != %v", rep, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+func TestDotAxpyAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 63, 100} {
+		a, b := randSlice(rng, n), randSlice(rng, n)
+		want := 0.0
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := linalg.Dot(a, b); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Dot n=%d: %v != %v", n, got, want)
+		}
+		y := append([]float64(nil), b...)
+		linalg.Axpy(0.5, a, y)
+		for i := range y {
+			if w := b[i] + 0.5*a[i]; math.Abs(y[i]-w) > 1e-15 {
+				t.Errorf("Axpy n=%d i=%d: %v != %v", n, i, y[i], w)
+			}
+		}
+		d := append([]float64(nil), b...)
+		linalg.Add(d, a)
+		for i := range d {
+			if w := b[i] + a[i]; d[i] != w {
+				t.Errorf("Add n=%d i=%d: %v != %v", n, i, d[i], w)
+			}
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, k := 9, 17
+	a := randSlice(rng, m*k)
+	x := randSlice(rng, k)
+	y := make([]float64, m)
+	linalg.MatVec(y, a, x, m, k)
+	for i := 0; i < m; i++ {
+		want := 0.0
+		for l := 0; l < k; l++ {
+			want += a[i*k+l] * x[l]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Errorf("row %d: %v != %v", i, y[i], want)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	z := []float64{1, 2, 3, 1000, 1000, 1000, -5, 0, 5}
+	linalg.SoftmaxRows(z, 3, 3)
+	for r := 0; r < 3; r++ {
+		sum := z[r*3] + z[r*3+1] + z[r*3+2]
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", r, sum)
+		}
+		for c := 0; c < 3; c++ {
+			if z[r*3+c] < 0 || math.IsNaN(z[r*3+c]) || math.IsInf(z[r*3+c], 0) {
+				t.Errorf("row %d col %d: bad probability %v", r, c, z[r*3+c])
+			}
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := []float64{-1, 0, 2, -0.5, 3}
+	linalg.ReLU(x)
+	want := []float64{0, 0, 2, 0, 3}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("ReLU[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestArenaGrabIsZeroed(t *testing.T) {
+	for rep := 0; rep < 3; rep++ {
+		for _, n := range []int{1, 7, 64, 1000} {
+			buf := linalg.Grab(n)
+			if len(buf) != n {
+				t.Fatalf("Grab(%d) returned len %d", n, len(buf))
+			}
+			for i := range buf {
+				if buf[i] != 0 {
+					t.Fatalf("Grab(%d)[%d] = %v, want 0", n, i, buf[i])
+				}
+				buf[i] = 1 // dirty it before recycling
+			}
+			linalg.Drop(buf)
+		}
+		ib := linalg.GrabInts(33)
+		for i := range ib {
+			if ib[i] != 0 {
+				t.Fatalf("GrabInts not zeroed at %d", i)
+			}
+			ib[i] = 7
+		}
+		linalg.DropInts(ib)
+	}
+	// Foreign and nil buffers must be safe to Drop.
+	linalg.Drop(nil)
+	linalg.Drop(make([]float64, 3, 5))
+}

@@ -2,13 +2,17 @@ package ml
 
 import (
 	"math/rand"
+
+	"repro/internal/linalg"
 )
 
 // CNN is the vector-input variant of Zhang et al.'s DGCNN: the four graph
 // convolution layers are dropped (arrays have no vertices to merge) and
 // what remains is the back half of that architecture — a 1-D convolution,
 // max pooling, a second 1-D convolution, a dense layer with dropout and a
-// softmax classifier.
+// softmax classifier. Both convolutions run as im2col GEMMs over the whole
+// shard, and the dense layers as batched GEMMs over fixed gradient shards
+// (see parallel.go), so training parallelizes with byte-identical results.
 type CNN struct {
 	C1, K1    int // first conv: filters, kernel
 	C2, K2    int // second conv
@@ -34,16 +38,49 @@ func NewCNN(rng *rand.Rand) *CNN {
 	}
 }
 
-// cnnState holds per-example activations for backprop.
-type cnnState struct {
-	x     []float64
-	a1    []float64 // C1 x l1 post-ReLU
-	pool  []float64 // C1 x p1
-	amax  []int     // argmax index per pooled cell
-	a2    []float64 // C2 x l2 post-ReLU
-	hid   []float64 // Hidden post-ReLU
-	mask  []float64 // dropout mask over hidden
+// cnnScratch is one shard's workspace. Activation layouts (rows = samples
+// in the shard):
+//
+//	xcol  (rows·l1) x K1      im2col of the standardized inputs
+//	a1    (rows·l1) x C1      conv1 output, row-major, post-ReLU
+//	pool  rows x (C1·p1)      channel-major per sample
+//	pcol  (rows·l2) x (C1·K2) im2col of pool
+//	a2    (rows·l2) x C2      conv2 output, row-major, post-ReLU
+//
+// so both convolutions and all their gradients are plain GEMMs.
+type cnnScratch struct {
+	xcol  []float64
+	a1    []float64
+	pool  []float64
+	amax  []int // flat index into a1 per pooled cell
+	pcol  []float64
+	a2    []float64
+	hid   []float64 // rows x Hidden post-ReLU post-dropout
+	mask  []float64
 	probs []float64
+
+	dHid, dA2, dPcol []float64
+	dPool, dA1       []float64
+}
+
+func (m *CNN) newScratch(rows int) *cnnScratch {
+	ck := m.C1 * m.K2
+	return &cnnScratch{
+		xcol:  make([]float64, rows*m.l1*m.K1),
+		a1:    make([]float64, rows*m.l1*m.C1),
+		pool:  make([]float64, rows*m.C1*m.p1),
+		amax:  make([]int, rows*m.C1*m.p1),
+		pcol:  make([]float64, rows*m.l2*ck),
+		a2:    make([]float64, rows*m.flat),
+		hid:   make([]float64, rows*m.Hidden),
+		mask:  make([]float64, rows*m.Hidden),
+		probs: make([]float64, rows*m.numCl),
+		dHid:  make([]float64, rows*m.Hidden),
+		dA2:   make([]float64, rows*m.flat),
+		dPcol: make([]float64, rows*m.l2*ck),
+		dPool: make([]float64, rows*m.C1*m.p1),
+		dA1:   make([]float64, rows*m.l1*m.C1),
+	}
 }
 
 // Fit trains the network with minibatch Adam.
@@ -82,21 +119,28 @@ func (m *CNN) Fit(X [][]float64, y []int, numClasses int) error {
 	xavier(m.w3, m.flat, m.Hidden, m.rng)
 	xavier(m.w4, m.Hidden, m.numCl, m.rng)
 
-	opts := []*adam{
-		newAdam(len(m.w1), m.LR), newAdam(len(m.b1), m.LR),
-		newAdam(len(m.w2), m.LR), newAdam(len(m.b2), m.LR),
-		newAdam(len(m.w3), m.LR), newAdam(len(m.b3), m.LR),
-		newAdam(len(m.w4), m.LR), newAdam(len(m.b4), m.LR),
-	}
 	params := [][]float64{m.w1, m.b1, m.w2, m.b2, m.w3, m.b3, m.w4, m.b4}
+	opts := make([]*adam, len(params))
 	grads := make([][]float64, len(params))
 	for i, p := range params {
+		opts[i] = newAdam(len(p), m.LR)
 		grads[i] = make([]float64, len(p))
 	}
 
-	st := m.newState()
 	n := len(Xs)
 	order := m.rng.Perm(n)
+	batchMax := m.BatchSize
+	if batchMax > n {
+		batchMax = n
+	}
+	shards := numShards(batchMax, trainShard)
+	sg := newShardGrads(shards, params)
+	scr := make([]*cnnScratch, shards)
+	for s := range scr {
+		scr[s] = m.newScratch(trainShard)
+	}
+	seeds := make([]int64, batchMax)
+
 	for ep := 0; ep < m.Epochs; ep++ {
 		m.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < n; start += m.BatchSize {
@@ -104,15 +148,17 @@ func (m *CNN) Fit(X [][]float64, y []int, numClasses int) error {
 			if end > n {
 				end = n
 			}
-			for _, g := range grads {
-				zero(g)
-			}
 			batch := order[start:end]
-			inv := 1.0 / float64(len(batch))
-			for _, i := range batch {
-				m.forward(Xs[i], st, true)
-				m.backward(st, y[i], inv, grads)
+			// Per-sample dropout seeds, drawn in batch order so the mask
+			// stream does not depend on worker interleaving.
+			for j := range batch {
+				seeds[j] = m.rng.Int63()
 			}
+			inv := 1.0 / float64(len(batch))
+			forShards(len(batch), trainShard, func(s, lo, hi int) {
+				m.shardGrad(Xs, y, batch[lo:hi], seeds[lo:hi], inv, scr[s], sg.shard(s))
+			})
+			sg.mergeInto(grads, numShards(len(batch), trainShard))
 			for i, p := range params {
 				opts[i].step(p, grads[i])
 			}
@@ -121,182 +167,214 @@ func (m *CNN) Fit(X [][]float64, y []int, numClasses int) error {
 	return nil
 }
 
-func (m *CNN) newState() *cnnState {
-	return &cnnState{
-		a1:    make([]float64, m.C1*m.l1),
-		pool:  make([]float64, m.C1*m.p1),
-		amax:  make([]int, m.C1*m.p1),
-		a2:    make([]float64, m.C2*m.l2),
-		hid:   make([]float64, m.Hidden),
-		mask:  make([]float64, m.Hidden),
-		probs: make([]float64, m.numCl),
+// convForward computes conv1 + maxpool + conv2 for rows samples whose
+// standardized inputs are fetched via xrow. Everything lands in sc.
+func (m *CNN) convForward(xrow func(r int) []float64, rows int, sc *cnnScratch) {
+	ck := m.C1 * m.K2
+	// im2col of the inputs, then conv1 as one GEMM + ReLU.
+	for r := 0; r < rows; r++ {
+		x := xrow(r)
+		base := r * m.l1 * m.K1
+		for p := 0; p < m.l1; p++ {
+			copy(sc.xcol[base+p*m.K1:base+(p+1)*m.K1], x[p:p+m.K1])
+		}
 	}
+	a1 := sc.a1[:rows*m.l1*m.C1]
+	for t := 0; t < rows*m.l1; t++ {
+		copy(a1[t*m.C1:(t+1)*m.C1], m.b1)
+	}
+	linalg.GemmNT(a1, sc.xcol[:rows*m.l1*m.K1], m.w1, rows*m.l1, m.C1, m.K1)
+	linalg.ReLU(a1)
+	// maxpool 2 along positions.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < m.C1; c++ {
+			dst := (r*m.C1 + c) * m.p1
+			for q := 0; q < m.p1; q++ {
+				i0 := (r*m.l1+2*q)*m.C1 + c
+				v, ai := a1[i0], i0
+				if 2*q+1 < m.l1 && a1[i0+m.C1] > v {
+					v, ai = a1[i0+m.C1], i0+m.C1
+				}
+				sc.pool[dst+q] = v
+				sc.amax[dst+q] = ai
+			}
+		}
+	}
+	// im2col of pool, then conv2 as one GEMM + ReLU.
+	for r := 0; r < rows; r++ {
+		for p := 0; p < m.l2; p++ {
+			dst := (r*m.l2 + p) * ck
+			for ic := 0; ic < m.C1; ic++ {
+				src := (r*m.C1+ic)*m.p1 + p
+				copy(sc.pcol[dst+ic*m.K2:dst+(ic+1)*m.K2], sc.pool[src:src+m.K2])
+			}
+		}
+	}
+	a2 := sc.a2[:rows*m.flat]
+	for t := 0; t < rows*m.l2; t++ {
+		copy(a2[t*m.C2:(t+1)*m.C2], m.b2)
+	}
+	linalg.GemmNT(a2, sc.pcol[:rows*m.l2*ck], m.w2, rows*m.l2, m.C2, ck)
+	linalg.ReLU(a2)
 }
 
-func (m *CNN) forward(x []float64, st *cnnState, train bool) {
-	st.x = x
-	// conv1 (single input channel) + ReLU.
-	for c := 0; c < m.C1; c++ {
-		wb := c * m.K1
-		for p := 0; p < m.l1; p++ {
-			s := m.b1[c]
-			for k := 0; k < m.K1; k++ {
-				s += m.w1[wb+k] * x[p+k]
-			}
-			st.a1[c*m.l1+p] = relu(s)
-		}
+// shardGrad runs forward + backward over one shard of the minibatch,
+// accumulating into the shard's private gradient buffers
+// (order: w1, b1, w2, b2, w3, b3, w4, b4).
+func (m *CNN) shardGrad(Xs [][]float64, y []int, idxs []int, seeds []int64,
+	inv float64, sc *cnnScratch, g [][]float64) {
+
+	gw1, gb1 := g[0], g[1]
+	gw2, gb2 := g[2], g[3]
+	gw3, gb3 := g[4], g[5]
+	gw4, gb4 := g[6], g[7]
+	rows := len(idxs)
+	h, c, ck := m.Hidden, m.numCl, m.C1*m.K2
+
+	m.convForward(func(r int) []float64 { return Xs[idxs[r]] }, rows, sc)
+	a2 := sc.a2[:rows*m.flat]
+
+	// Dense forward: hid = dropout(relu(b3 + A2·W3ᵀ)),
+	// probs = softmax(b4 + hid·W4ᵀ).
+	hid := sc.hid[:rows*h]
+	for r := 0; r < rows; r++ {
+		copy(hid[r*h:(r+1)*h], m.b3)
 	}
-	// maxpool 2.
-	for c := 0; c < m.C1; c++ {
-		for p := 0; p < m.p1; p++ {
-			i0 := c*m.l1 + 2*p
-			v, ai := st.a1[i0], i0
-			if 2*p+1 < m.l1 && st.a1[i0+1] > v {
-				v, ai = st.a1[i0+1], i0+1
-			}
-			st.pool[c*m.p1+p] = v
-			st.amax[c*m.p1+p] = ai
-		}
-	}
-	// conv2 over C1 channels + ReLU.
-	for c := 0; c < m.C2; c++ {
-		for p := 0; p < m.l2; p++ {
-			s := m.b2[c]
-			for ic := 0; ic < m.C1; ic++ {
-				wb := (c*m.C1 + ic) * m.K2
-				pb := ic*m.p1 + p
-				for k := 0; k < m.K2; k++ {
-					s += m.w2[wb+k] * st.pool[pb+k]
-				}
-			}
-			st.a2[c*m.l2+p] = relu(s)
-		}
-	}
-	// dense + ReLU + dropout.
-	for j := 0; j < m.Hidden; j++ {
-		s := m.b3[j]
-		base := j * m.flat
-		for k := 0; k < m.flat; k++ {
-			s += m.w3[base+k] * st.a2[k]
-		}
-		v := relu(s)
-		if train {
-			if m.rng.Float64() < m.Dropout {
-				st.mask[j] = 0
+	linalg.GemmNT(hid, a2, m.w3, rows, h, m.flat)
+	linalg.ReLU(hid)
+	mask := sc.mask[:rows*h]
+	keep := 1 / (1 - m.Dropout)
+	for r := 0; r < rows; r++ {
+		sm := splitmix(seeds[r])
+		for j := 0; j < h; j++ {
+			if sm.float64() < m.Dropout {
+				mask[r*h+j] = 0
+				hid[r*h+j] = 0
 			} else {
-				st.mask[j] = 1 / (1 - m.Dropout)
+				mask[r*h+j] = keep
+				hid[r*h+j] *= keep
 			}
-			v *= st.mask[j]
 		}
-		st.hid[j] = v
 	}
-	// output logits.
-	for c := 0; c < m.numCl; c++ {
-		s := m.b4[c]
-		base := c * m.Hidden
-		for j := 0; j < m.Hidden; j++ {
-			s += m.w4[base+j] * st.hid[j]
-		}
-		st.probs[c] = s
+	probs := sc.probs[:rows*c]
+	for r := 0; r < rows; r++ {
+		copy(probs[r*c:(r+1)*c], m.b4)
 	}
-	softmaxInPlace(st.probs)
-}
+	linalg.GemmNT(probs, hid, m.w4, rows, c, h)
+	linalg.SoftmaxRows(probs, rows, c)
 
-// backward accumulates gradients for one example (already forwarded).
-// grads order: w1,b1,w2,b2,w3,b3,w4,b4.
-func (m *CNN) backward(st *cnnState, label int, scale float64, grads [][]float64) {
-	gw1, gb1 := grads[0], grads[1]
-	gw2, gb2 := grads[2], grads[3]
-	gw3, gb3 := grads[4], grads[5]
-	gw4, gb4 := grads[6], grads[7]
+	// dLogits = (probs - onehot)/batch, in place.
+	for r, i := range idxs {
+		probs[r*c+y[i]] -= 1
+	}
+	linalg.Scale(inv, probs)
 
-	dLogits := make([]float64, m.numCl)
-	for c := range dLogits {
-		g := st.probs[c]
-		if c == label {
-			g -= 1
-		}
-		dLogits[c] = g * scale
+	// Output layer.
+	for r := 0; r < rows; r++ {
+		linalg.Add(gb4, probs[r*c:(r+1)*c])
 	}
-	dHid := make([]float64, m.Hidden)
-	for c := 0; c < m.numCl; c++ {
-		g := dLogits[c]
-		gb4[c] += g
-		base := c * m.Hidden
-		for j := 0; j < m.Hidden; j++ {
-			gw4[base+j] += g * st.hid[j]
-			dHid[j] += g * m.w4[base+j]
-		}
-	}
-	dA2 := make([]float64, m.flat)
-	for j := 0; j < m.Hidden; j++ {
-		if st.hid[j] == 0 {
-			continue // ReLU off or dropped out
-		}
-		g := dHid[j] * st.mask[j]
-		if st.mask[j] == 0 {
-			continue
-		}
-		// hid[j] = relu(z)*mask; relu derivative is 1 where hid>0.
-		gb3[j] += g
-		base := j * m.flat
-		for k := 0; k < m.flat; k++ {
-			gw3[base+k] += g * st.a2[k]
-			dA2[k] += g * m.w3[base+k]
+	linalg.GemmTN(gw4, probs, hid, c, h, rows)
+	dHid := sc.dHid[:rows*h]
+	linalg.Zero(dHid)
+	linalg.GemmNN(dHid, probs, m.w4, rows, h, c)
+
+	// Gate through dropout + ReLU: hid > 0 iff the unit survived both.
+	for i, v := range hid {
+		if v == 0 {
+			dHid[i] = 0
+		} else {
+			dHid[i] *= mask[i]
 		}
 	}
-	dPool := make([]float64, m.C1*m.p1)
-	for c := 0; c < m.C2; c++ {
+	for r := 0; r < rows; r++ {
+		linalg.Add(gb3, dHid[r*h:(r+1)*h])
+	}
+	linalg.GemmTN(gw3, dHid, a2, h, m.flat, rows)
+	dA2 := sc.dA2[:rows*m.flat]
+	linalg.Zero(dA2)
+	linalg.GemmNN(dA2, dHid, m.w3, rows, m.flat, h)
+
+	// conv2 backward: gate by ReLU, then GEMMs against pcol.
+	for i, v := range a2 {
+		if v == 0 {
+			dA2[i] = 0
+		}
+	}
+	for t := 0; t < rows*m.l2; t++ {
+		linalg.Add(gb2, dA2[t*m.C2:(t+1)*m.C2])
+	}
+	linalg.GemmTN(gw2, dA2, sc.pcol[:rows*m.l2*ck], m.C2, ck, rows*m.l2)
+	dPcol := sc.dPcol[:rows*m.l2*ck]
+	linalg.Zero(dPcol)
+	linalg.GemmNN(dPcol, dA2, m.w2, rows*m.l2, ck, m.C2)
+
+	// col2im back onto the pooled map, unpool, gate by conv1's ReLU.
+	dPool := sc.dPool[:rows*m.C1*m.p1]
+	linalg.Zero(dPool)
+	for r := 0; r < rows; r++ {
 		for p := 0; p < m.l2; p++ {
-			idx := c*m.l2 + p
-			if st.a2[idx] <= 0 {
-				continue
-			}
-			g := dA2[idx]
-			gb2[c] += g
+			src := (r*m.l2 + p) * ck
 			for ic := 0; ic < m.C1; ic++ {
-				wb := (c*m.C1 + ic) * m.K2
-				pb := ic*m.p1 + p
-				for k := 0; k < m.K2; k++ {
-					gw2[wb+k] += g * st.pool[pb+k]
-					dPool[pb+k] += g * m.w2[wb+k]
-				}
+				dst := (r*m.C1+ic)*m.p1 + p
+				linalg.Add(dPool[dst:dst+m.K2], dPcol[src+ic*m.K2:src+(ic+1)*m.K2])
 			}
 		}
 	}
-	dA1 := make([]float64, m.C1*m.l1)
-	for i, g := range dPool {
-		if g != 0 {
-			dA1[st.amax[i]] += g
+	dA1 := sc.dA1[:rows*m.l1*m.C1]
+	linalg.Zero(dA1)
+	for i, gv := range dPool {
+		if gv != 0 {
+			dA1[sc.amax[i]] += gv
 		}
 	}
-	for c := 0; c < m.C1; c++ {
-		wb := c * m.K1
-		for p := 0; p < m.l1; p++ {
-			idx := c*m.l1 + p
-			if st.a1[idx] <= 0 {
-				continue
-			}
-			g := dA1[idx]
-			if g == 0 {
-				continue
-			}
-			gb1[c] += g
-			for k := 0; k < m.K1; k++ {
-				gw1[wb+k] += g * st.x[p+k]
-			}
+	a1 := sc.a1[:rows*m.l1*m.C1]
+	for i, v := range a1 {
+		if v == 0 {
+			dA1[i] = 0
 		}
 	}
+	for t := 0; t < rows*m.l1; t++ {
+		linalg.Add(gb1, dA1[t*m.C1:(t+1)*m.C1])
+	}
+	linalg.GemmTN(gw1, dA1, sc.xcol[:rows*m.l1*m.K1], m.C1, m.K1, rows*m.l1)
 }
 
 // Predict returns the argmax class.
 func (m *CNN) Predict(x []float64) int {
-	st := m.newState()
-	for j := range st.mask {
-		st.mask[j] = 1
+	d := len(x)
+	if d < m.d {
+		d = m.d
 	}
-	m.forward(m.std.apply(x), st, false)
-	return argmax(st.probs)
+	xs := linalg.Grab(d)
+	m.std.applyInto(xs, x)
+	ck := m.C1 * m.K2
+	sc := &cnnScratch{
+		xcol: linalg.Grab(m.l1 * m.K1),
+		a1:   linalg.Grab(m.l1 * m.C1),
+		pool: linalg.Grab(m.C1 * m.p1),
+		amax: linalg.GrabInts(m.C1 * m.p1),
+		pcol: linalg.Grab(m.l2 * ck),
+		a2:   linalg.Grab(m.flat),
+	}
+	m.convForward(func(int) []float64 { return xs[:m.d] }, 1, sc)
+	hid := linalg.Grab(m.Hidden)
+	copy(hid, m.b3)
+	linalg.MatVec(hid, m.w3, sc.a2, m.Hidden, m.flat)
+	linalg.ReLU(hid)
+	out := linalg.Grab(m.numCl)
+	copy(out, m.b4)
+	linalg.MatVec(out, m.w4, hid, m.numCl, m.Hidden)
+	best := argmax(out)
+	linalg.Drop(out)
+	linalg.Drop(hid)
+	linalg.Drop(sc.a2)
+	linalg.Drop(sc.pcol)
+	linalg.DropInts(sc.amax)
+	linalg.Drop(sc.pool)
+	linalg.Drop(sc.a1)
+	linalg.Drop(sc.xcol)
+	linalg.Drop(xs)
+	return best
 }
 
 // MemoryBytes counts all parameter tensors. Mirroring the paper's

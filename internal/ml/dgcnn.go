@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/embed"
+	"repro/internal/linalg"
 )
 
 // DGCNN is Zhang et al. (2018)'s Deep Graph Convolutional Neural Network,
@@ -19,6 +20,11 @@ import (
 //  5. a second one-dimensional convolutional layer;
 //  6. a dense layer followed by dropout;
 //  7. a final dense softmax classifier.
+//
+// Node features are flattened into packed matrices so every GCN layer and
+// the first convolution run as dense GEMMs; minibatches train over fixed
+// graph shards (see parallel.go) with byte-identical results for any
+// worker count.
 type DGCNN struct {
 	GCDims  []int // per-layer output channels, last must be 1
 	K       int   // SortPooling size
@@ -50,17 +56,30 @@ func NewDGCNN(rng *rand.Rand) *DGCNN {
 	}
 }
 
-// graphPrep is the preprocessed propagation structure of one graph.
+// graphPrep is the preprocessed propagation structure of one graph: the
+// neighbour lists plus the node features packed into one zero-padded
+// (n x inDim) matrix so GCN layers are plain GEMMs.
 type graphPrep struct {
 	n      int
-	feats  [][]float64
+	flat   []float64 // n x inDim node features
 	nbrs   [][]int32 // incoming neighbours incl. self loop
 	invDeg []float64
 }
 
-func prepGraph(g *embed.Graph) *graphPrep {
+func (m *DGCNN) prep(g *embed.Graph) *graphPrep {
 	n := g.NumNodes()
-	p := &graphPrep{n: n, feats: g.NodeFeats, nbrs: make([][]int32, n), invDeg: make([]float64, n)}
+	p := &graphPrep{n: n, nbrs: make([][]int32, n), invDeg: make([]float64, n)}
+	p.flat = make([]float64, n*m.inDim)
+	for i, row := range g.NodeFeats {
+		if i >= n {
+			break
+		}
+		w := len(row)
+		if w > m.inDim {
+			w = m.inDim
+		}
+		copy(p.flat[i*m.inDim:i*m.inDim+w], row)
+	}
 	for i := 0; i < n; i++ {
 		p.nbrs[i] = append(p.nbrs[i], int32(i)) // self loop
 	}
@@ -75,18 +94,59 @@ func prepGraph(g *embed.Graph) *graphPrep {
 	return p
 }
 
-// dgState holds forward activations of one graph for backprop.
-type dgState struct {
-	zs     [][][]float64 // per layer: n x dim post-tanh
-	sorted []int         // node order chosen by SortPooling
-	pooled []float64     // K x catDim (zero padded)
-	a1     []float64     // K x C1 post-ReLU
-	pool   []float64
-	amax   []int
-	a2     []float64
+// dgScratch is one shard's workspace. The fixed-size back-half buffers are
+// allocated once per Fit; the graph-size-dependent GCN activations are
+// grabbed from the linalg arena per graph and dropped after backprop.
+type dgScratch struct {
+	zs     [][]float64 // per layer: flat n x dim post-tanh (arena)
+	sorted []int       // SortPooling node order (arena)
+	kept   int         // rows actually pooled (min(n, K))
+
+	pooled []float64 // K x catDim, zero padded
+	a1     []float64 // K x C1 row-major post-ReLU
+	pool   []float64 // C1 x p1
+	amax   []int     // argmax index into a1 per pooled cell
+	pcol   []float64 // l2 x (C1·K2) im2col of pool
+	a2     []float64 // l2 x C2 row-major post-ReLU
 	hid    []float64
 	mask   []float64
 	probs  []float64
+
+	dHid, dA2, dPcol []float64
+	dPool            []float64
+	dA1, dPooled     []float64
+}
+
+func (m *DGCNN) newScratch() *dgScratch {
+	ck := m.C1 * m.K2
+	return &dgScratch{
+		zs:      make([][]float64, len(m.GCDims)),
+		pooled:  make([]float64, m.K*m.catDim),
+		a1:      make([]float64, m.K*m.C1),
+		pool:    make([]float64, m.C1*m.p1),
+		amax:    make([]int, m.C1*m.p1),
+		pcol:    make([]float64, m.l2*ck),
+		a2:      make([]float64, m.flat),
+		hid:     make([]float64, m.Hidden),
+		mask:    make([]float64, m.Hidden),
+		probs:   make([]float64, m.numCl),
+		dHid:    make([]float64, m.Hidden),
+		dA2:     make([]float64, m.flat),
+		dPcol:   make([]float64, m.l2*ck),
+		dPool:   make([]float64, m.C1*m.p1),
+		dA1:     make([]float64, m.K*m.C1),
+		dPooled: make([]float64, m.K*m.catDim),
+	}
+}
+
+// release returns the per-graph arena buffers held by the scratch.
+func (sc *dgScratch) release() {
+	for t := len(sc.zs) - 1; t >= 0; t-- {
+		linalg.Drop(sc.zs[t])
+		sc.zs[t] = nil
+	}
+	linalg.DropInts(sc.sorted)
+	sc.sorted = nil
 }
 
 // FitGraphs trains on a labelled set of graphs.
@@ -138,7 +198,7 @@ func (m *DGCNN) FitGraphs(gs []*embed.Graph, y []int, numClasses int) error {
 
 	preps := make([]*graphPrep, len(gs))
 	for i, g := range gs {
-		preps[i] = prepGraph(g)
+		preps[i] = m.prep(g)
 	}
 
 	params := [][]float64{m.w1, m.b1, m.w2, m.b2, m.w3, m.b3, m.w4, m.b4}
@@ -150,23 +210,44 @@ func (m *DGCNN) FitGraphs(gs []*embed.Graph, y []int, numClasses int) error {
 		grads[i] = make([]float64, len(p))
 	}
 
-	order := m.rng.Perm(len(gs))
+	n := len(gs)
+	order := m.rng.Perm(n)
 	const batch = 8
+	batchMax := batch
+	if batchMax > n {
+		batchMax = n
+	}
+	shards := numShards(batchMax, graphShard)
+	sg := newShardGrads(shards, params)
+	scr := make([]*dgScratch, shards)
+	for s := range scr {
+		scr[s] = m.newScratch()
+	}
+	seeds := make([]int64, batchMax)
+
 	for ep := 0; ep < m.Epochs; ep++ {
-		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for start := 0; start < len(order); start += batch {
+		m.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += batch {
 			end := start + batch
-			if end > len(order) {
-				end = len(order)
+			if end > n {
+				end = n
 			}
-			for _, g := range grads {
-				zero(g)
+			bo := order[start:end]
+			for j := range bo {
+				seeds[j] = m.rng.Int63()
 			}
-			inv := 1.0 / float64(end-start)
-			for _, i := range order[start:end] {
-				st := m.forward(preps[i], true)
-				m.backward(preps[i], st, y[i], inv, grads)
-			}
+			inv := 1.0 / float64(len(bo))
+			forShards(len(bo), graphShard, func(s, lo, hi int) {
+				sc := scr[s]
+				g := sg.shard(s)
+				for r := lo; r < hi; r++ {
+					i := bo[r]
+					m.forward(preps[i], sc, seeds[r], true)
+					m.backward(preps[i], sc, y[i], inv, g)
+					sc.release()
+				}
+			})
+			sg.mergeInto(grads, numShards(len(bo), graphShard))
 			for i, p := range params {
 				opts[i].step(p, grads[i])
 			}
@@ -181,339 +262,257 @@ type errStr string
 
 func (e errStr) Error() string { return string(e) }
 
-// gcnForward computes the stacked GCN layers, returning post-tanh
-// activations per layer.
-func (m *DGCNN) gcnForward(p *graphPrep) [][][]float64 {
-	zs := make([][][]float64, len(m.GCDims))
-	prev := p.feats
+// gcnForward computes the stacked GCN layers into sc.zs: per layer a packed
+// (n x dim) post-tanh activation matrix. H = Zprev·W runs as one GEMM; the
+// D⁻¹Ã aggregation is a fused neighbour-sum + tanh pass.
+func (m *DGCNN) gcnForward(p *graphPrep, sc *dgScratch) {
+	prev := p.flat
 	prevDim := m.inDim
 	for t, d := range m.GCDims {
-		w := m.gw[t]
-		// H = prev * W  (n x d)
-		h := make([][]float64, p.n)
+		h := linalg.Grab(p.n * d)
+		linalg.GemmNN(h, prev, m.gw[t], p.n, d, prevDim)
+		z := linalg.Grab(p.n * d)
 		for i := 0; i < p.n; i++ {
-			row := make([]float64, d)
-			pr := prev[i]
-			for a := 0; a < len(pr) && a < prevDim; a++ {
-				v := pr[a]
-				if v == 0 {
-					continue
-				}
-				base := a * d
-				for b := 0; b < d; b++ {
-					row[b] += v * w[base+b]
-				}
-			}
-			h[i] = row
-		}
-		// Z = tanh(D^-1 A H)
-		z := make([][]float64, p.n)
-		for i := 0; i < p.n; i++ {
-			row := make([]float64, d)
+			row := z[i*d : (i+1)*d]
 			for _, nb := range p.nbrs[i] {
-				hn := h[nb]
-				for b := 0; b < d; b++ {
-					row[b] += hn[b]
-				}
+				linalg.Add(row, h[int(nb)*d:(int(nb)+1)*d])
 			}
 			s := p.invDeg[i]
-			for b := 0; b < d; b++ {
+			for b := range row {
 				row[b] = math.Tanh(row[b] * s)
 			}
-			z[i] = row
 		}
-		zs[t] = z
+		linalg.Drop(h)
+		sc.zs[t] = z
 		prev = z
 		prevDim = d
 	}
-	return zs
 }
 
-func (m *DGCNN) forward(p *graphPrep, train bool) *dgState {
-	st := &dgState{
-		a1:    make([]float64, m.K*m.C1),
-		pool:  make([]float64, m.C1*m.p1),
-		amax:  make([]int, m.C1*m.p1),
-		a2:    make([]float64, m.C2*m.l2),
-		hid:   make([]float64, m.Hidden),
-		mask:  make([]float64, m.Hidden),
-		probs: make([]float64, m.numCl),
-	}
-	st.zs = m.gcnForward(p)
+// forward runs one graph through the network. Dropout (train only) is
+// seeded per sample so the mask does not depend on worker scheduling.
+func (m *DGCNN) forward(p *graphPrep, sc *dgScratch, seed int64, train bool) {
+	m.gcnForward(p, sc)
+
 	// SortPooling on the last (1-channel) layer.
-	last := st.zs[len(st.zs)-1]
-	idxs := make([]int, p.n)
+	last := sc.zs[len(sc.zs)-1]
+	idxs := linalg.GrabInts(p.n)
 	for i := range idxs {
 		idxs[i] = i
 	}
-	sort.SliceStable(idxs, func(a, b int) bool { return last[idxs[a]][0] > last[idxs[b]][0] })
-	if len(idxs) > m.K {
-		idxs = idxs[:m.K]
+	sort.SliceStable(idxs, func(a, b int) bool { return last[idxs[a]] > last[idxs[b]] })
+	sc.sorted = idxs
+	sc.kept = p.n
+	if sc.kept > m.K {
+		sc.kept = m.K
 	}
-	st.sorted = idxs
-	st.pooled = make([]float64, m.K*m.catDim)
-	for row, node := range idxs {
+	linalg.Zero(sc.pooled)
+	for row := 0; row < sc.kept; row++ {
+		node := idxs[row]
 		off := row * m.catDim
-		for _, z := range st.zs {
-			for _, v := range z[node] {
-				st.pooled[off] = v
-				off++
-			}
+		for t, d := range m.GCDims {
+			copy(sc.pooled[off:off+d], sc.zs[t][node*d:(node+1)*d])
+			off += d
 		}
 	}
-	// conv1: kernel = catDim, stride = catDim -> per-row dense, ReLU.
-	for c := 0; c < m.C1; c++ {
-		wb := c * m.catDim
-		for r := 0; r < m.K; r++ {
-			s := m.b1[c]
-			pb := r * m.catDim
-			for k := 0; k < m.catDim; k++ {
-				s += m.w1[wb+k] * st.pooled[pb+k]
-			}
-			st.a1[c*m.K+r] = relu(s)
-		}
+
+	// conv1: kernel = catDim, stride = catDim — one GEMM producing the
+	// row-major (K x C1) activation, then ReLU.
+	for r := 0; r < m.K; r++ {
+		copy(sc.a1[r*m.C1:(r+1)*m.C1], m.b1)
 	}
-	// maxpool 2 along rows.
+	linalg.GemmNT(sc.a1, sc.pooled, m.w1, m.K, m.C1, m.catDim)
+	linalg.ReLU(sc.a1)
+
+	// maxpool 2 along rows (pool stays channel-major for conv2).
 	for c := 0; c < m.C1; c++ {
 		for r := 0; r < m.p1; r++ {
-			i0 := c*m.K + 2*r
-			v, ai := st.a1[i0], i0
-			if 2*r+1 < m.K && st.a1[i0+1] > v {
-				v, ai = st.a1[i0+1], i0+1
+			i0 := 2*r*m.C1 + c
+			v, ai := sc.a1[i0], i0
+			if 2*r+1 < m.K && sc.a1[i0+m.C1] > v {
+				v, ai = sc.a1[i0+m.C1], i0+m.C1
 			}
-			st.pool[c*m.p1+r] = v
-			st.amax[c*m.p1+r] = ai
+			sc.pool[c*m.p1+r] = v
+			sc.amax[c*m.p1+r] = ai
 		}
 	}
-	// conv2 + ReLU.
-	for c := 0; c < m.C2; c++ {
-		for r := 0; r < m.l2; r++ {
-			s := m.b2[c]
-			for ic := 0; ic < m.C1; ic++ {
-				wb := (c*m.C1 + ic) * m.K2
-				pb := ic*m.p1 + r
-				for k := 0; k < m.K2; k++ {
-					s += m.w2[wb+k] * st.pool[pb+k]
-				}
-			}
-			st.a2[c*m.l2+r] = relu(s)
+	// conv2 as an im2col GEMM + ReLU; a2 is position-major (l2 x C2), which
+	// only permutes the flattened features the dense layer learns over.
+	ck := m.C1 * m.K2
+	for r := 0; r < m.l2; r++ {
+		dst := r * ck
+		for ic := 0; ic < m.C1; ic++ {
+			src := ic*m.p1 + r
+			copy(sc.pcol[dst+ic*m.K2:dst+(ic+1)*m.K2], sc.pool[src:src+m.K2])
 		}
 	}
+	for r := 0; r < m.l2; r++ {
+		copy(sc.a2[r*m.C2:(r+1)*m.C2], m.b2)
+	}
+	linalg.GemmNT(sc.a2, sc.pcol, m.w2, m.l2, m.C2, ck)
+	linalg.ReLU(sc.a2)
 	// dense + ReLU + dropout.
-	for j := 0; j < m.Hidden; j++ {
-		s := m.b3[j]
-		base := j * m.flat
-		for k := 0; k < m.flat; k++ {
-			s += m.w3[base+k] * st.a2[k]
-		}
-		v := relu(s)
-		if train {
-			if m.rng.Float64() < m.Dropout {
-				st.mask[j] = 0
+	copy(sc.hid, m.b3)
+	linalg.MatVec(sc.hid, m.w3, sc.a2, m.Hidden, m.flat)
+	linalg.ReLU(sc.hid)
+	if train {
+		sm := splitmix(seed)
+		keep := 1 / (1 - m.Dropout)
+		for j := range sc.hid {
+			if sm.float64() < m.Dropout {
+				sc.mask[j] = 0
+				sc.hid[j] = 0
 			} else {
-				st.mask[j] = 1 / (1 - m.Dropout)
+				sc.mask[j] = keep
+				sc.hid[j] *= keep
 			}
-			v *= st.mask[j]
-		} else {
-			st.mask[j] = 1
 		}
-		st.hid[j] = v
-	}
-	for c := 0; c < m.numCl; c++ {
-		s := m.b4[c]
-		base := c * m.Hidden
-		for j := 0; j < m.Hidden; j++ {
-			s += m.w4[base+j] * st.hid[j]
+	} else {
+		for j := range sc.mask {
+			sc.mask[j] = 1
 		}
-		st.probs[c] = s
 	}
-	softmaxInPlace(st.probs)
-	return st
+	copy(sc.probs, m.b4)
+	linalg.MatVec(sc.probs, m.w4, sc.hid, m.numCl, m.Hidden)
+	softmaxInPlace(sc.probs)
 }
 
 // backward accumulates gradients for one graph. grads order:
 // w1,b1,w2,b2,w3,b3,w4,b4, gw[0..].
-func (m *DGCNN) backward(p *graphPrep, st *dgState, label int, scale float64, grads [][]float64) {
+func (m *DGCNN) backward(p *graphPrep, sc *dgScratch, label int, scale float64, grads [][]float64) {
 	gw1, gb1 := grads[0], grads[1]
 	gw2, gb2 := grads[2], grads[3]
 	gw3, gb3 := grads[4], grads[5]
 	gw4, gb4 := grads[6], grads[7]
 	ggw := grads[8:]
 
-	dHid := make([]float64, m.Hidden)
+	linalg.Zero(sc.dHid)
 	for c := 0; c < m.numCl; c++ {
-		g := st.probs[c]
+		g := sc.probs[c]
 		if c == label {
 			g -= 1
 		}
 		g *= scale
 		gb4[c] += g
 		base := c * m.Hidden
-		for j := 0; j < m.Hidden; j++ {
-			gw4[base+j] += g * st.hid[j]
-			dHid[j] += g * m.w4[base+j]
-		}
+		linalg.Axpy(g, sc.hid, gw4[base:base+m.Hidden])
+		linalg.Axpy(g, m.w4[base:base+m.Hidden], sc.dHid)
 	}
-	dA2 := make([]float64, m.flat)
+	linalg.Zero(sc.dA2)
 	for j := 0; j < m.Hidden; j++ {
-		if st.hid[j] == 0 || st.mask[j] == 0 {
+		if sc.hid[j] == 0 || sc.mask[j] == 0 {
 			continue
 		}
-		g := dHid[j] * st.mask[j]
+		g := sc.dHid[j] * sc.mask[j]
 		gb3[j] += g
 		base := j * m.flat
-		for k := 0; k < m.flat; k++ {
-			gw3[base+k] += g * st.a2[k]
-			dA2[k] += g * m.w3[base+k]
+		linalg.Axpy(g, sc.a2, gw3[base:base+m.flat])
+		linalg.Axpy(g, m.w3[base:base+m.flat], sc.dA2)
+	}
+	// conv2 backward: gate by its ReLU, then the weight and input gradients
+	// are GEMMs against the im2col matrix, folded back with a col2im pass.
+	for i, v := range sc.a2 {
+		if v == 0 {
+			sc.dA2[i] = 0
 		}
 	}
-	dPool := make([]float64, m.C1*m.p1)
-	for c := 0; c < m.C2; c++ {
-		for r := 0; r < m.l2; r++ {
-			idx := c*m.l2 + r
-			if st.a2[idx] <= 0 {
-				continue
-			}
-			g := dA2[idx]
-			gb2[c] += g
-			for ic := 0; ic < m.C1; ic++ {
-				wb := (c*m.C1 + ic) * m.K2
-				pb := ic*m.p1 + r
-				for k := 0; k < m.K2; k++ {
-					gw2[wb+k] += g * st.pool[pb+k]
-					dPool[pb+k] += g * m.w2[wb+k]
-				}
-			}
+	ck := m.C1 * m.K2
+	for r := 0; r < m.l2; r++ {
+		linalg.Add(gb2, sc.dA2[r*m.C2:(r+1)*m.C2])
+	}
+	linalg.GemmTN(gw2, sc.dA2, sc.pcol, m.C2, ck, m.l2)
+	linalg.Zero(sc.dPcol)
+	linalg.GemmNN(sc.dPcol, sc.dA2, m.w2, m.l2, ck, m.C2)
+	linalg.Zero(sc.dPool)
+	for r := 0; r < m.l2; r++ {
+		src := r * ck
+		for ic := 0; ic < m.C1; ic++ {
+			dst := ic*m.p1 + r
+			linalg.Add(sc.dPool[dst:dst+m.K2], sc.dPcol[src+ic*m.K2:src+(ic+1)*m.K2])
 		}
 	}
-	dA1 := make([]float64, m.K*m.C1)
-	for i, g := range dPool {
+	// Unpool, gate by conv1's ReLU, then fold the conv1 gradients as GEMMs
+	// against the pooled matrix.
+	linalg.Zero(sc.dA1)
+	for i, g := range sc.dPool {
 		if g != 0 {
-			dA1[st.amax[i]] += g
+			sc.dA1[sc.amax[i]] += g
 		}
 	}
-	dPooled := make([]float64, len(st.pooled))
-	for c := 0; c < m.C1; c++ {
-		wb := c * m.catDim
-		for r := 0; r < m.K; r++ {
-			idx := c*m.K + r
-			if st.a1[idx] <= 0 {
-				continue
-			}
-			g := dA1[idx]
-			if g == 0 {
-				continue
-			}
-			gb1[c] += g
-			pb := r * m.catDim
-			for k := 0; k < m.catDim; k++ {
-				gw1[wb+k] += g * st.pooled[pb+k]
-				dPooled[pb+k] += g * m.w1[wb+k]
-			}
+	for i, v := range sc.a1 {
+		if v <= 0 {
+			sc.dA1[i] = 0
 		}
 	}
+	for r := 0; r < m.K; r++ {
+		linalg.Add(gb1, sc.dA1[r*m.C1:(r+1)*m.C1])
+	}
+	linalg.GemmTN(gw1, sc.dA1, sc.pooled, m.C1, m.catDim, m.K)
+	linalg.Zero(sc.dPooled)
+	linalg.GemmNN(sc.dPooled, sc.dA1, m.w1, m.K, m.catDim, m.C1)
+
 	// Route pooled gradients back to the selected nodes, split per layer.
-	dZ := make([][][]float64, len(m.GCDims))
+	dZ := make([][]float64, len(m.GCDims))
 	for t, d := range m.GCDims {
-		dZ[t] = make([][]float64, p.n)
-		_ = d
+		dZ[t] = linalg.Grab(p.n * d)
 	}
-	for row, node := range st.sorted {
+	for row := 0; row < sc.kept; row++ {
+		node := sc.sorted[row]
 		off := row * m.catDim
 		for t, d := range m.GCDims {
-			if dZ[t][node] == nil {
-				dZ[t][node] = make([]float64, d)
-			}
-			for b := 0; b < d; b++ {
-				dZ[t][node][b] += dPooled[off]
-				off++
-			}
+			linalg.Add(dZ[t][node*d:(node+1)*d], sc.dPooled[off:off+d])
+			off += d
 		}
 	}
 	// Backprop through the GCN stack, last layer first. dZ[t] receives
 	// contributions both from SortPooling (above) and from layer t+1.
 	for t := len(m.GCDims) - 1; t >= 0; t-- {
 		d := m.GCDims[t]
-		var prev [][]float64
+		var prev []float64
 		prevDim := m.inDim
 		if t > 0 {
-			prev = st.zs[t-1]
+			prev = sc.zs[t-1]
 			prevDim = m.GCDims[t-1]
 		} else {
-			prev = p.feats
+			prev = p.flat
 		}
-		z := st.zs[t]
-		// dM = dZ ⊙ (1 - Z²) ⊙ invDeg (fold the D⁻¹ scaling here)
-		dM := make([][]float64, p.n)
-		any := false
+		z := sc.zs[t]
+		// dM = dZ ⊙ (1 - Z²) ⊙ invDeg, in place (fold the D⁻¹ scaling).
+		dm := dZ[t]
 		for i := 0; i < p.n; i++ {
-			if dZ[t][i] == nil {
-				continue
-			}
-			row := make([]float64, d)
 			s := p.invDeg[i]
-			for b := 0; b < d; b++ {
-				row[b] = dZ[t][i][b] * (1 - z[i][b]*z[i][b]) * s
+			row := dm[i*d : (i+1)*d]
+			zr := z[i*d : (i+1)*d]
+			for b := range row {
+				row[b] *= (1 - zr[b]*zr[b]) * s
 			}
-			dM[i] = row
-			any = true
-		}
-		if !any {
-			continue
 		}
 		// dH = Aᵀ dM (undirected A: neighbours both ways, self loop).
-		dH := make([][]float64, p.n)
+		dH := linalg.Grab(p.n * d)
 		for i := 0; i < p.n; i++ {
-			if dM[i] == nil {
-				continue
-			}
+			row := dm[i*d : (i+1)*d]
 			for _, nb := range p.nbrs[i] {
-				if dH[nb] == nil {
-					dH[nb] = make([]float64, d)
-				}
-				row := dH[nb]
-				for b := 0; b < d; b++ {
-					row[b] += dM[i][b]
-				}
+				linalg.Add(dH[int(nb)*d:(int(nb)+1)*d], row)
 			}
 		}
-		// dW += prevᵀ dH ; d(prev) = dH Wᵀ
-		w := m.gw[t]
-		gw := ggw[t]
-		for i := 0; i < p.n; i++ {
-			if dH[i] == nil {
-				continue
-			}
-			pr := prev[i]
-			for a := 0; a < prevDim && a < len(pr); a++ {
-				v := pr[a]
-				base := a * d
-				if v != 0 {
-					for b := 0; b < d; b++ {
-						gw[base+b] += v * dH[i][b]
-					}
-				}
-				if t > 0 {
-					s := 0.0
-					for b := 0; b < d; b++ {
-						s += dH[i][b] * w[base+b]
-					}
-					if s != 0 {
-						if dZ[t-1][i] == nil {
-							dZ[t-1][i] = make([]float64, prevDim)
-						}
-						dZ[t-1][i][a] += s
-					}
-				}
-			}
+		// dW += prevᵀ dH ; d(prev) += dH Wᵀ.
+		linalg.GemmTN(ggw[t], prev, dH, prevDim, d, p.n)
+		if t > 0 {
+			linalg.GemmNT(dZ[t-1], dH, m.gw[t], p.n, prevDim, d)
 		}
+		linalg.Drop(dH)
+	}
+	for t := len(dZ) - 1; t >= 0; t-- {
+		linalg.Drop(dZ[t])
 	}
 }
 
 // PredictGraph classifies a single graph.
 func (m *DGCNN) PredictGraph(g *embed.Graph) int {
-	st := m.forward(prepGraph(g), false)
-	return argmax(st.probs)
+	sc := m.newScratch()
+	m.forward(m.prep(g), sc, 0, false)
+	sc.release()
+	return argmax(sc.probs)
 }
 
 // MemoryBytes counts the parameter tensors (plus Adam moments, matching

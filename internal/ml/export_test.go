@@ -1,0 +1,26 @@
+package ml
+
+// Test hooks: expose trained weights and the KNN prune toggle so external
+// tests can assert byte-identical training across worker counts and prune
+// exactness. Compiled into test binaries only.
+
+// WeightsForTest returns every parameter tensor of a trained model.
+func WeightsForTest(m any) [][]float64 {
+	switch v := m.(type) {
+	case *MLP:
+		return [][]float64{v.w1, v.b1, v.w2, v.b2}
+	case *CNN:
+		return [][]float64{v.w1, v.b1, v.w2, v.b2, v.w3, v.b3, v.w4, v.b4}
+	case *Logistic:
+		return [][]float64{v.w}
+	case *SVM:
+		return [][]float64{v.w}
+	case *DGCNN:
+		out := [][]float64{v.w1, v.b1, v.w2, v.b2, v.w3, v.b3, v.w4, v.b4}
+		return append(out, v.gw...)
+	}
+	return nil
+}
+
+// SetNoPruneForTest disables the KNN distance-scan early exit.
+func (m *KNN) SetNoPruneForTest(b bool) { m.noPrune = b }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/linalg"
 )
 
 // KNN is a k-nearest-neighbours classifier with Euclidean distance over
@@ -14,6 +16,9 @@ type KNN struct {
 	X     [][]float64
 	y     []int
 	numCl int
+	// noPrune disables the distance early-exit; test hook for verifying the
+	// pruned scan returns identical predictions.
+	noPrune bool
 }
 
 // NewKNN returns an untrained k-NN model.
@@ -31,9 +36,13 @@ func (m *KNN) Fit(X [][]float64, y []int, numClasses int) error {
 	return nil
 }
 
-// Predict votes among the k nearest training rows.
+// Predict votes among the k nearest training rows. The inner distance scan
+// prunes against the current k-th best: squared distance only grows, so a
+// row whose partial sum already reaches that bound can be discarded without
+// finishing — predictions are identical to the full scan.
 func (m *KNN) Predict(x []float64) int {
-	xs := m.std.apply(x)
+	xs := linalg.Grab(len(x))
+	m.std.applyInto(xs, x)
 	type nb struct {
 		d float64
 		c int
@@ -43,23 +52,32 @@ func (m *KNN) Predict(x []float64) int {
 		k = len(m.X)
 	}
 	// Partial selection of the k smallest distances.
+	limit := math.Inf(1)
 	nbs := make([]nb, 0, k+1)
 	for i, row := range m.X {
-		d := sqDist(xs, row)
+		var d float64
+		if m.noPrune {
+			d = sqDist(xs, row)
+		} else {
+			d = sqDistBounded(xs, row, limit)
+		}
 		if len(nbs) < k {
 			nbs = append(nbs, nb{d, m.y[i]})
 			if len(nbs) == k {
 				sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+				limit = nbs[k-1].d
 			}
 			continue
 		}
-		if d >= nbs[k-1].d {
+		if d >= limit {
 			continue
 		}
 		pos := sort.Search(k, func(j int) bool { return nbs[j].d > d })
 		copy(nbs[pos+1:], nbs[pos:k-1])
 		nbs[pos] = nb{d, m.y[i]}
+		limit = nbs[k-1].d
 	}
+	linalg.Drop(xs)
 	votes := make([]float64, m.numCl)
 	for _, n := range nbs {
 		votes[n.c]++
@@ -76,6 +94,42 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
+// sqDistBounded is sqDist with an early exit: once the strictly increasing
+// partial sum reaches limit, the row cannot enter the neighbour set
+// (callers discard d >= limit), so any value >= limit may be returned. The
+// accumulation order matches sqDist exactly, so unpruned results are
+// bit-identical.
+func sqDistBounded(a, b []float64, limit float64) float64 {
+	s := 0.0
+	i := 0
+	for ; i+7 < len(a); i += 8 {
+		d := a[i] - b[i]
+		s += d * d
+		d = a[i+1] - b[i+1]
+		s += d * d
+		d = a[i+2] - b[i+2]
+		s += d * d
+		d = a[i+3] - b[i+3]
+		s += d * d
+		d = a[i+4] - b[i+4]
+		s += d * d
+		d = a[i+5] - b[i+5]
+		s += d * d
+		d = a[i+6] - b[i+6]
+		s += d * d
+		d = a[i+7] - b[i+7]
+		s += d * d
+		if s >= limit {
+			return s
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
 // MemoryBytes counts the memorized training matrix.
 func (m *KNN) MemoryBytes() int64 {
 	if len(m.X) == 0 {
@@ -85,7 +139,8 @@ func (m *KNN) MemoryBytes() int64 {
 }
 
 // Logistic is multinomial logistic regression (softmax) trained with Adam
-// on the full batch.
+// on the full batch. The epoch gradient runs as batched GEMMs over fixed
+// sample shards (see parallel.go): deterministic for any worker count.
 type Logistic struct {
 	Epochs int
 	LR     float64
@@ -117,57 +172,79 @@ func (m *Logistic) Fit(X [][]float64, y []int, numClasses int) error {
 	}
 	opt := newAdam(len(m.w), m.LR)
 	grads := make([]float64, len(m.w))
-	probs := make([]float64, numClasses)
-	n := float64(len(Xs))
+	n := len(Xs)
+	d1 := m.d + 1
+
+	// Pack the standardized rows once with the bias column folded in, so
+	// logits and gradients are plain GEMMs against the (c x (d+1)) weights.
+	xb := make([]float64, n*d1)
+	for i, row := range Xs {
+		copy(xb[i*d1:], row)
+		xb[i*d1+m.d] = 1
+	}
+
+	shards := numShards(n, trainShard)
+	sg := newShardGrads(shards, [][]float64{m.w})
+	probScratch := make([][]float64, shards)
+	for s := range probScratch {
+		probScratch[s] = make([]float64, trainShard*numClasses)
+	}
+	invN := 1.0 / float64(n)
+
 	for ep := 0; ep < m.Epochs; ep++ {
-		for i := range grads {
-			grads[i] = m.L2 * m.w[i]
-		}
-		for i, x := range Xs {
-			m.logits(x, probs)
-			softmaxInPlace(probs)
-			for c := 0; c < numClasses; c++ {
-				g := probs[c]
-				if c == y[i] {
-					g -= 1
-				}
-				g /= n
-				base := c * (m.d + 1)
-				for j, xv := range x {
-					grads[base+j] += g * xv
-				}
-				grads[base+m.d] += g
+		forShards(n, trainShard, func(s, lo, hi int) {
+			gw := sg.shard(s)[0]
+			rows := hi - lo
+			probs := probScratch[s][:rows*numClasses]
+			rowsX := xb[lo*d1 : hi*d1]
+			linalg.Zero(probs)
+			linalg.GemmNT(probs, rowsX, m.w, rows, numClasses, d1)
+			linalg.SoftmaxRows(probs, rows, numClasses)
+			for r := 0; r < rows; r++ {
+				probs[r*numClasses+y[lo+r]] -= 1
 			}
-		}
+			linalg.Scale(invN, probs)
+			linalg.GemmTN(gw, probs, rowsX, numClasses, d1, rows)
+		})
+		sg.mergeInto([][]float64{grads}, shards)
+		linalg.Axpy(m.L2, m.w, grads)
 		opt.step(m.w, grads)
 	}
 	return nil
 }
 
 func (m *Logistic) logits(x []float64, out []float64) {
+	d1 := m.d + 1
 	for c := 0; c < m.numCl; c++ {
-		base := c * (m.d + 1)
-		s := m.w[base+m.d]
-		for j, xv := range x {
-			s += m.w[base+j] * xv
-		}
-		out[c] = s
+		base := c * d1
+		out[c] = m.w[base+m.d] + linalg.Dot(x[:m.d], m.w[base:base+m.d])
 	}
 }
 
 // Predict returns the argmax class.
 func (m *Logistic) Predict(x []float64) int {
-	xs := m.std.apply(x)
-	out := make([]float64, m.numCl)
+	d := len(x)
+	if d < m.d {
+		d = m.d
+	}
+	xs := linalg.Grab(d)
+	m.std.applyInto(xs, x)
+	out := linalg.Grab(m.numCl)
 	m.logits(xs, out)
-	return argmax(out)
+	best := argmax(out)
+	linalg.Drop(out)
+	linalg.Drop(xs)
+	return best
 }
 
 // MemoryBytes counts the weight matrix.
 func (m *Logistic) MemoryBytes() int64 { return int64(len(m.w))*8 + m.std.memory() }
 
 // SVM is a linear one-vs-rest support vector machine trained with
-// Pegasos-style stochastic subgradient descent on the hinge loss.
+// Pegasos-style stochastic subgradient descent on the hinge loss. Pegasos
+// updates the weights after every sample, so the pass is inherently
+// sequential; the margin/update inner loops run on the fused linalg
+// kernels instead of scalar code.
 type SVM struct {
 	Epochs int
 	Lambda float64
@@ -208,18 +285,12 @@ func (m *SVM) Fit(X [][]float64, y []int, numClasses int) error {
 					yc = 1.0
 				}
 				base := c * (m.d + 1)
-				s := m.w[base+m.d]
-				for j, xv := range x {
-					s += m.w[base+j] * xv
-				}
+				wRow := m.w[base : base+m.d]
+				s := m.w[base+m.d] + linalg.Dot(x, wRow)
 				// L2 shrink on weights (not bias).
-				for j := 0; j < m.d; j++ {
-					m.w[base+j] *= 1 - eta*m.Lambda
-				}
+				linalg.Scale(1-eta*m.Lambda, wRow)
 				if yc*s < 1 {
-					for j, xv := range x {
-						m.w[base+j] += eta * yc * xv
-					}
+					linalg.Axpy(eta*yc, x, wRow)
 					m.w[base+m.d] += eta * yc
 				}
 			}
@@ -230,18 +301,21 @@ func (m *SVM) Fit(X [][]float64, y []int, numClasses int) error {
 
 // Predict returns the class with the largest margin.
 func (m *SVM) Predict(x []float64) int {
-	xs := m.std.apply(x)
+	d := len(x)
+	if d < m.d {
+		d = m.d
+	}
+	xs := linalg.Grab(d)
+	m.std.applyInto(xs, x)
 	best, bestS := 0, math.Inf(-1)
 	for c := 0; c < m.numCl; c++ {
 		base := c * (m.d + 1)
-		s := m.w[base+m.d]
-		for j, xv := range xs {
-			s += m.w[base+j] * xv
-		}
+		s := m.w[base+m.d] + linalg.Dot(xs[:m.d], m.w[base:base+m.d])
 		if s > bestS {
 			best, bestS = c, s
 		}
 	}
+	linalg.Drop(xs)
 	return best
 }
 

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/embed"
+	"repro/internal/linalg"
 )
 
 // Model classifies vector embeddings.
@@ -110,20 +111,46 @@ func (s *standardizer) apply(x []float64) []float64 {
 		return x
 	}
 	out := make([]float64, len(x))
-	for j, v := range x {
-		if j < len(s.mean) {
-			out[j] = (v - s.mean[j]) / s.std[j]
-		} else {
-			out[j] = v
-		}
-	}
+	s.applyInto(out, x)
 	return out
 }
 
+// applyInto standardizes x into dst (len(dst) >= len(x)) without
+// allocating, for per-sample hot loops; dimensions beyond the fitted width
+// pass through unchanged, matching apply.
+func (s *standardizer) applyInto(dst, x []float64) {
+	if s.mean == nil {
+		copy(dst, x)
+		return
+	}
+	n := len(x)
+	if n > len(s.mean) {
+		n = len(s.mean)
+	}
+	for j := 0; j < n; j++ {
+		dst[j] = (x[j] - s.mean[j]) / s.std[j]
+	}
+	copy(dst[n:], x[n:])
+}
+
+// applyAll standardizes every row, sharing one backing array for the
+// output matrix (a single allocation instead of one per row).
 func (s *standardizer) applyAll(X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
+	if len(X) == 0 {
+		return out
+	}
+	total := 0
+	for _, row := range X {
+		total += len(row)
+	}
+	backing := make([]float64, total)
+	off := 0
 	for i, row := range X {
-		out[i] = s.apply(row)
+		dst := backing[off : off+len(row)]
+		s.applyInto(dst, row)
+		out[i] = dst
+		off += len(row)
 	}
 	return out
 }
@@ -133,17 +160,7 @@ func (s *standardizer) memory() int64 {
 }
 
 // softmaxInPlace converts logits to probabilities.
-func softmaxInPlace(z []float64) {
-	mx := z[argmax(z)]
-	sum := 0.0
-	for i := range z {
-		z[i] = math.Exp(z[i] - mx)
-		sum += z[i]
-	}
-	for i := range z {
-		z[i] /= sum
-	}
-}
+func softmaxInPlace(z []float64) { linalg.Softmax(z) }
 
 // adam is the Adam optimizer state for one parameter tensor.
 type adam struct {
@@ -162,18 +179,21 @@ const (
 	adamEps   = 1e-8
 )
 
-// step applies one Adam update of params against grads.
+// step applies one Adam update of params against grads. The bias
+// corrections are hoisted out of the element loop as reciprocal factors
+// (lr/b1t and 1/sqrt(b2t)), leaving one sqrt and one divide per element:
+// lr·m̂/(sqrt(v̂)+eps) = (lr/b1t)·m / (sqrt(v)/sqrt(b2t) + eps).
 func (a *adam) step(params, grads []float64) {
 	a.t++
 	b1t := 1 - math.Pow(adamBeta1, float64(a.t))
 	b2t := 1 - math.Pow(adamBeta2, float64(a.t))
+	lrc := a.lr / b1t
+	isb2 := 1 / math.Sqrt(b2t)
 	for i := range params {
 		g := grads[i]
 		a.m[i] = adamBeta1*a.m[i] + (1-adamBeta1)*g
 		a.v[i] = adamBeta2*a.v[i] + (1-adamBeta2)*g*g
-		mh := a.m[i] / b1t
-		vh := a.v[i] / b2t
-		params[i] -= a.lr * mh / (math.Sqrt(vh) + adamEps)
+		params[i] -= lrc * a.m[i] / (math.Sqrt(a.v[i])*isb2 + adamEps)
 	}
 }
 
@@ -183,13 +203,6 @@ func xavier(w []float64, fanIn, fanOut int, rng *rand.Rand) {
 	for i := range w {
 		w[i] = (rng.Float64()*2 - 1) * scale
 	}
-}
-
-func relu(x float64) float64 {
-	if x > 0 {
-		return x
-	}
-	return 0
 }
 
 func checkFit(X [][]float64, y []int, numClasses int) error {

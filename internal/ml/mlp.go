@@ -2,11 +2,15 @@ package ml
 
 import (
 	"math/rand"
+
+	"repro/internal/linalg"
 )
 
 // MLP is a one-hidden-layer perceptron with ReLU activation and a softmax
 // output, trained with minibatch Adam — the SciKit-default architecture the
-// paper uses (one hidden layer, 100 units).
+// paper uses (one hidden layer, 100 units). Each minibatch runs as batched
+// GEMMs over fixed gradient shards (see parallel.go), so training scales
+// across cores with byte-identical results.
 type MLP struct {
 	Hidden    int
 	Epochs    int
@@ -23,6 +27,14 @@ type MLP struct {
 // NewMLP returns an untrained MLP with the given hidden width.
 func NewMLP(hidden int, rng *rand.Rand) *MLP {
 	return &MLP{Hidden: hidden, Epochs: 60, BatchSize: 32, LR: 1e-3, rng: rng}
+}
+
+// mlpScratch is one shard's activation workspace (trainShard rows).
+type mlpScratch struct {
+	xb    []float64 // rows x d gathered inputs
+	hid   []float64 // rows x h post-ReLU
+	probs []float64 // rows x numCl: logits -> probs -> dLogits
+	dHid  []float64 // rows x h
 }
 
 // Fit trains the network.
@@ -42,20 +54,31 @@ func (m *MLP) Fit(X [][]float64, y []int, numClasses int) error {
 	xavier(m.w1, m.d, h, m.rng)
 	xavier(m.w2, h, numClasses, m.rng)
 
-	optW1 := newAdam(len(m.w1), m.LR)
-	optB1 := newAdam(len(m.b1), m.LR)
-	optW2 := newAdam(len(m.w2), m.LR)
-	optB2 := newAdam(len(m.b2), m.LR)
+	params := [][]float64{m.w1, m.b1, m.w2, m.b2}
+	opts := make([]*adam, len(params))
+	grads := make([][]float64, len(params))
+	for i, p := range params {
+		opts[i] = newAdam(len(p), m.LR)
+		grads[i] = make([]float64, len(p))
+	}
 
 	n := len(Xs)
 	order := m.rng.Perm(n)
-	gw1 := make([]float64, len(m.w1))
-	gb1 := make([]float64, len(m.b1))
-	gw2 := make([]float64, len(m.w2))
-	gb2 := make([]float64, len(m.b2))
-	hid := make([]float64, h)
-	probs := make([]float64, numClasses)
-	dHid := make([]float64, h)
+	batchMax := m.BatchSize
+	if batchMax > n {
+		batchMax = n
+	}
+	shards := numShards(batchMax, trainShard)
+	sg := newShardGrads(shards, params)
+	scr := make([]*mlpScratch, shards)
+	for s := range scr {
+		scr[s] = &mlpScratch{
+			xb:    make([]float64, trainShard*m.d),
+			hid:   make([]float64, trainShard*h),
+			probs: make([]float64, trainShard*numClasses),
+			dHid:  make([]float64, trainShard*h),
+		}
+	}
 
 	for ep := 0; ep < m.Epochs; ep++ {
 		m.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -65,100 +88,100 @@ func (m *MLP) Fit(X [][]float64, y []int, numClasses int) error {
 				end = n
 			}
 			batch := order[start:end]
-			zero(gw1)
-			zero(gb1)
-			zero(gw2)
-			zero(gb2)
 			inv := 1.0 / float64(len(batch))
-			for _, i := range batch {
-				x := Xs[i]
-				m.forward(x, hid, probs)
-				softmaxInPlace(probs)
-				// Output layer gradient.
-				for c := 0; c < numClasses; c++ {
-					g := probs[c]
-					if c == y[i] {
-						g -= 1
-					}
-					g *= inv
-					gb2[c] += g
-					base := c * h
-					for j := 0; j < h; j++ {
-						gw2[base+j] += g * hid[j]
-					}
-				}
-				// Hidden layer gradient through ReLU.
-				for j := 0; j < h; j++ {
-					if hid[j] <= 0 {
-						dHid[j] = 0
-						continue
-					}
-					s := 0.0
-					for c := 0; c < numClasses; c++ {
-						g := probs[c]
-						if c == y[i] {
-							g -= 1
-						}
-						s += g * m.w2[c*h+j]
-					}
-					dHid[j] = s * inv
-				}
-				for j := 0; j < h; j++ {
-					if dHid[j] == 0 {
-						continue
-					}
-					gb1[j] += dHid[j]
-					base := j * m.d
-					for k, xv := range x {
-						gw1[base+k] += dHid[j] * xv
-					}
-				}
+			forShards(len(batch), trainShard, func(s, lo, hi int) {
+				m.shardGrad(Xs, y, batch[lo:hi], inv, scr[s], sg.shard(s))
+			})
+			sg.mergeInto(grads, numShards(len(batch), trainShard))
+			for i, p := range params {
+				opts[i].step(p, grads[i])
 			}
-			optW1.step(m.w1, gw1)
-			optB1.step(m.b1, gb1)
-			optW2.step(m.w2, gw2)
-			optB2.step(m.b2, gb2)
 		}
 	}
 	return nil
 }
 
-func (m *MLP) forward(x []float64, hid, out []float64) {
-	h := m.Hidden
-	for j := 0; j < h; j++ {
-		s := m.b1[j]
-		base := j * m.d
-		for k, xv := range x {
-			s += m.w1[base+k] * xv
-		}
-		hid[j] = relu(s)
+// shardGrad runs forward + backward over one shard of the minibatch,
+// accumulating into the shard's private gradient buffers
+// (order: w1, b1, w2, b2).
+func (m *MLP) shardGrad(Xs [][]float64, y []int, idxs []int, inv float64,
+	sc *mlpScratch, g [][]float64) {
+
+	gw1, gb1, gw2, gb2 := g[0], g[1], g[2], g[3]
+	rows := len(idxs)
+	h, c, d := m.Hidden, m.numCl, m.d
+
+	// Gather the shard's input rows into a packed matrix.
+	for r, i := range idxs {
+		copy(sc.xb[r*d:(r+1)*d], Xs[i])
 	}
-	for c := 0; c < m.numCl; c++ {
-		s := m.b2[c]
-		base := c * h
-		for j := 0; j < h; j++ {
-			s += m.w2[base+j] * hid[j]
-		}
-		out[c] = s
+	xb := sc.xb[:rows*d]
+
+	// Forward: hid = relu(b1 + X·W1ᵀ); probs = softmax(b2 + hid·W2ᵀ).
+	hid := sc.hid[:rows*h]
+	for r := 0; r < rows; r++ {
+		copy(hid[r*h:(r+1)*h], m.b1)
 	}
+	linalg.GemmNT(hid, xb, m.w1, rows, h, d)
+	linalg.ReLU(hid)
+	probs := sc.probs[:rows*c]
+	for r := 0; r < rows; r++ {
+		copy(probs[r*c:(r+1)*c], m.b2)
+	}
+	linalg.GemmNT(probs, hid, m.w2, rows, c, h)
+	linalg.SoftmaxRows(probs, rows, c)
+
+	// dLogits = (probs - onehot)/batch, in place.
+	for r, i := range idxs {
+		probs[r*c+y[i]] -= 1
+	}
+	linalg.Scale(inv, probs)
+
+	// Output layer: gb2 += column sums, gW2 += dLogitsᵀ·hid,
+	// dHid = dLogits·W2 gated by ReLU.
+	for r := 0; r < rows; r++ {
+		linalg.Add(gb2, probs[r*c:(r+1)*c])
+	}
+	linalg.GemmTN(gw2, probs, hid, c, h, rows)
+	dHid := sc.dHid[:rows*h]
+	linalg.Zero(dHid)
+	linalg.GemmNN(dHid, probs, m.w2, rows, h, c)
+	for i, v := range hid {
+		if v == 0 {
+			dHid[i] = 0
+		}
+	}
+
+	// Hidden layer: gb1 += column sums, gW1 += dHidᵀ·X.
+	for r := 0; r < rows; r++ {
+		linalg.Add(gb1, dHid[r*h:(r+1)*h])
+	}
+	linalg.GemmTN(gw1, dHid, xb, h, d, rows)
 }
 
 // Predict returns the argmax class.
 func (m *MLP) Predict(x []float64) int {
-	xs := m.std.apply(x)
-	hid := make([]float64, m.Hidden)
-	out := make([]float64, m.numCl)
-	m.forward(xs, hid, out)
-	return argmax(out)
+	d := len(x)
+	if d < m.d {
+		d = m.d
+	}
+	xs := linalg.Grab(d)
+	m.std.applyInto(xs, x)
+	hid := linalg.Grab(m.Hidden)
+	copy(hid, m.b1)
+	linalg.MatVec(hid, m.w1, xs[:m.d], m.Hidden, m.d)
+	linalg.ReLU(hid)
+	out := linalg.Grab(m.numCl)
+	copy(out, m.b2)
+	linalg.MatVec(out, m.w2, hid, m.numCl, m.Hidden)
+	best := argmax(out)
+	linalg.Drop(out)
+	linalg.Drop(hid)
+	linalg.Drop(xs)
+	return best
 }
 
 // MemoryBytes counts all parameter tensors.
 func (m *MLP) MemoryBytes() int64 {
 	return int64(len(m.w1)+len(m.b1)+len(m.w2)+len(m.b2))*8 + m.std.memory()
-}
-
-func zero(v []float64) {
-	for i := range v {
-		v[i] = 0
-	}
 }

@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/linalg"
+)
+
+// Deterministic data-parallel training.
+//
+// Every gradient-trained model splits each minibatch into fixed-size shards
+// (trainShard samples for vector models, graphShard graphs for the DGCNN).
+// Workers claim whole shards and accumulate gradients into private per-shard
+// buffers; the reduction then merges the shards in shard-index order. The
+// shard structure depends only on the batch size — never on the worker
+// count — so the float summation order is fixed and training results are
+// byte-identical for any GOMAXPROCS / SetTrainWorkers value, including the
+// serial path (one worker). This is the same guarantee the game harness
+// gives for parallel rounds.
+
+const (
+	// trainShard is the gradient-shard width for vector models.
+	trainShard = 8
+	// graphShard is the gradient-shard width for graph models, smaller
+	// because one graph is far heavier than one vector sample.
+	graphShard = 2
+)
+
+// trainWorkers holds the configured worker count; 0 means GOMAXPROCS.
+var trainWorkers atomic.Int32
+
+// SetTrainWorkers sets the number of goroutines gradient-trained models use
+// per minibatch. n <= 0 restores the default (GOMAXPROCS). Any value yields
+// byte-identical training results; the knob only trades wall-clock for CPU.
+// When the game harness already saturates the machine with parallel rounds
+// (arena -j), set this to 1 to avoid oversubscription.
+func SetTrainWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	trainWorkers.Store(int32(n))
+}
+
+// NumTrainWorkers reports the effective training worker count.
+func NumTrainWorkers() int {
+	if n := int(trainWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func numShards(n, shardSize int) int {
+	return (n + shardSize - 1) / shardSize
+}
+
+// forShards runs fn(shard, start, end) for every shardSize-wide shard of n
+// samples. Shards are claimed atomically by up to NumTrainWorkers()
+// goroutines; with one worker everything runs inline on the caller. fn must
+// write only to per-shard state.
+func forShards(n, shardSize int, fn func(shard, start, end int)) {
+	shards := numShards(n, shardSize)
+	workers := NumTrainWorkers()
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			end := (s + 1) * shardSize
+			if end > n {
+				end = n
+			}
+			fn(s, s*shardSize, end)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				end := (s + 1) * shardSize
+				if end > n {
+					end = n
+				}
+				fn(s, s*shardSize, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// shardGrads holds per-shard gradient accumulators mirroring a parameter
+// tensor list. Merging in shard order fixes the reduction's float summation
+// order independently of which worker produced which shard.
+type shardGrads struct {
+	bufs [][][]float64 // [shard][tensor]
+}
+
+func newShardGrads(shards int, params [][]float64) *shardGrads {
+	sg := &shardGrads{bufs: make([][][]float64, shards)}
+	for s := range sg.bufs {
+		sg.bufs[s] = make([][]float64, len(params))
+		for t, p := range params {
+			sg.bufs[s][t] = make([]float64, len(p))
+		}
+	}
+	return sg
+}
+
+// shard returns shard s's tensor buffers, zeroed for a fresh accumulation.
+func (sg *shardGrads) shard(s int) [][]float64 {
+	bufs := sg.bufs[s]
+	for _, b := range bufs {
+		linalg.Zero(b)
+	}
+	return bufs
+}
+
+// mergeInto sets grads = Σ_shards bufs[shard], adding shards in index order
+// (only the first `used` shards participate).
+func (sg *shardGrads) mergeInto(grads [][]float64, used int) {
+	for _, g := range grads {
+		linalg.Zero(g)
+	}
+	for s := 0; s < used; s++ {
+		for t, b := range sg.bufs[s] {
+			linalg.Add(grads[t], b)
+		}
+	}
+}
+
+// splitmix is a tiny SplitMix64 PRNG used for per-sample dropout masks. The
+// per-sample seeds are drawn from the model's rand.Rand in batch order
+// before the shards fan out, so the mask stream is a pure function of the
+// sample's position — not of worker interleaving.
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (s *splitmix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
