@@ -8,11 +8,13 @@
 #   make bench   kernel/training benchmarks -> BENCH_ml.json
 #   make bench-figures  regenerate the paper figures as benchmark metrics
 #   make perf    the harness speedup benchmark (compile cache + parallel rounds)
-#   make check   everything CI runs: build + test + race
+#   make cross   cross-compile for non-amd64 targets (portable kernel paths
+#                must build — no panic stubs allowed to hide there)
+#   make check   everything CI runs: build + test + race + cross
 
 GO ?= go
 
-.PHONY: build test race bench bench-figures perf check
+.PHONY: build test race bench bench-figures perf cross check
 
 build:
 	$(GO) build ./...
@@ -22,7 +24,14 @@ test: build
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ml/...
+	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ml/... \
+		./internal/obs/... ./cmd/arena/...
+
+# arm64 covers the !amd64 dispatch build; 386 additionally shakes out
+# 64-bit-assuming code on a 32-bit word size.
+cross:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=386 $(GO) build ./...
 
 # Model-training and kernel benchmarks, recorded machine-readably. -cpu 1
 # pins the Fit benches to one worker goroutine so ns/op measures the kernels,
@@ -41,4 +50,4 @@ bench-figures:
 perf:
 	$(GO) test -run xxx -bench BenchmarkHarnessRounds -benchtime 5x .
 
-check: build test race
+check: build test race cross

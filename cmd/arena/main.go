@@ -38,7 +38,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ml"
 	"repro/internal/passes"
-	"repro/internal/progcache"
 )
 
 func main() {
@@ -69,6 +68,8 @@ func main() {
 		err = cmdDiscover(args)
 	case "malware":
 		err = cmdMalware(args)
+	case "report":
+		err = cmdReport(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -96,6 +97,13 @@ commands:
   speedup                         optimizer vs. obfuscator runtimes (Fig 13)
   discover                        obfuscator identification (Fig 14)
   malware                         Mirai-family study (Fig 15; -av for Fig 16)
+  report                          diff two run manifests (accuracy + timings)
+
+every experiment command also accepts:
+  -out <path|auto>                write a JSON run manifest (config, seed,
+                                  host, per-cell accuracies, phase timings,
+                                  cache and kernel counters)
+  -debug-addr <addr>              serve expvar + pprof for live profiling
 
 run "arena <command> -h" for the command's flags`)
 }
@@ -109,10 +117,11 @@ type commonFlags struct {
 	dataset  string
 	jobs     int
 	verbose  bool
+	obs      *obsFlags
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
-	c := &commonFlags{}
+	c := &commonFlags{obs: addObs(fs)}
 	fs.IntVar(&c.classes, "classes", 16, "number of problem classes (paper: 104)")
 	fs.IntVar(&c.perClass, "per", 24, "solutions per class (paper: 500)")
 	fs.IntVar(&c.rounds, "rounds", 3, "repetitions per configuration (paper: 10)")
@@ -142,16 +151,13 @@ func (c *commonFlags) workers() int {
 }
 
 // runCells runs fn(0..n-1) on a pool of workers and returns the first error
-// in cell order (so error reporting does not depend on scheduling).
+// in cell order (so error reporting does not depend on scheduling). Worker
+// sizing goes through core.ClampWorkers like every other parallel site: a
+// zero-cell run spawns nothing and returns immediately.
 func runCells(n, workers int, fn func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
+	workers = core.ClampWorkers(workers, n)
+	if workers == 0 {
+		return nil
 	}
 	errs := make([]error, n)
 	jobs := make(chan int)
@@ -178,36 +184,6 @@ func runCells(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
-// phaseTally accumulates per-phase wall-clock across game rounds.
-type phaseTally struct {
-	featurize, train time.Duration
-	rounds           int
-}
-
-func (p *phaseTally) add(rs []core.GameResult) {
-	for _, r := range rs {
-		p.featurize += r.FeaturizeTime
-		p.train += r.TrainTime
-		p.rounds++
-	}
-}
-
-// report prints the verbose footer: phase timings plus progcache counters.
-func (p *phaseTally) report(wall time.Duration) {
-	st := progcache.Snapshot()
-	fmt.Printf("timing: wall %v | featurize %v + train %v across %d rounds (cpu-time, parallel)\n",
-		wall.Round(time.Millisecond), p.featurize.Round(time.Millisecond),
-		p.train.Round(time.Millisecond), p.rounds)
-	total := st.Hits + st.Misses
-	ratio := 0.0
-	if total > 0 {
-		ratio = float64(st.Hits) / float64(total)
-	}
-	fmt.Printf("progcache: %d hits / %d misses (%.1f%% hit rate), %d modules cached, compile %v, clone %v\n",
-		st.Hits, st.Misses, 100*ratio, st.Entries,
-		st.CompileTime.Round(time.Millisecond), st.CloneTime.Round(time.Millisecond))
-}
-
 // loadSet builds or loads the dataset per the common flags.
 func (c *commonFlags) loadSet() (*dataset.Set, error) {
 	if c.dataset != "" {
@@ -223,6 +199,10 @@ func cmdGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	rec, err := c.obs.begin("gen", fs, c.seed, c.verbose)
+	if err != nil {
+		return err
+	}
 	set, err := dataset.Generate(c.classes, c.perClass, c.seed)
 	if err != nil {
 		return err
@@ -231,7 +211,7 @@ func cmdGen(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d samples (%d classes) to %s\n", len(set.Samples), set.NumClasses, *out)
-	return nil
+	return rec.finish()
 }
 
 // cmdAll plays the role of the original artifact's "./run.sh all": every
@@ -246,7 +226,12 @@ func cmdAll(args []string) error {
 	jobs := fs.Int("j", 0, "parallel workers passed to every step (0 = GOMAXPROCS)")
 	trainWorkers := fs.String("train-workers", "", "per-Fit goroutines passed to every step (empty = leave default)")
 	verbose := fs.Bool("v", false, "print per-step wall clock and compile-cache counters")
+	o := addObs(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := o.begin("all", fs, *seed, *verbose)
+	if err != nil {
 		return err
 	}
 	c := func(extra ...string) []string {
@@ -289,7 +274,6 @@ func cmdAll(args []string) error {
 				"-seed", fmt.Sprint(*seed)})
 		}},
 	}
-	allStart := time.Now()
 	for _, s := range steps {
 		fmt.Printf("\n=== %s ===\n", s.title)
 		stepStart := time.Now()
@@ -301,12 +285,9 @@ func cmdAll(args []string) error {
 		}
 	}
 	if *verbose {
-		st := progcache.Snapshot()
-		fmt.Printf("\ntotal wall clock: %v | progcache: %d hits / %d misses, %d modules, compile %v\n",
-			time.Since(allStart).Round(time.Millisecond), st.Hits, st.Misses, st.Entries,
-			st.CompileTime.Round(time.Millisecond))
+		fmt.Println()
 	}
-	return nil
+	return rec.finish()
 }
 
 func newTable() *tabwriter.Writer {
@@ -327,6 +308,10 @@ func cmdGame(game int, args []string) error {
 	if err != nil {
 		return err
 	}
+	rec, err := c.obs.begin(fmt.Sprintf("game%d", game), fs, c.seed, c.verbose)
+	if err != nil {
+		return err
+	}
 	set, err := c.loadSet()
 	if err != nil {
 		return err
@@ -339,11 +324,18 @@ func cmdGame(game int, args []string) error {
 		},
 		Seed: c.seed,
 	}
-	start := time.Now()
 	results, sum, err := core.RunRoundsN(set, cfg, c.rounds, c.workers())
 	if err != nil {
 		return err
 	}
+	cell := fmt.Sprintf("game%d/%s/%s", game, *embedding, *model)
+	if game >= 1 {
+		cell += "/" + *evader
+	}
+	if game == 3 {
+		cell += "/" + lvl.String()
+	}
+	rec.addResults(cell, results)
 	w := newTable()
 	fmt.Fprintf(w, "game\tevader\tembedding\tmodel\taccuracy\tF1\n")
 	for _, r := range results {
@@ -352,12 +344,7 @@ func cmdGame(game int, args []string) error {
 	w.Flush()
 	fmt.Printf("summary: %s  (train %d / test %d per round)\n",
 		sum, results[0].NumTrain, results[0].NumTest)
-	if c.verbose {
-		var tally phaseTally
-		tally.add(results)
-		tally.report(time.Since(start))
-	}
-	return nil
+	return rec.finish()
 }
 
 func cmdEmbeddings(args []string) error {
@@ -366,6 +353,10 @@ func cmdEmbeddings(args []string) error {
 	games := fs.String("games", "0", "comma-separated games to play (paper: 0 then 1,2,3)")
 	evader := fs.String("evader", "ollvm", "evader for games 1-3")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := c.obs.begin("embeddings", fs, c.seed, c.verbose)
+	if err != nil {
 		return err
 	}
 	set, err := c.loadSet()
@@ -401,7 +392,6 @@ func cmdEmbeddings(args []string) error {
 			cells = append(cells, &cell{game: game, emb: emb, model: model})
 		}
 	}
-	start := time.Now()
 	err = runCells(len(cells), c.workers(), func(i int) error {
 		cl := cells[i]
 		cfg := core.GameConfig{
@@ -422,16 +412,12 @@ func cmdEmbeddings(args []string) error {
 	}
 	w := newTable()
 	fmt.Fprintf(w, "game\tembedding\tmodel\tmean acc\tstd\n")
-	var tally phaseTally
 	for _, cl := range cells {
 		fmt.Fprintf(w, "%d\t%s\t%s\t%s\n", cl.game, cl.emb, cl.model, cl.sum)
-		tally.add(cl.results)
+		rec.addResults(fmt.Sprintf("game%d/%s/%s", cl.game, cl.emb, cl.model), cl.results)
 	}
 	w.Flush()
-	if c.verbose {
-		tally.report(time.Since(start))
-	}
-	return nil
+	return rec.finish()
 }
 
 func cmdModels(args []string) error {
@@ -441,6 +427,10 @@ func cmdModels(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	rec, err := c.obs.begin("models", fs, c.seed, c.verbose)
+	if err != nil {
+		return err
+	}
 	set, err := c.loadSet()
 	if err != nil {
 		return err
@@ -448,7 +438,6 @@ func cmdModels(args []string) error {
 	models := ml.VectorNames()
 	rows := make([]string, len(models))
 	cellResults := make([][]core.GameResult, len(models))
-	start := time.Now()
 	err = runCells(len(models), c.workers(), func(i int) error {
 		cfg := core.GameConfig{
 			Game:     0,
@@ -469,16 +458,12 @@ func cmdModels(args []string) error {
 	}
 	w := newTable()
 	fmt.Fprintf(w, "model\tmean acc\tstd\tmodel memory\n")
-	var tally phaseTally
 	for i, row := range rows {
 		fmt.Fprintln(w, row)
-		tally.add(cellResults[i])
+		rec.addResults(fmt.Sprintf("game0/%s/%s", *embedding, models[i]), cellResults[i])
 	}
 	w.Flush()
-	if c.verbose {
-		tally.report(time.Since(start))
-	}
-	return nil
+	return rec.finish()
 }
 
 func cmdClasses(args []string) error {
@@ -497,10 +482,13 @@ func cmdClasses(args []string) error {
 		}
 		counts = append(counts, m)
 	}
+	rec, err := c.obs.begin("classes", fs, c.seed, c.verbose)
+	if err != nil {
+		return err
+	}
 	rows := make([]string, len(counts))
 	cellResults := make([][]core.GameResult, len(counts))
-	start := time.Now()
-	err := runCells(len(counts), c.workers(), func(i int) error {
+	err = runCells(len(counts), c.workers(), func(i int) error {
 		m := counts[i]
 		set, err := dataset.Generate(m, c.perClass, c.seed)
 		if err != nil {
@@ -529,22 +517,22 @@ func cmdClasses(args []string) error {
 	}
 	w := newTable()
 	fmt.Fprintf(w, "classes\tmodel\tmean acc\tmean F1\trandom\n")
-	var tally phaseTally
 	for i, row := range rows {
 		fmt.Fprintln(w, row)
-		tally.add(cellResults[i])
+		rec.addResults(fmt.Sprintf("classes=%d/%s", counts[i], *model), cellResults[i])
 	}
 	w.Flush()
-	if c.verbose {
-		tally.report(time.Since(start))
-	}
-	return nil
+	return rec.finish()
 }
 
 func cmdDistance(args []string) error {
 	fs := flag.NewFlagSet("distance", flag.ExitOnError)
 	c := addCommon(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := c.obs.begin("distance", fs, c.seed, c.verbose)
+	if err != nil {
 		return err
 	}
 	set, err := dataset.Generate(c.classes, minInt(c.perClass, 10), c.seed)
@@ -560,15 +548,21 @@ func cmdDistance(args []string) error {
 	fmt.Fprintf(w, "transform\tmean dist\tstd\tmax\n")
 	for _, r := range res {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Transform, r.Summary.Mean, r.Summary.Std, r.Summary.Max)
+		rec.man.AddSummaryCell("distance/"+r.Transform, "distance", r.Summary)
 	}
 	w.Flush()
-	return nil
+	return rec.finish()
 }
 
 func cmdSpeedup(args []string) error {
 	fs := flag.NewFlagSet("speedup", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "random seed for the obfuscator")
+	o := addObs(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := o.begin("speedup", fs, *seed, false)
+	if err != nil {
 		return err
 	}
 	rep, err := core.Speedup(*seed)
@@ -580,11 +574,15 @@ func cmdSpeedup(args []string) error {
 	for _, r := range rep.Rows {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2fx\t%.2fx\n",
 			r.Name, r.O0Steps, r.O3Steps, r.OllvmSteps, r.O3Speedup, r.OllvmSlowdown)
+		rec.man.AddCell("speedup/"+r.Name+"/O3", "speedup", []float64{r.O3Speedup})
+		rec.man.AddCell("speedup/"+r.Name+"/ollvm", "slowdown", []float64{r.OllvmSlowdown})
 	}
 	w.Flush()
 	fmt.Printf("geomean: O3 %.2fx faster, O-LLVM %.2fx slower (paper: 2.32x / 8.33x)\n",
 		rep.GeoO3Speedup, rep.GeoOllvmSlowdown)
-	return nil
+	rec.man.AddCell("speedup/geomean/O3", "speedup", []float64{rep.GeoO3Speedup})
+	rec.man.AddCell("speedup/geomean/ollvm", "slowdown", []float64{rep.GeoOllvmSlowdown})
+	return rec.finish()
 }
 
 func cmdDiscover(args []string) error {
@@ -592,7 +590,12 @@ func cmdDiscover(args []string) error {
 	per := fs.Int("per", 40, "programs per transformer (paper: 500)")
 	model := fs.String("model", "rf", "classification model")
 	seed := fs.Int64("seed", 1, "random seed")
+	o := addObs(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := o.begin("discover", fs, *seed, false)
+	if err != nil {
 		return err
 	}
 	w := newTable()
@@ -606,8 +609,11 @@ func cmdDiscover(args []string) error {
 		}
 		fmt.Fprintf(w, "dataset%d\t%.4f\t%.4f\t%.4f\n", d, res.Accuracy, res.F1, res.RandomHit)
 		w.Flush()
+		cell := rec.man.AddCell(fmt.Sprintf("discover/dataset%d/%s", d, *model),
+			"accuracy", []float64{res.Accuracy})
+		cell.F1 = []float64{res.F1}
 	}
-	return nil
+	return rec.finish()
 }
 
 func cmdMalware(args []string) error {
@@ -616,7 +622,12 @@ func cmdMalware(args []string) error {
 	challenge := fs.Int("challenge", 12, "challenges per label (paper: 12)")
 	av := fs.Bool("av", false, "also run the signature-scanner comparison (Figure 16)")
 	seed := fs.Int64("seed", 1, "random seed")
+	o := addObs(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := o.begin("malware", fs, *seed, false)
+	if err != nil {
 		return err
 	}
 	res, err := core.MalwareStudy(core.MalwareConfig{
@@ -631,10 +642,12 @@ func cmdMalware(args []string) error {
 	for i := range res.TrainSizes {
 		fmt.Fprintf(w, "t%d\t%d\t%.4f\t%.4f\n", i+1, res.TrainSizes[i],
 			res.Acc["cnn"][i], res.Acc["rf"][i])
+		rec.man.AddCell(fmt.Sprintf("malware/t%d/cnn", i+1), "accuracy", []float64{res.Acc["cnn"][i]})
+		rec.man.AddCell(fmt.Sprintf("malware/t%d/rf", i+1), "accuracy", []float64{res.Acc["rf"][i]})
 	}
 	w.Flush()
 	if !*av {
-		return nil
+		return rec.finish()
 	}
 	rows, err := core.AntivirusComparison(core.MalwareConfig{
 		TrainPos: *trainPos, Challenge: *challenge, Seed: *seed,
@@ -647,9 +660,11 @@ func cmdMalware(args []string) error {
 	fmt.Fprintf(w, "transform\tscanner acc\trf(full) acc\n")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.4f\t%.4f\n", r.Transformer, r.AVDetect, r.RFDetect)
+		rec.man.AddCell("malware/av/"+r.Transformer+"/scanner", "accuracy", []float64{r.AVDetect})
+		rec.man.AddCell("malware/av/"+r.Transformer+"/rf", "accuracy", []float64{r.RFDetect})
 	}
 	w.Flush()
-	return nil
+	return rec.finish()
 }
 
 func fmtBytes(n int64) string {

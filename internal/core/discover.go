@@ -107,8 +107,12 @@ func Discover(cfg DiscoverConfig) (*DiscoverResult, error) {
 	for i, x := range teX {
 		pred[i] = model.Predict(x)
 	}
+	acc, err := stats.Accuracy(pred, teY)
+	if err != nil {
+		return nil, fmt.Errorf("core: scoring discover dataset %d: %w", cfg.Dataset, err)
+	}
 	return &DiscoverResult{
-		Accuracy:  stats.Accuracy(pred, teY),
+		Accuracy:  acc,
 		F1:        stats.MacroF1(pred, teY, len(transformers)),
 		RandomHit: 1.0 / float64(len(transformers)),
 	}, nil

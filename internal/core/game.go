@@ -12,9 +12,23 @@ import (
 	"repro/internal/embed"
 	"repro/internal/ir"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/progcache"
 	"repro/internal/stats"
+)
+
+// Per-phase span timers in the process-wide obs registry. Spans observed
+// from concurrent rounds all accumulate, so totals are CPU-style time (the
+// same convention the harness footer has always printed); run manifests
+// and -debug-addr read them live.
+var (
+	phaseFeaturize = obs.GetTimer("phase.featurize")
+	phaseEmbed     = obs.GetTimer("phase.embed")
+	phaseFit       = obs.GetTimer("phase.fit")
+	phasePredict   = obs.GetTimer("phase.predict")
+	phaseTrain     = obs.GetTimer("phase.train")
+	phaseRounds    = obs.GetCounter("phase.rounds")
 )
 
 // Pipeline is one classifier configuration: a program embedding, a
@@ -123,6 +137,7 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 
 	res := &GameResult{NumTrain: len(train), NumTest: len(test)}
 	res.FeaturizeTime = time.Since(featStart)
+	phaseFeaturize.Observe(res.FeaturizeTime)
 	trainStart := time.Now()
 	truth := make([]int, len(testFeats))
 	pred := make([]int, len(testFeats))
@@ -138,12 +153,16 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 			gs[i] = f.graph
 			ys[i] = f.label
 		}
+		fitDone := phaseFit.Start()
 		if err := model.FitGraphs(gs, ys, set.NumClasses); err != nil {
 			return nil, err
 		}
+		fitDone()
+		predictDone := phasePredict.Start()
 		predictAll(len(testFeats), func(i int) {
 			pred[i] = model.PredictGraph(testFeats[i].graph)
 		})
+		predictDone()
 		res.ModelMemory = model.MemoryBytes()
 	} else {
 		model, err := ml.New(cfg.Pipeline.Model, rand.New(rand.NewSource(rng.Int63())))
@@ -156,28 +175,53 @@ func RunGame(set *dataset.Set, cfg GameConfig) (*GameResult, error) {
 			X[i] = f.vec
 			ys[i] = f.label
 		}
+		fitDone := phaseFit.Start()
 		if err := model.Fit(X, ys, set.NumClasses); err != nil {
 			return nil, err
 		}
+		fitDone()
+		predictDone := phasePredict.Start()
 		predictAll(len(testFeats), func(i int) {
 			pred[i] = model.Predict(testFeats[i].vec)
 		})
+		predictDone()
 		res.ModelMemory = model.MemoryBytes()
 	}
 	res.TrainTime = time.Since(trainStart)
-	res.Accuracy = stats.Accuracy(pred, truth)
+	phaseTrain.Observe(res.TrainTime)
+	phaseRounds.Inc()
+	res.Accuracy, err = stats.Accuracy(pred, truth)
+	if err != nil {
+		return nil, fmt.Errorf("core: scoring game %d: %w", cfg.Game, err)
+	}
 	res.F1 = stats.MacroF1(pred, truth, set.NumClasses)
 	return res, nil
+}
+
+// ClampWorkers bounds a requested worker count to the n units of work
+// available: non-positive requests mean GOMAXPROCS, and the result is
+// always in [1, n] — except n <= 0, which returns 0 (no work, spawn
+// nothing). Every parallel site in the harness (featurize, predictAll,
+// RunRoundsN, the arena's experiment cells) sizes its pool through this
+// one function so the edge cases stay uniform.
+func ClampWorkers(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
 }
 
 // predictAll evaluates fn(i) for every test index across all CPUs. Trained
 // models are read-only at prediction time and each call writes only its own
 // pred slot, so the output is identical to the serial loop.
 func predictAll(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := ClampWorkers(0, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -212,13 +256,7 @@ func featurize(samples []dataset.Sample, transform string, normalize bool,
 		seeds[i] = rng.Int63()
 	}
 	out := make([]featurized, len(samples))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(samples) {
-		workers = len(samples)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := ClampWorkers(0, len(samples))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -268,11 +306,13 @@ func featurizeOne(s dataset.Sample, transform string, normalize bool,
 			return f
 		}
 	}
+	embedStart := time.Now()
 	if emb.Kind == embed.GraphKind {
 		f.graph = emb.Graph(m)
 	} else {
 		f.vec = emb.Vec(m)
 	}
+	phaseEmbed.Observe(time.Since(embedStart))
 	return f
 }
 
@@ -289,15 +329,10 @@ func RunRounds(set *dataset.Set, cfg GameConfig, rounds int) ([]GameResult, stat
 // cfg.Seed + r*7919, byte-identical to the historical serial derivation —
 // so the results do not depend on the worker count or completion order.
 func RunRoundsN(set *dataset.Set, cfg GameConfig, rounds int, workers int) ([]GameResult, stats.Summary, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if rounds < 1 {
+		return nil, stats.Summary{}, fmt.Errorf("core: rounds must be >= 1, got %d", rounds)
 	}
-	if workers > rounds {
-		workers = rounds
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers = ClampWorkers(workers, rounds)
 	results := make([]GameResult, rounds)
 	errs := make([]error, rounds)
 	var wg sync.WaitGroup

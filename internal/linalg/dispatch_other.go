@@ -2,15 +2,45 @@
 
 package linalg
 
-// simd is false off amd64: every kernel runs its portable Go path. The
-// stubs below are never reached; they satisfy the shared call sites, which
-// the compiler eliminates behind the constant.
+import "unsafe"
+
+// simd is false off amd64: every public entry point guards on this
+// constant, so the compiler strips the SIMD drivers and the micro-kernel
+// stubs below from non-amd64 builds. The stubs are nevertheless real
+// portable implementations (delegating to the scalar kernels, which run
+// their portable path because simd is constant-false): if a future
+// dispatch change ever routes here, the build degrades to slow-but-correct
+// instead of panicking mid-run. make check cross-compiles GOARCH=arm64 and
+// GOARCH=386 to keep this file honest.
 const simd = false
 
-func dotv(a, b, out *float64, n int)             { panic("linalg: no simd") }
-func dot4(a, b0, b1, b2, b3, out *float64, n int) { panic("linalg: no simd") }
-func saxpy4(ci, b0, b1, b2, b3, coef *float64, n int) {
-	panic("linalg: no simd")
+func dotv(a, b, out *float64, n int) {
+	*out = Dot(unsafe.Slice(a, n), unsafe.Slice(b, n))
 }
-func axpyv(y, x *float64, alpha float64, n int) { panic("linalg: no simd") }
-func addv(dst, src *float64, n int)             { panic("linalg: no simd") }
+
+func dot4(a, b0, b1, b2, b3, out *float64, n int) {
+	av := unsafe.Slice(a, n)
+	o := unsafe.Slice(out, 4)
+	o[0] = Dot(av, unsafe.Slice(b0, n))
+	o[1] = Dot(av, unsafe.Slice(b1, n))
+	o[2] = Dot(av, unsafe.Slice(b2, n))
+	o[3] = Dot(av, unsafe.Slice(b3, n))
+}
+
+func saxpy4(ci, b0, b1, b2, b3, coef *float64, n int) {
+	c := unsafe.Slice(coef, 4)
+	dst := unsafe.Slice(ci, n)
+	v0, v1 := unsafe.Slice(b0, n), unsafe.Slice(b1, n)
+	v2, v3 := unsafe.Slice(b2, n), unsafe.Slice(b3, n)
+	for j := 0; j < n; j++ {
+		dst[j] += (c[0]*v0[j] + c[1]*v1[j]) + (c[2]*v2[j] + c[3]*v3[j])
+	}
+}
+
+func axpyv(y, x *float64, alpha float64, n int) {
+	Axpy(alpha, unsafe.Slice(x, n), unsafe.Slice(y, n))
+}
+
+func addv(dst, src *float64, n int) {
+	Add(unsafe.Slice(dst, n), unsafe.Slice(src, n))
+}

@@ -112,9 +112,11 @@ func GemmNT(C, A, B []float64, m, n, k int) {
 		return
 	}
 	if simd && k >= 8 {
+		cGemmNTSIMD.Inc()
 		gemmNTSIMD(C, A, B, m, n, k)
 		return
 	}
+	cGemmNTPortable.Inc()
 	i := 0
 	for ; i+3 < m; i += 4 {
 		a0 := A[i*k : i*k+k]
@@ -216,9 +218,11 @@ func GemmNT(C, A, B []float64, m, n, k int) {
 // sparse one-hot node features feeding the first GCN layer.
 func GemmNN(C, A, B []float64, m, n, k int) {
 	if simd && n >= 8 {
+		cGemmNNSIMD.Inc()
 		gemmNNSIMD(C, A, B, m, n, k)
 		return
 	}
+	cGemmNNPortable.Inc()
 	for i := 0; i < m; i++ {
 		ci := C[i*n : i*n+n]
 		ai := A[i*k : i*k+k]
@@ -251,9 +255,11 @@ func GemmNN(C, A, B []float64, m, n, k int) {
 // row is loaded once per four updates.
 func GemmTN(C, A, B []float64, m, n, k int) {
 	if simd && n >= 8 {
+		cGemmTNSIMD.Inc()
 		gemmTNSIMD(C, A, B, m, n, k)
 		return
 	}
+	cGemmTNPortable.Inc()
 	l := 0
 	for ; l+3 < k; l += 4 {
 		b0 := B[l*n : l*n+n]
@@ -284,6 +290,7 @@ func GemmTN(C, A, B []float64, m, n, k int) {
 // MatVec computes y += A·x for a packed row-major m×k matrix, the
 // single-sample inference form.
 func MatVec(y, A, x []float64, m, k int) {
+	cMatVec.Inc()
 	for i := 0; i < m; i++ {
 		y[i] += Dot(A[i*k:i*k+k], x)
 	}

@@ -1,0 +1,31 @@
+package linalg
+
+import "repro/internal/obs"
+
+// Kernel-dispatch counters. Each GEMM/MatVec entry point bumps exactly one
+// counter per call (never per element), so run manifests can attribute a
+// result to the kernel path that produced it — accuracy bits are
+// deterministic per path, and a simd/portable flip is the first thing to
+// rule out when two manifests disagree. The pointers are resolved once at
+// package init; recording is a single atomic add.
+var (
+	cGemmNTSIMD     = obs.GetCounter("linalg.gemm_nt.simd")
+	cGemmNTPortable = obs.GetCounter("linalg.gemm_nt.portable")
+	cGemmNNSIMD     = obs.GetCounter("linalg.gemm_nn.simd")
+	cGemmNNPortable = obs.GetCounter("linalg.gemm_nn.portable")
+	cGemmTNSIMD     = obs.GetCounter("linalg.gemm_tn.simd")
+	cGemmTNPortable = obs.GetCounter("linalg.gemm_tn.portable")
+	cMatVec         = obs.GetCounter("linalg.matvec")
+)
+
+func init() {
+	if simd {
+		obs.GetGauge("linalg.simd").Set(1)
+	}
+}
+
+// SIMDEnabled reports whether the AVX2+FMA assembly kernels are active on
+// this host. Fixed for the life of the process; run manifests record it
+// because float summation details — and therefore trained-model bits —
+// are only comparable between runs on the same answer.
+func SIMDEnabled() bool { return simd }

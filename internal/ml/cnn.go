@@ -88,6 +88,7 @@ func (m *CNN) Fit(X [][]float64, y []int, numClasses int) error {
 	if err := checkFit(X, y, numClasses); err != nil {
 		return err
 	}
+	defer fitSpan("cnn")()
 	m.std = fitStandardizer(X)
 	Xs := m.std.applyAll(X)
 	m.d = len(X[0])

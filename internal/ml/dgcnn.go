@@ -157,6 +157,7 @@ func (m *DGCNN) FitGraphs(gs []*embed.Graph, y []int, numClasses int) error {
 	if numClasses < 2 {
 		return errBadGraphSet
 	}
+	defer fitSpan("dgcnn")()
 	m.numCl = numClasses
 	m.inDim = 0
 	for _, g := range gs {

@@ -29,6 +29,7 @@ func (m *KNN) Fit(X [][]float64, y []int, numClasses int) error {
 	if err := checkFit(X, y, numClasses); err != nil {
 		return err
 	}
+	defer fitSpan("knn")()
 	m.std = fitStandardizer(X)
 	m.X = m.std.applyAll(X)
 	m.y = append([]int(nil), y...)
@@ -162,6 +163,7 @@ func (m *Logistic) Fit(X [][]float64, y []int, numClasses int) error {
 	if err := checkFit(X, y, numClasses); err != nil {
 		return err
 	}
+	defer fitSpan("lr")()
 	m.std = fitStandardizer(X)
 	Xs := m.std.applyAll(X)
 	m.d = len(X[0])
@@ -265,6 +267,7 @@ func (m *SVM) Fit(X [][]float64, y []int, numClasses int) error {
 	if err := checkFit(X, y, numClasses); err != nil {
 		return err
 	}
+	defer fitSpan("svm")()
 	m.std = fitStandardizer(X)
 	Xs := m.std.applyAll(X)
 	m.d = len(X[0])

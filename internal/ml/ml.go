@@ -13,7 +13,16 @@ import (
 
 	"repro/internal/embed"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
+
+// fitSpan times one model's training in the obs registry so run manifests
+// break the harness's fit phase down per model:
+//
+//	defer fitSpan("rf")()
+func fitSpan(model string) func() {
+	return obs.GetTimer("ml.fit." + model).Start()
+}
 
 // Model classifies vector embeddings.
 type Model interface {

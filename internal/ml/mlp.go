@@ -42,6 +42,7 @@ func (m *MLP) Fit(X [][]float64, y []int, numClasses int) error {
 	if err := checkFit(X, y, numClasses); err != nil {
 		return err
 	}
+	defer fitSpan("mlp")()
 	m.std = fitStandardizer(X)
 	Xs := m.std.applyAll(X)
 	m.d = len(X[0])

@@ -205,6 +205,7 @@ func (rf *RandomForest) Fit(X [][]float64, y []int, numClasses int) error {
 	if err := checkFit(X, y, numClasses); err != nil {
 		return err
 	}
+	defer fitSpan("rf")()
 	d := len(X[0])
 	mtry := int(math.Sqrt(float64(d)))
 	if mtry < 1 {

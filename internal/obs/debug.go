@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// StartDebug serves expvar (/debug/vars, including the live default
+// metrics registry under "arena") and pprof (/debug/pprof/) on addr, for
+// watching and profiling long `all`/`scale` runs without stopping them.
+// It returns the bound address (useful with ":0") and never blocks; the
+// server lives until the process exits.
+func StartDebug(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("arena", expvar.Func(func() any { return Capture() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ManifestSchema is bumped whenever the manifest layout changes
+// incompatibly; `arena report` refuses to diff across schemas.
+const ManifestSchema = 1
+
+// HostInfo records the environment a run executed in. Accuracy numbers are
+// deterministic per machine (kernel selection depends on the host CPU), so
+// a manifest diff that disagrees should first be checked for a host diff.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SIMD reports whether the linalg AVX2+FMA kernels were active; set by
+	// the caller (obs cannot import linalg, which publishes metrics here).
+	SIMD bool `json:"simd"`
+}
+
+// Cell is one experiment cell of a run: a named configuration with its
+// per-round metric values (usually accuracies) and their summary. Cells
+// are the deterministic heart of a manifest — for a fixed seed and host
+// they must be byte-identical run over run.
+type Cell struct {
+	Name   string    `json:"name"`
+	Metric string    `json:"metric"`
+	// Values holds the per-round measurements; it may be empty for cells
+	// that only carry a pre-computed Summary (e.g. distance histograms).
+	Values  []float64     `json:"values,omitempty"`
+	F1      []float64     `json:"f1,omitempty"`
+	Summary stats.Summary `json:"summary"`
+}
+
+// Manifest is the machine-readable record of one arena command: everything
+// needed to audit, diff, or regenerate the run. The Start and WallNS
+// fields plus Host and Metrics are volatile by nature; Canonical strips
+// them for byte-stability checks.
+type Manifest struct {
+	Schema  int               `json:"schema"`
+	Command string            `json:"command"`
+	Config  map[string]string `json:"config"`
+	Seed    int64             `json:"seed"`
+	Host    HostInfo          `json:"host"`
+	Start   string            `json:"start"`
+	WallNS  int64             `json:"wall_ns"`
+	Cells   []Cell            `json:"cells,omitempty"`
+	// Metrics is the registry delta attributed to this run: phase timers,
+	// progcache counters, linalg dispatch counters.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewManifest starts a manifest for the named command with its resolved
+// flag configuration and master seed, stamping the current host and time.
+func NewManifest(command string, config map[string]string, seed int64) *Manifest {
+	return &Manifest{
+		Schema:  ManifestSchema,
+		Command: command,
+		Config:  config,
+		Seed:    seed,
+		Host: HostInfo{
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Start: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// AddCell appends a cell whose summary is computed from values, and
+// returns it for optional F1 decoration.
+func (m *Manifest) AddCell(name, metric string, values []float64) *Cell {
+	m.Cells = append(m.Cells, Cell{
+		Name:    name,
+		Metric:  metric,
+		Values:  append([]float64(nil), values...),
+		Summary: stats.Summarize(values),
+	})
+	return &m.Cells[len(m.Cells)-1]
+}
+
+// AddSummaryCell appends a cell that carries only a pre-computed summary
+// (no raw per-round values).
+func (m *Manifest) AddSummaryCell(name, metric string, sum stats.Summary) {
+	m.Cells = append(m.Cells, Cell{Name: name, Metric: metric, Summary: sum})
+}
+
+// canonical is the deterministic subset of a manifest: for a fixed seed,
+// dataset and host CPU it must not change run over run, whatever the
+// worker counts or wall clock did.
+type canonical struct {
+	Schema  int    `json:"schema"`
+	Command string `json:"command"`
+	Seed    int64  `json:"seed"`
+	Cells   []Cell `json:"cells,omitempty"`
+}
+
+// Canonical renders the deterministic accuracy block of the manifest as
+// indented JSON. Two fixed-seed runs of the same command must produce
+// byte-identical Canonical output; the golden test pins this.
+func (m *Manifest) Canonical() ([]byte, error) {
+	return json.MarshalIndent(canonical{
+		Schema: m.Schema, Command: m.Command, Seed: m.Seed, Cells: m.Cells,
+	}, "", "  ")
+}
+
+// WriteFile finalizes the manifest (wall time since start is the caller's
+// business via WallNS) and writes it as indented JSON, creating parent
+// directories as needed.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obs: manifest dir: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// Load reads a manifest back and checks its schema.
+func Load(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: manifest %s has schema %d, this binary speaks %d",
+			path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	m := NewManifest("game0", map[string]string{"classes": "4", "per": "8"}, 1)
+	m.AddCell("game0/histogram/rf", "accuracy", []float64{0.9, 1.0, 0.95}).
+		F1 = []float64{0.89, 1.0, 0.94}
+	m.AddCell("game0/histogram/cnn", "accuracy", []float64{0.8, 0.85, 0.8})
+	m.WallNS = 12345
+	m.Metrics = Snapshot{
+		Counters: map[string]int64{"progcache.hits": 42},
+		Timers:   map[string]TimerStat{"phase.fit": {Count: 3, TotalNS: 9e6}},
+	}
+	return m
+}
+
+// TestManifestRoundTrip is the emit → load → diff-to-zero loop the
+// acceptance criteria pin: a manifest diffed against its own file must be
+// identical in every cell.
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	path := filepath.Join(t.TempDir(), "runs", "game0.json") // exercises MkdirAll
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffManifests(m, loaded)
+	if !d.Identical {
+		t.Fatalf("round-tripped manifest differs: %+v", d)
+	}
+	if d.MaxAbsDelta != 0 {
+		t.Fatalf("round-trip max delta = %v, want 0", d.MaxAbsDelta)
+	}
+	if len(d.Cells) != 2 || len(d.OnlyA) != 0 || len(d.OnlyB) != 0 {
+		t.Fatalf("cell matching broken: %+v", d)
+	}
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	a := testManifest()
+	b := testManifest()
+	b.Cells[0].Values[1] = 0.7 // accuracy drop in one round
+	b.Cells[0].Summary.Mean = 0.85
+	d := DiffManifests(a, b)
+	if d.Identical {
+		t.Fatal("diff missed a changed accuracy value")
+	}
+	if d.Cells[0].Identical {
+		t.Fatal("cell diff missed the changed round")
+	}
+	if d.MaxAbsDelta <= 0 {
+		t.Fatalf("max delta = %v, want > 0", d.MaxAbsDelta)
+	}
+	var out strings.Builder
+	d.WriteText(&out)
+	if !strings.Contains(out.String(), "accuracy blocks: differ") {
+		t.Fatalf("report text did not flag the difference:\n%s", out.String())
+	}
+}
+
+func TestDiffDetectsMissingCells(t *testing.T) {
+	a := testManifest()
+	b := testManifest()
+	b.Cells = b.Cells[:1]
+	b.AddCell("game0/histogram/svm", "accuracy", []float64{0.5})
+	d := DiffManifests(a, b)
+	if d.Identical {
+		t.Fatal("diff missed mismatched cell sets")
+	}
+	if len(d.OnlyA) != 1 || d.OnlyA[0] != "game0/histogram/cnn" {
+		t.Fatalf("OnlyA = %v", d.OnlyA)
+	}
+	if len(d.OnlyB) != 1 || d.OnlyB[0] != "game0/histogram/svm" {
+		t.Fatalf("OnlyB = %v", d.OnlyB)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	m := testManifest()
+	m.Schema = ManifestSchema + 1
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a manifest from a different schema")
+	}
+}
+
+// Canonical must strip every volatile field (host, times, metrics) and be
+// insensitive to when or where the run happened.
+func TestCanonicalStripsVolatileFields(t *testing.T) {
+	a := testManifest()
+	b := testManifest()
+	b.Start = "1999-01-01T00:00:00Z"
+	b.WallNS = 999999
+	b.Host.GOMAXPROCS = 128
+	b.Metrics = Snapshot{}
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatalf("canonical blocks differ on volatile-only changes:\n%s\nvs\n%s", ca, cb)
+	}
+	if strings.Contains(string(ca), "gomaxprocs") || strings.Contains(string(ca), "wall_ns") {
+		t.Fatalf("canonical block leaks volatile fields:\n%s", ca)
+	}
+}

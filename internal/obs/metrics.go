@@ -1,0 +1,262 @@
+// Package obs is the harness's observability layer: a process-wide
+// registry of atomic counters, gauges and span timers; JSON run manifests
+// that record everything needed to regenerate a results/ number
+// bit-for-bit (resolved config, seed, host, per-cell accuracies, per-phase
+// timings, cache and kernel-dispatch counters); a manifest differ backing
+// the `arena report` regression check; and an expvar + pprof debug server
+// for watching long runs live. The package is standard-library only and
+// sits below every other internal package, so any layer — the compile
+// cache, the linalg kernels, the game engine — can publish metrics
+// without import cycles.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically growing atomic count (cache hits, kernel
+// dispatches, rounds played). Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value (cache entries, active workers).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add shifts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+// Timer accumulates span durations: total nanoseconds and span count.
+// Observing is two atomic adds, cheap enough for per-sample phases.
+type Timer struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe records one span of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	t.count.Add(1)
+	t.nanos.Add(int64(d))
+}
+
+// Start begins a span and returns the function that ends it:
+//
+//	defer timer.Start()()
+func (t *Timer) Start() func() {
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Count returns the number of observed spans.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the summed duration of all observed spans. Spans observed
+// on concurrent goroutines all accumulate, so for a parallel phase this is
+// CPU-style time, not wall clock.
+func (t *Timer) Total() time.Duration { return time.Duration(t.nanos.Load()) }
+
+// Reset zeroes the timer.
+func (t *Timer) Reset() {
+	t.count.Store(0)
+	t.nanos.Store(0)
+}
+
+// Registry holds named metrics. Lookups take a mutex; hot packages resolve
+// their metrics once at init and keep the pointers, so steady-state
+// recording never touches the registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Default is the process-wide registry every harness layer publishes into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Reset zeroes every registered metric without dropping registrations
+// (outstanding pointers held by other packages stay valid).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
+	for _, t := range r.timers {
+		t.Reset()
+	}
+}
+
+// TimerStat is the serializable state of one Timer.
+type TimerStat struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// Total returns the stat's summed duration.
+func (t TimerStat) Total() time.Duration { return time.Duration(t.TotalNS) }
+
+// Snapshot is a point-in-time copy of a registry, or (via Sub) the delta
+// between two captures. Zero-valued metrics are dropped so snapshots of a
+// long-lived process stay small.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+}
+
+// Capture copies the registry's current values.
+func (r *Registry) Capture() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Timers:   make(map[string]TimerStat),
+	}
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			s.Counters[name] = v
+		}
+	}
+	for name, g := range r.gauges {
+		if v := g.Value(); v != 0 {
+			s.Gauges[name] = v
+		}
+	}
+	for name, t := range r.timers {
+		if n := t.Count(); n != 0 {
+			s.Timers[name] = TimerStat{Count: n, TotalNS: int64(t.Total())}
+		}
+	}
+	return s
+}
+
+// Sub returns the delta snapshot s - prev: what happened between the two
+// captures. Gauges are instantaneous, so the later value wins.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Timers:   make(map[string]TimerStat),
+	}
+	for name, v := range s.Counters {
+		if dv := v - prev.Counters[name]; dv != 0 {
+			d.Counters[name] = dv
+		}
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, t := range s.Timers {
+		p := prev.Timers[name]
+		if dc := t.Count - p.Count; dc != 0 {
+			d.Timers[name] = TimerStat{Count: dc, TotalNS: t.TotalNS - p.TotalNS}
+		}
+	}
+	return d
+}
+
+// Names returns every metric name in the snapshot, sorted, for stable
+// rendering.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Timers))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Timers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Package-level accessors against the Default registry.
+
+// GetCounter returns the named counter from the default registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetGauge returns the named gauge from the default registry.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetTimer returns the named timer from the default registry.
+func GetTimer(name string) *Timer { return Default.Timer(name) }
+
+// Capture snapshots the default registry.
+func Capture() Snapshot { return Default.Capture() }
+
+// Reset zeroes every metric in the default registry.
+func Reset() { Default.Reset() }

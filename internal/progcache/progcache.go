@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/minic"
+	"repro/internal/obs"
 )
 
 // entry is one cache slot. The sync.Once serializes the first compile of a
@@ -25,14 +26,19 @@ type entry struct {
 	err  error
 }
 
+// The cache counters live in the process-wide obs registry ("progcache.*"),
+// so run manifests and the -debug-addr expvar endpoint see them without
+// this package knowing about either; Snapshot keeps serving the historical
+// struct view over the same metrics.
 var (
 	cache   sync.Map // source string -> *entry
 	enabled atomic.Bool
 
-	hits         atomic.Int64
-	misses       atomic.Int64
-	compileNanos atomic.Int64
-	cloneNanos   atomic.Int64
+	hits         = obs.GetCounter("progcache.hits")
+	misses       = obs.GetCounter("progcache.misses")
+	entries      = obs.GetGauge("progcache.entries")
+	compileTimer = obs.GetTimer("progcache.compile")
+	cloneTimer   = obs.GetTimer("progcache.clone")
 )
 
 func init() { enabled.Store(true) }
@@ -48,15 +54,16 @@ func Enabled() bool { return enabled.Load() }
 // Reset drops every cached module and zeroes the counters.
 func Reset() {
 	cache.Range(func(k, _ any) bool { cache.Delete(k); return true })
+	entries.Set(0)
 	ResetStats()
 }
 
 // ResetStats zeroes the hit/miss/timing counters without dropping entries.
 func ResetStats() {
-	hits.Store(0)
-	misses.Store(0)
-	compileNanos.Store(0)
-	cloneNanos.Store(0)
+	hits.Reset()
+	misses.Reset()
+	compileTimer.Reset()
+	cloneTimer.Reset()
 }
 
 // Stats is a snapshot of the cache counters.
@@ -74,11 +81,11 @@ func Snapshot() Stats {
 	n := int64(0)
 	cache.Range(func(_, _ any) bool { n++; return true })
 	return Stats{
-		Hits:        hits.Load(),
-		Misses:      misses.Load(),
+		Hits:        hits.Value(),
+		Misses:      misses.Value(),
 		Entries:     n,
-		CompileTime: time.Duration(compileNanos.Load()),
-		CloneTime:   time.Duration(cloneNanos.Load()),
+		CompileTime: compileTimer.Total(),
+		CloneTime:   cloneTimer.Total(),
 	}
 }
 
@@ -89,16 +96,19 @@ func lookup(src, name string) (*ir.Module, error) {
 	e, loaded := cache.Load(src)
 	if !loaded {
 		e, loaded = cache.LoadOrStore(src, &entry{})
+		if !loaded {
+			entries.Add(1)
+		}
 	}
 	ent := e.(*entry)
 	ent.once.Do(func() {
-		misses.Add(1)
+		misses.Inc()
 		start := time.Now()
 		ent.mod, ent.err = minic.CompileSource(src, name)
-		compileNanos.Add(int64(time.Since(start)))
+		compileTimer.Observe(time.Since(start))
 	})
 	if loaded && ent.err == nil {
-		hits.Add(1)
+		hits.Inc()
 	}
 	return ent.mod, ent.err
 }
@@ -116,7 +126,7 @@ func Compile(src, name string) (*ir.Module, error) {
 	}
 	start := time.Now()
 	m := master.Clone()
-	cloneNanos.Add(int64(time.Since(start)))
+	cloneTimer.Observe(time.Since(start))
 	m.Name = name
 	return m, nil
 }

@@ -10,10 +10,16 @@ import (
 	"sort"
 )
 
-// Accuracy is hits over tries.
-func Accuracy(pred, truth []int) float64 {
-	if len(pred) != len(truth) || len(pred) == 0 {
-		return 0
+// Accuracy is hits over tries. A length mismatch or an empty prediction
+// set is an error, not a silent 0 — a real 0% score and a harness bug must
+// stay distinguishable.
+func Accuracy(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("stats: accuracy over mismatched slices: %d predictions vs %d truths",
+			len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("stats: accuracy of an empty prediction set")
 	}
 	hits := 0
 	for i := range pred {
@@ -21,7 +27,7 @@ func Accuracy(pred, truth []int) float64 {
 			hits++
 		}
 	}
-	return float64(hits) / float64(len(pred))
+	return float64(hits) / float64(len(pred)), nil
 }
 
 // Confusion builds the numClasses x numClasses confusion matrix
@@ -73,9 +79,14 @@ func MacroF1(pred, truth []int, numClasses int) float64 {
 // Summary holds the box-plot statistics of repeated measurements (the
 // paper's plots summarize ten rounds).
 type Summary struct {
-	N                        int
-	Mean, Std                float64
-	Min, Q1, Median, Q3, Max float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes a Summary of xs.

@@ -10,14 +10,18 @@ import (
 )
 
 func TestAccuracy(t *testing.T) {
-	if got := stats.Accuracy([]int{1, 2, 3}, []int{1, 2, 0}); math.Abs(got-2.0/3) > 1e-12 {
+	got, err := stats.Accuracy([]int{1, 2, 3}, []int{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3) > 1e-12 {
 		t.Fatalf("accuracy = %v", got)
 	}
-	if got := stats.Accuracy(nil, nil); got != 0 {
-		t.Fatalf("empty accuracy = %v", got)
+	if _, err := stats.Accuracy(nil, nil); err == nil {
+		t.Fatal("empty prediction set must be an error, not 0%")
 	}
-	if got := stats.Accuracy([]int{1}, []int{1, 2}); got != 0 {
-		t.Fatalf("mismatched lengths should give 0, got %v", got)
+	if _, err := stats.Accuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched lengths must be an error, not 0%")
 	}
 }
 
@@ -54,7 +58,10 @@ func TestF1TracksAccuracyOnBalancedData(t *testing.T) {
 			pred[i] = rng.Intn(classes)
 		}
 	}
-	acc := stats.Accuracy(pred, truth)
+	acc, err := stats.Accuracy(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f1 := stats.MacroF1(pred, truth, classes)
 	if math.Abs(acc-f1) > 0.05 {
 		t.Fatalf("acc %v and F1 %v diverge on balanced data", acc, f1)
@@ -132,8 +139,8 @@ func TestAccuracyProperties(t *testing.T) {
 				allEq = false
 			}
 		}
-		a := stats.Accuracy(pred, truth)
-		if a < 0 || a > 1 {
+		a, err := stats.Accuracy(pred, truth)
+		if err != nil || a < 0 || a > 1 {
 			return false
 		}
 		return (a == 1) == allEq
