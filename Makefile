@@ -10,11 +10,14 @@
 #   make perf    the harness speedup benchmark (compile cache + parallel rounds)
 #   make cross   cross-compile for non-amd64 targets (portable kernel paths
 #                must build — no panic stubs allowed to hide there)
-#   make check   everything CI runs: build + test + race + cross
+#   make serve-smoke  boot `arena serve` on a scratch snapshot dir, push one
+#                loadgen round through /v1/classify, then SIGTERM and require
+#                a clean drain (exit 0)
+#   make check   everything CI runs: build + test + race + cross + serve-smoke
 
 GO ?= go
 
-.PHONY: build test race bench bench-figures perf cross check
+.PHONY: build test race bench bench-figures perf cross serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -25,7 +28,7 @@ test: build
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ml/... \
-		./internal/obs/... ./cmd/arena/...
+		./internal/obs/... ./internal/serve/... ./cmd/arena/...
 
 # arm64 covers the !amd64 dispatch build; 386 additionally shakes out
 # 64-bit-assuming code on a 32-bit word size.
@@ -50,4 +53,19 @@ bench-figures:
 perf:
 	$(GO) test -run xxx -bench BenchmarkHarnessRounds -benchtime 5x .
 
-check: build test race cross
+# End-to-end serving smoke: train-on-first-boot snapshots in a temp dir,
+# one loadgen round against the live server, then a SIGTERM drain that must
+# exit 0. Fails loudly if the round trip or the drain hangs.
+serve-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/arena" ./cmd/arena || exit 1; \
+	"$$tmp/arena" serve -addr 127.0.0.1:18873 -snapshots "$$tmp/snap" \
+		-models rf,lr -classes 4 -per 6 2>"$$tmp/serve.log" & \
+	pid=$$!; \
+	if ! "$$tmp/arena" loadgen -addr http://127.0.0.1:18873 -wait 30s \
+		-qps 20 -dur 1s -conc 2 -classes 4 -per 2 ; then \
+		echo "serve-smoke: loadgen failed; server log:" ; cat "$$tmp/serve.log" ; \
+		kill "$$pid" 2>/dev/null ; exit 1 ; fi ; \
+	kill -TERM "$$pid" && wait "$$pid" && echo "serve-smoke: clean drain"
+
+check: build test race cross serve-smoke

@@ -21,6 +21,8 @@
 //	speedup    RQ6  optimizer vs. obfuscator performance (Figure 13)
 //	discover   RQ7  identify the obfuscator (Figure 14)
 //	malware    RQ8  Mirai-family study (Figure 15; -av adds Figure 16)
+//	serve           HTTP classification service on trained model snapshots
+//	loadgen         drive a serve instance and report latency quantiles
 package main
 
 import (
@@ -68,6 +70,10 @@ func main() {
 		err = cmdDiscover(args)
 	case "malware":
 		err = cmdMalware(args)
+	case "serve":
+		err = cmdServe(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "report":
 		err = cmdReport(args)
 	case "help", "-h", "--help":
@@ -97,7 +103,15 @@ commands:
   speedup                         optimizer vs. obfuscator runtimes (Fig 13)
   discover                        obfuscator identification (Fig 14)
   malware                         Mirai-family study (Fig 15; -av for Fig 16)
-  report                          diff two run manifests (accuracy + timings)
+  serve                           HTTP classification service on model snapshots
+                                  (micro-batched predict, 429 overload shedding,
+                                  graceful drain on SIGTERM)
+  loadgen [-qps n] [-dur d] [-conc n]
+                                  drive a running serve instance and report
+                                  latency quantiles + throughput
+  report [-tol x] baseline.json candidate.json
+                                  diff two run manifests (accuracy + timings);
+                                  -tol fails the run on regressions beyond x
 
 every experiment command also accepts:
   -out <path|auto>                write a JSON run manifest (config, seed,

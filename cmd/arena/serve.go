@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// cmdServe stands up the HTTP classification service on trained model
+// snapshots. Snapshots live as <dir>/<model>.snap; any requested model
+// without one is trained on a generated dataset and saved, so a cold start
+// is self-contained:
+//
+//	arena serve -addr 127.0.0.1:8080 -snapshots runs/snap -models rf,lr
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	snapDir := fs.String("snapshots", "snapshots", "directory of <model>.snap files (missing ones are trained and saved here)")
+	models := fs.String("models", "rf,lr", "comma-separated vector models to serve")
+	embedding := fs.String("embedding", "histogram", "vector embedding for source-bearing requests (must match training)")
+	classes := fs.Int("classes", 8, "problem classes when training missing snapshots")
+	per := fs.Int("per", 12, "solutions per class when training missing snapshots")
+	seed := fs.Int64("seed", 1, "training seed for missing snapshots")
+	maxInFlight := fs.Int("max-inflight", 128, "admitted requests before the server answers 429")
+	maxBatch := fs.Int("max-batch", 32, "max classify requests coalesced into one batched predict pass")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "how long a batch waits to fill after its first request")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline (504 past it)")
+	verbose := fs.Bool("v", false, "print the obs footer after shutdown")
+	o := addObs(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := splitNames(*models)
+	if len(names) == 0 {
+		return fmt.Errorf("serve: -models is empty")
+	}
+	rec, err := o.begin("serve", fs, *seed, *verbose)
+	if err != nil {
+		return err
+	}
+
+	loaded, err := loadOrTrainSnapshots(*snapDir, names, *embedding, *classes, *per, *seed)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		Models:         loaded,
+		Embedding:      *embedding,
+		MaxInFlight:    *maxInFlight,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *window,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving %s on http://%s (POST /v1/classify /v1/transform, GET /healthz /metricz)\n",
+		strings.Join(names, ","), bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "drained")
+	return rec.finish()
+}
+
+// loadOrTrainSnapshots loads each model from dir/<name>.snap, training and
+// saving the missing ones in a single deterministic pass.
+func loadOrTrainSnapshots(dir string, names []string, embedding string, classes, per int, seed int64) (map[string]ml.Model, error) {
+	loaded := make(map[string]ml.Model, len(names))
+	var missing []string
+	for _, name := range names {
+		path := filepath.Join(dir, name+".snap")
+		m, err := ml.LoadFile(path)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "loaded snapshot %s\n", path)
+			loaded[name] = m
+		case os.IsNotExist(err):
+			missing = append(missing, name)
+		default:
+			return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+		}
+	}
+	if len(missing) == 0 {
+		return loaded, nil
+	}
+	fmt.Fprintf(os.Stderr, "training missing snapshots %s (classes=%d per=%d seed=%d)\n",
+		strings.Join(missing, ","), classes, per, seed)
+	set, err := dataset.Generate(classes, per, seed)
+	if err != nil {
+		return nil, err
+	}
+	trained, err := core.TrainVectorModels(set, embedding, missing, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, name := range missing {
+		path := filepath.Join(dir, name+".snap")
+		if err := ml.SaveFile(path, trained[name]); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "wrote snapshot %s\n", path)
+		loaded[name] = trained[name]
+	}
+	return loaded, nil
+}
+
+// cmdLoadgen offers classify load to a running server and reports latency
+// quantiles and throughput; with -out the numbers land in a run manifest
+// that `arena report` can diff against a baseline.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	qps := fs.Int("qps", 50, "offered classify requests per second")
+	dur := fs.Duration("dur", 5*time.Second, "how long to offer load")
+	conc := fs.Int("conc", 4, "concurrent client workers")
+	wait := fs.Duration("wait", 0, "poll /healthz this long for the server to come up before starting")
+	models := fs.String("models", "", "comma-separated model subset per request (empty = all loaded)")
+	embedding := fs.String("embedding", "histogram", "embedding for the payload vectors")
+	classes := fs.Int("classes", 8, "problem classes for the payload corpus")
+	per := fs.Int("per", 4, "solutions per class for the payload corpus")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	o := addObs(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := o.begin("loadgen", fs, *seed, false)
+	if err != nil {
+		return err
+	}
+
+	set, err := dataset.Generate(*classes, *per, *seed)
+	if err != nil {
+		return err
+	}
+	vectors := make([][]float64, 0, len(set.Samples))
+	for _, s := range set.Samples {
+		v, err := core.EmbedSource(s.Source, *embedding)
+		if err != nil {
+			return err
+		}
+		vectors = append(vectors, v)
+	}
+
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:     strings.TrimRight(*addr, "/"),
+		QPS:         *qps,
+		Duration:    *dur,
+		Concurrency: *conc,
+		Vectors:     vectors,
+		Models:      splitNames(*models),
+		WaitReady:   *wait,
+	})
+	if err != nil {
+		return err
+	}
+
+	p50, p90, p99 := rep.Quantile(0.50), rep.Quantile(0.90), rep.Quantile(0.99)
+	w := newTable()
+	fmt.Fprintf(w, "sent\tok\trejected\ttimeout\terrors\tthroughput\tp50\tp90\tp99\n")
+	fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.1f req/s\t%.2f ms\t%.2f ms\t%.2f ms\n",
+		rep.Sent, rep.OK, rep.Rejected, rep.Timeout, rep.Errors,
+		rep.Throughput(), p50, p90, p99)
+	w.Flush()
+
+	rec.man.AddCell("loadgen/p50_ms", "latency_ms", []float64{p50})
+	rec.man.AddCell("loadgen/p90_ms", "latency_ms", []float64{p90})
+	rec.man.AddCell("loadgen/p99_ms", "latency_ms", []float64{p99})
+	rec.man.AddCell("loadgen/throughput_rps", "throughput", []float64{rep.Throughput()})
+	rec.man.AddCell("loadgen/ok", "count", []float64{float64(rep.OK)})
+	rec.man.AddCell("loadgen/rejected", "count", []float64{float64(rep.Rejected)})
+	rec.man.AddSummaryCell("loadgen/latency_ms", "latency_ms", stats.Summarize(rep.LatencyMS))
+	if err := rec.finish(); err != nil {
+		return err
+	}
+	if rep.OK == 0 {
+		return fmt.Errorf("loadgen: no request succeeded (%d sent, %d rejected, %d timed out, %d errors)",
+			rep.Sent, rep.Rejected, rep.Timeout, rep.Errors)
+	}
+	return nil
+}
+
+// splitNames parses a comma-separated name list into a sorted,
+// de-duplicated slice, so flag order never changes training order (and
+// with it the sub-seed each model draws).
+func splitNames(s string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

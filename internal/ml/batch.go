@@ -1,0 +1,124 @@
+package ml
+
+import "repro/internal/linalg"
+
+// BatchPredictor is implemented by models whose forward pass can run as one
+// batched GEMM over many rows at once — the serving hot path. PredictBatch
+// classifies row X[i] into out[i]; out must have len(X) slots.
+type BatchPredictor interface {
+	PredictBatch(X [][]float64, out []int)
+}
+
+// PredictBatch classifies every row of X into out, using the model's
+// batched pass when it has one and a serial Predict loop otherwise.
+func PredictBatch(m Model, X [][]float64, out []int) {
+	if len(X) == 0 {
+		return
+	}
+	if bp, ok := m.(BatchPredictor); ok {
+		bp.PredictBatch(X, out)
+		return
+	}
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+}
+
+// packStdRows standardizes every input row into a packed rows x stride
+// matrix (the first d columns; extra columns are left as initialized by the
+// caller). Rows shorter than d are zero-padded, rows longer are truncated —
+// the same effective treatment Predict's scratch path applies.
+func packStdRows(dst []float64, X [][]float64, d, stride int, s *standardizer) {
+	scratch := linalg.Grab(d)
+	for r, x := range X {
+		linalg.Zero(scratch)
+		n := len(x)
+		if n > d {
+			n = d
+		}
+		copy(scratch, x[:n])
+		row := dst[r*stride : r*stride+d]
+		s.applyInto(row, scratch)
+	}
+	linalg.Drop(scratch)
+}
+
+// PredictBatch scores all rows with one logits GEMM.
+func (m *Logistic) PredictBatch(X [][]float64, out []int) {
+	rows := len(X)
+	d1 := m.d + 1
+	xb := make([]float64, rows*d1)
+	packStdRows(xb, X, m.d, d1, m.std)
+	for r := 0; r < rows; r++ {
+		xb[r*d1+m.d] = 1 // bias column
+	}
+	logits := make([]float64, rows*m.numCl)
+	linalg.GemmNT(logits, xb, m.w, rows, m.numCl, d1)
+	for r := 0; r < rows; r++ {
+		out[r] = argmax(logits[r*m.numCl : (r+1)*m.numCl])
+	}
+}
+
+// PredictBatch scores all rows' margins with one GEMM.
+func (m *SVM) PredictBatch(X [][]float64, out []int) {
+	rows := len(X)
+	d1 := m.d + 1
+	xb := make([]float64, rows*d1)
+	packStdRows(xb, X, m.d, d1, m.std)
+	for r := 0; r < rows; r++ {
+		xb[r*d1+m.d] = 1
+	}
+	margins := make([]float64, rows*m.numCl)
+	linalg.GemmNT(margins, xb, m.w, rows, m.numCl, d1)
+	for r := 0; r < rows; r++ {
+		out[r] = argmax(margins[r*m.numCl : (r+1)*m.numCl])
+	}
+}
+
+// PredictBatch runs the whole batch through both dense layers as GEMMs.
+func (m *MLP) PredictBatch(X [][]float64, out []int) {
+	rows := len(X)
+	h, c := m.Hidden, m.numCl
+	xb := make([]float64, rows*m.d)
+	packStdRows(xb, X, m.d, m.d, m.std)
+	hid := make([]float64, rows*h)
+	for r := 0; r < rows; r++ {
+		copy(hid[r*h:(r+1)*h], m.b1)
+	}
+	linalg.GemmNT(hid, xb, m.w1, rows, h, m.d)
+	linalg.ReLU(hid)
+	logits := make([]float64, rows*c)
+	for r := 0; r < rows; r++ {
+		copy(logits[r*c:(r+1)*c], m.b2)
+	}
+	linalg.GemmNT(logits, hid, m.w2, rows, c, h)
+	for r := 0; r < rows; r++ {
+		out[r] = argmax(logits[r*c : (r+1)*c])
+	}
+}
+
+// PredictBatch runs both convolutions and both dense layers batched over
+// every row (im2col GEMMs, exactly the training forward without dropout).
+func (m *CNN) PredictBatch(X [][]float64, out []int) {
+	rows := len(X)
+	h, c := m.Hidden, m.numCl
+	xb := make([]float64, rows*m.d)
+	packStdRows(xb, X, m.d, m.d, m.std)
+	sc := m.newScratch(rows)
+	m.convForward(func(r int) []float64 { return xb[r*m.d : (r+1)*m.d] }, rows, sc)
+	a2 := sc.a2[:rows*m.flat]
+	hid := make([]float64, rows*h)
+	for r := 0; r < rows; r++ {
+		copy(hid[r*h:(r+1)*h], m.b3)
+	}
+	linalg.GemmNT(hid, a2, m.w3, rows, h, m.flat)
+	linalg.ReLU(hid)
+	logits := make([]float64, rows*c)
+	for r := 0; r < rows; r++ {
+		copy(logits[r*c:(r+1)*c], m.b4)
+	}
+	linalg.GemmNT(logits, hid, m.w4, rows, c, h)
+	for r := 0; r < rows; r++ {
+		out[r] = argmax(logits[r*c : (r+1)*c])
+	}
+}

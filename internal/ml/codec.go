@@ -1,0 +1,572 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary snapshot codec for the six vector models. A snapshot captures
+// everything Predict needs — hyper-parameters, trained tensors and the
+// feature standardizer — so a model trained once can be served from any
+// process. The frame is
+//
+//	magic "GOMLSNAP" | version u64 | model name | payload | crc32 u64
+//
+// with every integer fixed-width little-endian and the checksum covering
+// all preceding bytes, so truncation and bit-flips both fail loudly at
+// load time. Loaded models are prediction-ready; to re-train, construct a
+// fresh model with New (the decoder does not restore RNG state).
+
+const (
+	snapMagic   = "GOMLSNAP"
+	snapVersion = 1
+)
+
+// Save writes a snapshot of the trained model m to w. Untrained models and
+// graph models (DGCNN) are rejected.
+func Save(w io.Writer, m Model) error {
+	name, err := snapshotName(m)
+	if err != nil {
+		return err
+	}
+	sw := &snapWriter{}
+	sw.raw([]byte(snapMagic))
+	sw.u64(snapVersion)
+	sw.str(name)
+	if err := encodeModel(sw, m); err != nil {
+		return err
+	}
+	sw.u64(uint64(crc32.ChecksumIEEE(sw.buf.Bytes())))
+	_, err = w.Write(sw.buf.Bytes())
+	return err
+}
+
+// Load reads a snapshot written by Save and reconstructs the model.
+func Load(r io.Reader) (Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ml: read snapshot: %w", err)
+	}
+	// Smallest possible frame: magic + version + empty name + crc.
+	if len(data) < len(snapMagic)+8+8+8 {
+		return nil, fmt.Errorf("ml: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("ml: not a model snapshot (bad magic)")
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	want := binary.LittleEndian.Uint64(tail)
+	if got := uint64(crc32.ChecksumIEEE(body)); got != want {
+		return nil, fmt.Errorf("ml: snapshot corrupted (checksum mismatch)")
+	}
+	sr := &snapReader{data: body, off: len(snapMagic)}
+	if v := sr.u64(); v != snapVersion {
+		return nil, fmt.Errorf("ml: snapshot version %d, this binary speaks %d", v, snapVersion)
+	}
+	name := sr.str()
+	m, err := decodeModel(sr, name)
+	if err != nil {
+		return nil, err
+	}
+	if sr.err != nil {
+		return nil, fmt.Errorf("ml: decode %s snapshot: %w", name, sr.err)
+	}
+	if sr.off != len(sr.data) {
+		return nil, fmt.Errorf("ml: %s snapshot has %d trailing bytes", name, len(sr.data)-sr.off)
+	}
+	return m, nil
+}
+
+// SaveFile snapshots m to path, creating the file.
+func SaveFile(path string, m Model) error {
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadFile reads a model snapshot from path.
+func LoadFile(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func snapshotName(m Model) (string, error) {
+	switch v := m.(type) {
+	case *RandomForest:
+		if len(v.trees) == 0 {
+			return "", errUntrained("rf")
+		}
+		return "rf", nil
+	case *SVM:
+		if len(v.w) == 0 {
+			return "", errUntrained("svm")
+		}
+		return "svm", nil
+	case *KNN:
+		if len(v.X) == 0 {
+			return "", errUntrained("knn")
+		}
+		return "knn", nil
+	case *Logistic:
+		if len(v.w) == 0 {
+			return "", errUntrained("lr")
+		}
+		return "lr", nil
+	case *MLP:
+		if len(v.w1) == 0 {
+			return "", errUntrained("mlp")
+		}
+		return "mlp", nil
+	case *CNN:
+		if len(v.w1) == 0 {
+			return "", errUntrained("cnn")
+		}
+		return "cnn", nil
+	}
+	return "", fmt.Errorf("ml: cannot snapshot model of type %T", m)
+}
+
+func errUntrained(name string) error {
+	return fmt.Errorf("ml: cannot snapshot an untrained %s model", name)
+}
+
+func encodeModel(w *snapWriter, m Model) error {
+	switch v := m.(type) {
+	case *RandomForest:
+		v.encodeSnap(w)
+	case *SVM:
+		v.encodeSnap(w)
+	case *KNN:
+		v.encodeSnap(w)
+	case *Logistic:
+		v.encodeSnap(w)
+	case *MLP:
+		v.encodeSnap(w)
+	case *CNN:
+		v.encodeSnap(w)
+	default:
+		return fmt.Errorf("ml: cannot snapshot model of type %T", m)
+	}
+	return nil
+}
+
+func decodeModel(r *snapReader, name string) (Model, error) {
+	switch name {
+	case "rf":
+		m := &RandomForest{}
+		m.decodeSnap(r)
+		return m, nil
+	case "svm":
+		m := &SVM{}
+		m.decodeSnap(r)
+		return m, nil
+	case "knn":
+		m := &KNN{}
+		m.decodeSnap(r)
+		return m, nil
+	case "lr":
+		m := &Logistic{}
+		m.decodeSnap(r)
+		return m, nil
+	case "mlp":
+		m := &MLP{}
+		m.decodeSnap(r)
+		return m, nil
+	case "cnn":
+		m := &CNN{}
+		m.decodeSnap(r)
+		return m, nil
+	}
+	return nil, fmt.Errorf("ml: snapshot holds unknown model %q", name)
+}
+
+// --- wire helpers ---
+
+type snapWriter struct{ buf bytes.Buffer }
+
+func (w *snapWriter) raw(b []byte) { w.buf.Write(b) }
+
+func (w *snapWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *snapWriter) i64(v int64)   { w.u64(uint64(v)) }
+func (w *snapWriter) int(v int)     { w.i64(int64(v)) }
+func (w *snapWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *snapWriter) str(s string) {
+	w.int(len(s))
+	w.buf.WriteString(s)
+}
+
+func (w *snapWriter) floats(xs []float64) {
+	w.int(len(xs))
+	for _, x := range xs {
+		w.f64(x)
+	}
+}
+
+func (w *snapWriter) ints(xs []int) {
+	w.int(len(xs))
+	for _, x := range xs {
+		w.i64(int64(x))
+	}
+}
+
+// std writes the standardizer (nil-safe: an untouched standardizer decodes
+// back to the pass-through state).
+func (w *snapWriter) std(s *standardizer) {
+	if s == nil {
+		w.floats(nil)
+		w.floats(nil)
+		return
+	}
+	w.floats(s.mean)
+	w.floats(s.std)
+}
+
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *snapReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail("truncated at byte %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *snapReader) i64() int64   { return int64(r.u64()) }
+func (r *snapReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *snapReader) int() int {
+	v := r.i64()
+	if int64(int(v)) != v {
+		r.fail("integer %d overflows this platform's int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// sliceLen reads a length prefix and bounds it by the bytes remaining
+// (elemSize bytes per element), so corrupt prefixes cannot trigger huge
+// allocations.
+func (r *snapReader) sliceLen(elemSize int) int {
+	n := r.i64()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(len(r.data)-r.off)/int64(elemSize) {
+		r.fail("implausible length %d at byte %d", n, r.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *snapReader) str() string {
+	n := r.sliceLen(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *snapReader) floats() []float64 {
+	n := r.sliceLen(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *snapReader) ints() []int {
+	n := r.sliceLen(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.i64())
+	}
+	return out
+}
+
+func (r *snapReader) stdDec() *standardizer {
+	s := &standardizer{mean: r.floats(), std: r.floats()}
+	if len(s.mean) != len(s.std) {
+		r.fail("standardizer mean/std length mismatch (%d vs %d)", len(s.mean), len(s.std))
+	}
+	return s
+}
+
+// --- per-model payloads ---
+
+func (m *KNN) encodeSnap(w *snapWriter) {
+	w.int(m.K)
+	w.int(m.numCl)
+	w.std(m.std)
+	w.ints(m.y)
+	cols := 0
+	if len(m.X) > 0 {
+		cols = len(m.X[0])
+	}
+	w.int(len(m.X))
+	w.int(cols)
+	for _, row := range m.X {
+		for _, v := range row {
+			w.f64(v)
+		}
+	}
+}
+
+func (m *KNN) decodeSnap(r *snapReader) {
+	m.K = r.int()
+	m.numCl = r.int()
+	m.std = r.stdDec()
+	m.y = r.ints()
+	rows, cols := r.int(), r.int()
+	if r.err != nil {
+		return
+	}
+	if rows < 0 || cols < 0 || int64(rows)*int64(cols) > int64(len(r.data)-r.off)/8 {
+		r.fail("implausible knn matrix %dx%d", rows, cols)
+		return
+	}
+	if rows != len(m.y) {
+		r.fail("knn rows %d != labels %d", rows, len(m.y))
+		return
+	}
+	backing := make([]float64, rows*cols)
+	for i := range backing {
+		backing[i] = r.f64()
+	}
+	m.X = make([][]float64, rows)
+	for i := range m.X {
+		m.X[i] = backing[i*cols : (i+1)*cols]
+	}
+}
+
+func (m *Logistic) encodeSnap(w *snapWriter) {
+	w.int(m.Epochs)
+	w.f64(m.LR)
+	w.f64(m.L2)
+	w.int(m.d)
+	w.int(m.numCl)
+	w.floats(m.w)
+	w.std(m.std)
+}
+
+func (m *Logistic) decodeSnap(r *snapReader) {
+	m.Epochs = r.int()
+	m.LR = r.f64()
+	m.L2 = r.f64()
+	m.d = r.int()
+	m.numCl = r.int()
+	m.w = r.floats()
+	m.std = r.stdDec()
+	if r.err == nil && len(m.w) != m.numCl*(m.d+1) {
+		r.fail("lr weights %d != %d classes x (%d+1) features", len(m.w), m.numCl, m.d)
+	}
+}
+
+func (m *SVM) encodeSnap(w *snapWriter) {
+	w.int(m.Epochs)
+	w.f64(m.Lambda)
+	w.int(m.d)
+	w.int(m.numCl)
+	w.floats(m.w)
+	w.std(m.std)
+}
+
+func (m *SVM) decodeSnap(r *snapReader) {
+	m.Epochs = r.int()
+	m.Lambda = r.f64()
+	m.d = r.int()
+	m.numCl = r.int()
+	m.w = r.floats()
+	m.std = r.stdDec()
+	if r.err == nil && len(m.w) != m.numCl*(m.d+1) {
+		r.fail("svm weights %d != %d classes x (%d+1) features", len(m.w), m.numCl, m.d)
+	}
+}
+
+func (m *MLP) encodeSnap(w *snapWriter) {
+	w.int(m.Hidden)
+	w.int(m.Epochs)
+	w.int(m.BatchSize)
+	w.f64(m.LR)
+	w.int(m.d)
+	w.int(m.numCl)
+	w.floats(m.w1)
+	w.floats(m.b1)
+	w.floats(m.w2)
+	w.floats(m.b2)
+	w.std(m.std)
+}
+
+func (m *MLP) decodeSnap(r *snapReader) {
+	m.Hidden = r.int()
+	m.Epochs = r.int()
+	m.BatchSize = r.int()
+	m.LR = r.f64()
+	m.d = r.int()
+	m.numCl = r.int()
+	m.w1 = r.floats()
+	m.b1 = r.floats()
+	m.w2 = r.floats()
+	m.b2 = r.floats()
+	m.std = r.stdDec()
+	if r.err == nil && (len(m.w1) != m.Hidden*m.d || len(m.b1) != m.Hidden ||
+		len(m.w2) != m.numCl*m.Hidden || len(m.b2) != m.numCl) {
+		r.fail("mlp tensor shapes inconsistent with hidden=%d d=%d classes=%d",
+			m.Hidden, m.d, m.numCl)
+	}
+}
+
+func (m *CNN) encodeSnap(w *snapWriter) {
+	w.int(m.C1)
+	w.int(m.K1)
+	w.int(m.C2)
+	w.int(m.K2)
+	w.int(m.Hidden)
+	w.f64(m.Dropout)
+	w.int(m.Epochs)
+	w.int(m.BatchSize)
+	w.f64(m.LR)
+	w.int(m.d)
+	w.int(m.numCl)
+	w.int(m.l1)
+	w.int(m.p1)
+	w.int(m.l2)
+	w.int(m.flat)
+	w.floats(m.w1)
+	w.floats(m.b1)
+	w.floats(m.w2)
+	w.floats(m.b2)
+	w.floats(m.w3)
+	w.floats(m.b3)
+	w.floats(m.w4)
+	w.floats(m.b4)
+	w.std(m.std)
+}
+
+func (m *CNN) decodeSnap(r *snapReader) {
+	m.C1 = r.int()
+	m.K1 = r.int()
+	m.C2 = r.int()
+	m.K2 = r.int()
+	m.Hidden = r.int()
+	m.Dropout = r.f64()
+	m.Epochs = r.int()
+	m.BatchSize = r.int()
+	m.LR = r.f64()
+	m.d = r.int()
+	m.numCl = r.int()
+	m.l1 = r.int()
+	m.p1 = r.int()
+	m.l2 = r.int()
+	m.flat = r.int()
+	m.w1 = r.floats()
+	m.b1 = r.floats()
+	m.w2 = r.floats()
+	m.b2 = r.floats()
+	m.w3 = r.floats()
+	m.b3 = r.floats()
+	m.w4 = r.floats()
+	m.b4 = r.floats()
+	m.std = r.stdDec()
+	if r.err == nil && (len(m.w1) != m.C1*m.K1 || len(m.w2) != m.C2*m.C1*m.K2 ||
+		len(m.w3) != m.Hidden*m.flat || len(m.w4) != m.numCl*m.Hidden ||
+		m.flat != m.C2*m.l2) {
+		r.fail("cnn tensor shapes inconsistent with conv %dx%d/%dx%d hidden=%d", m.C1, m.K1, m.C2, m.K2, m.Hidden)
+	}
+}
+
+func (rf *RandomForest) encodeSnap(w *snapWriter) {
+	w.int(rf.NumTrees)
+	w.int(rf.MaxDepth)
+	w.int(len(rf.trees))
+	for _, t := range rf.trees {
+		w.int(t.numClasses)
+		w.int(t.maxDepth)
+		w.int(t.minLeaf)
+		w.int(t.numFeats)
+		w.int(len(t.nodes))
+		for _, nd := range t.nodes {
+			w.int(nd.feature)
+			w.f64(nd.thresh)
+			w.i64(int64(nd.left))
+			w.i64(int64(nd.right))
+			w.i64(int64(nd.label))
+		}
+	}
+}
+
+func (rf *RandomForest) decodeSnap(r *snapReader) {
+	rf.NumTrees = r.int()
+	rf.MaxDepth = r.int()
+	n := r.sliceLen(8)
+	if r.err != nil {
+		return
+	}
+	rf.trees = make([]*DecisionTree, n)
+	for i := range rf.trees {
+		t := &DecisionTree{}
+		t.numClasses = r.int()
+		t.maxDepth = r.int()
+		t.minLeaf = r.int()
+		t.numFeats = r.int()
+		nodes := r.sliceLen(5 * 8)
+		if r.err != nil {
+			return
+		}
+		t.nodes = make([]treeNode, nodes)
+		for j := range t.nodes {
+			nd := &t.nodes[j]
+			nd.feature = r.int()
+			nd.thresh = r.f64()
+			nd.left = int32(r.i64())
+			nd.right = int32(r.i64())
+			nd.label = int32(r.i64())
+			if r.err == nil && nd.feature >= 0 &&
+				(nd.left < 0 || int(nd.left) >= nodes || nd.right < 0 || int(nd.right) >= nodes) {
+				r.fail("tree %d node %d has out-of-range children", i, j)
+				return
+			}
+		}
+		rf.trees[i] = t
+	}
+}

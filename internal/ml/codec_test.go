@@ -1,0 +1,160 @@
+package ml_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// trainAll fits every vector model on one fixed-seed blob problem and
+// returns the models with the train/test matrices.
+func trainAll(t *testing.T) (map[string]ml.Model, [][]float64, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	Xtr, ytr, Xte, _ := synthBlobs(rng, 80, 40, 12, 4, 1.5)
+	models := make(map[string]ml.Model)
+	for _, name := range ml.VectorNames() {
+		m, err := ml.New(name, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(Xtr, ytr, 4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		models[name] = m
+	}
+	return models, Xtr, Xte
+}
+
+func TestSnapshotRoundTripPredictIdentical(t *testing.T) {
+	models, Xtr, Xte := trainAll(t)
+	for _, name := range ml.VectorNames() {
+		m := models[name]
+		var buf bytes.Buffer
+		if err := ml.Save(&buf, m); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		m2, err := ml.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		for _, X := range [][][]float64{Xtr, Xte} {
+			for i, x := range X {
+				if got, want := m2.Predict(x), m.Predict(x); got != want {
+					t.Fatalf("%s: row %d: loaded model predicts %d, original %d", name, i, got, want)
+				}
+			}
+		}
+		if got, want := m2.MemoryBytes(), m.MemoryBytes(); got != want {
+			t.Errorf("%s: loaded MemoryBytes %d != original %d", name, got, want)
+		}
+	}
+}
+
+func TestSnapshotRoundTripFile(t *testing.T) {
+	models, _, Xte := trainAll(t)
+	dir := t.TempDir()
+	for _, name := range []string{"rf", "mlp"} {
+		path := filepath.Join(dir, name+".snap")
+		if err := ml.SaveFile(path, models[name]); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ml.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range Xte {
+			if m2.Predict(x) != models[name].Predict(x) {
+				t.Fatalf("%s: file round trip changed a prediction", name)
+			}
+		}
+	}
+}
+
+func TestSnapshotErrorPaths(t *testing.T) {
+	models, _, _ := trainAll(t)
+	var buf bytes.Buffer
+	if err := ml.Save(&buf, models["mlp"]); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{1, 8, len(snap) / 2, len(snap) - 1} {
+			if _, err := ml.Load(bytes.NewReader(snap[:cut])); err == nil {
+				t.Fatalf("truncation to %d bytes loaded without error", cut)
+			}
+		}
+	})
+	t.Run("corrupted", func(t *testing.T) {
+		for _, pos := range []int{10, len(snap) / 2, len(snap) - 9} {
+			bad := append([]byte(nil), snap...)
+			bad[pos] ^= 0x40
+			_, err := ml.Load(bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("bit flip at %d loaded without error", pos)
+			}
+			if !strings.Contains(err.Error(), "checksum") {
+				t.Fatalf("bit flip at %d: want checksum error, got %v", pos, err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		copy(bad, "NOTASNAP")
+		if _, err := ml.Load(bytes.NewReader(bad)); err == nil ||
+			!strings.Contains(err.Error(), "magic") {
+			t.Fatalf("want bad-magic error, got %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := ml.Load(bytes.NewReader(nil)); err == nil {
+			t.Fatal("empty snapshot loaded without error")
+		}
+	})
+	t.Run("untrained", func(t *testing.T) {
+		m, err := ml.New("svm", rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := ml.Save(&b, m); err == nil ||
+			!strings.Contains(err.Error(), "untrained") {
+			t.Fatalf("want untrained error, got %v", err)
+		}
+	})
+}
+
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	models, Xtr, Xte := trainAll(t)
+	for _, name := range ml.VectorNames() {
+		m := models[name]
+		for _, X := range [][][]float64{Xtr, Xte, nil} {
+			out := make([]int, len(X))
+			ml.PredictBatch(m, X, out)
+			for i, x := range X {
+				if want := m.Predict(x); out[i] != want {
+					t.Fatalf("%s: batch row %d = %d, serial = %d", name, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewDGCNNDirectsToGraphAPI(t *testing.T) {
+	_, err := ml.New("dgcnn", rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("ml.New(\"dgcnn\") succeeded; want a directing error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "NewDGCNN") || !strings.Contains(msg, "GraphModel") {
+		t.Fatalf("error should direct to the NewDGCNN / GraphModel API, got: %v", err)
+	}
+	if strings.Contains(msg, "unknown model") {
+		t.Fatalf("dgcnn should not be reported as unknown: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"repro/internal/embed"
 	"repro/internal/linalg"
@@ -63,6 +64,9 @@ func New(name string, rng *rand.Rand) (Model, error) {
 		return NewMLP(100, rng), nil
 	case "cnn":
 		return NewCNN(rng), nil
+	case "dgcnn":
+		return nil, fmt.Errorf("ml: %q classifies graph embeddings, not vectors — construct it with NewDGCNN and use the GraphModel API (vector models: %s)",
+			name, strings.Join(VectorNames(), ", "))
 	}
 	return nil, fmt.Errorf("ml: unknown model %q", name)
 }

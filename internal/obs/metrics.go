@@ -83,22 +83,161 @@ func (t *Timer) Reset() {
 	t.nanos.Store(0)
 }
 
+// HistNumBuckets is the fixed bucket count of every Histogram: bucket i
+// counts spans in [1µs·2^(i-1), 1µs·2^i), bucket 0 everything under 1µs and
+// the last bucket everything at or above ~1µs·2^(HistNumBuckets-2) (≈67s).
+// Exponential bounds keep quantile error proportional, which is what
+// latency reporting wants.
+const HistNumBuckets = 28
+
+// Histogram accumulates span durations into fixed exponential buckets so
+// latency quantiles (p50/p90/p99) survive aggregation — unlike a Timer,
+// which only keeps count and total. Observing is three atomic adds, cheap
+// enough for per-request hot paths.
+type Histogram struct {
+	count   atomic.Int64
+	nanos   atomic.Int64
+	buckets [HistNumBuckets]atomic.Int64
+}
+
+// histBucketOf maps a duration to its bucket index.
+func histBucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	// bits.Len semantics without the import: index of the highest set bit,
+	// plus one; 0 for d < 1µs.
+	i := 0
+	for us > 0 {
+		us >>= 1
+		i++
+	}
+	if i >= HistNumBuckets {
+		i = HistNumBuckets - 1
+	}
+	return i
+}
+
+// histBucketBound returns the upper duration bound of bucket i.
+func histBucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// Observe records one span of duration d.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.nanos.Add(int64(d))
+	h.buckets[histBucketOf(d)].Add(1)
+}
+
+// Count returns the number of observed spans.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Total returns the summed duration of all observed spans.
+func (h *Histogram) Total() time.Duration { return time.Duration(h.nanos.Load()) }
+
+// Quantile estimates the q-th latency quantile (q in [0, 1]) from the
+// bucket counts; the estimate is exact up to the bucket resolution (a
+// factor of two). Returns 0 when nothing was observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.stat().Quantile(q)
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.nanos.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+func (h *Histogram) stat() HistStat {
+	s := HistStat{
+		Count:   h.count.Load(),
+		TotalNS: h.nanos.Load(),
+		Buckets: make([]int64, HistNumBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistStat is the serializable state of one Histogram (or the delta of
+// two). Buckets always has HistNumBuckets entries.
+type HistStat struct {
+	Count   int64   `json:"count"`
+	TotalNS int64   `json:"total_ns"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Total returns the stat's summed duration.
+func (s HistStat) Total() time.Duration { return time.Duration(s.TotalNS) }
+
+// Mean returns the average observed duration.
+func (s HistStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalNS / s.Count)
+}
+
+// Quantile estimates the q-th quantile from the bucket counts, linearly
+// interpolating within the winning bucket.
+func (s HistStat) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = histBucketBound(i - 1)
+			}
+			hi := histBucketBound(i)
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / float64(n)
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return histBucketBound(len(s.Buckets) - 1)
+}
+
 // Registry holds named metrics. Lookups take a mutex; hot packages resolve
 // their metrics once at init and keep the pointers, so steady-state
 // recording never touches the registry.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -141,6 +280,18 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Reset zeroes every registered metric without dropping registrations
 // (outstanding pointers held by other packages stay valid).
 func (r *Registry) Reset() {
@@ -154,6 +305,9 @@ func (r *Registry) Reset() {
 	}
 	for _, t := range r.timers {
 		t.Reset()
+	}
+	for _, h := range r.histograms {
+		h.Reset()
 	}
 }
 
@@ -170,9 +324,10 @@ func (t TimerStat) Total() time.Duration { return time.Duration(t.TotalNS) }
 // between two captures. Zero-valued metrics are dropped so snapshots of a
 // long-lived process stay small.
 type Snapshot struct {
-	Counters map[string]int64     `json:"counters,omitempty"`
-	Gauges   map[string]int64     `json:"gauges,omitempty"`
-	Timers   map[string]TimerStat `json:"timers,omitempty"`
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]int64     `json:"gauges,omitempty"`
+	Timers     map[string]TimerStat `json:"timers,omitempty"`
+	Histograms map[string]HistStat  `json:"histograms,omitempty"`
 }
 
 // Capture copies the registry's current values.
@@ -180,9 +335,10 @@ func (r *Registry) Capture() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters: make(map[string]int64),
-		Gauges:   make(map[string]int64),
-		Timers:   make(map[string]TimerStat),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Timers:     make(map[string]TimerStat),
+		Histograms: make(map[string]HistStat),
 	}
 	for name, c := range r.counters {
 		if v := c.Value(); v != 0 {
@@ -199,6 +355,11 @@ func (r *Registry) Capture() Snapshot {
 			s.Timers[name] = TimerStat{Count: n, TotalNS: int64(t.Total())}
 		}
 	}
+	for name, h := range r.histograms {
+		if h.Count() != 0 {
+			s.Histograms[name] = h.stat()
+		}
+	}
 	return s
 }
 
@@ -206,9 +367,10 @@ func (r *Registry) Capture() Snapshot {
 // captures. Gauges are instantaneous, so the later value wins.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d := Snapshot{
-		Counters: make(map[string]int64),
-		Gauges:   make(map[string]int64),
-		Timers:   make(map[string]TimerStat),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Timers:     make(map[string]TimerStat),
+		Histograms: make(map[string]HistStat),
 	}
 	for name, v := range s.Counters {
 		if dv := v - prev.Counters[name]; dv != 0 {
@@ -224,13 +386,30 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			d.Timers[name] = TimerStat{Count: dc, TotalNS: t.TotalNS - p.TotalNS}
 		}
 	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		if dc := h.Count - p.Count; dc != 0 {
+			dh := HistStat{
+				Count:   dc,
+				TotalNS: h.TotalNS - p.TotalNS,
+				Buckets: make([]int64, len(h.Buckets)),
+			}
+			for i := range h.Buckets {
+				dh.Buckets[i] = h.Buckets[i]
+				if i < len(p.Buckets) {
+					dh.Buckets[i] -= p.Buckets[i]
+				}
+			}
+			d.Histograms[name] = dh
+		}
+	}
 	return d
 }
 
 // Names returns every metric name in the snapshot, sorted, for stable
 // rendering.
 func (s Snapshot) Names() []string {
-	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Timers))
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Timers)+len(s.Histograms))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
@@ -238,6 +417,9 @@ func (s Snapshot) Names() []string {
 		names = append(names, n)
 	}
 	for n := range s.Timers {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -254,6 +436,9 @@ func GetGauge(name string) *Gauge { return Default.Gauge(name) }
 
 // GetTimer returns the named timer from the default registry.
 func GetTimer(name string) *Timer { return Default.Timer(name) }
+
+// GetHistogram returns the named histogram from the default registry.
+func GetHistogram(name string) *Histogram { return Default.Histogram(name) }
 
 // Capture snapshots the default registry.
 func Capture() Snapshot { return Default.Capture() }

@@ -93,3 +93,65 @@ func TestRegistryReset(t *testing.T) {
 		t.Fatal("pointer held across Reset stopped recording")
 	}
 }
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 90 fast spans around 1ms, 10 slow around 512ms: p50 must land in the
+	// fast band, p99 in the slow band.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(512 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 < 500*time.Microsecond || p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 256*time.Millisecond || p99 > 2*time.Second {
+		t.Fatalf("p99 = %v, want ~512ms", p99)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(time.Millisecond)
+	before := r.Capture()
+	h.Observe(8 * time.Millisecond)
+	h.Observe(8 * time.Millisecond)
+	d := r.Capture().Sub(before)
+	hs, ok := d.Histograms["lat"]
+	if !ok {
+		t.Fatal("histogram missing from delta snapshot")
+	}
+	if hs.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", hs.Count)
+	}
+	if hs.Total() != 16*time.Millisecond {
+		t.Fatalf("delta total = %v, want 16ms", hs.Total())
+	}
+	// The delta's quantile must see only the two 8ms spans.
+	if q := hs.Quantile(0.5); q < 4*time.Millisecond || q > 16*time.Millisecond {
+		t.Fatalf("delta p50 = %v, want ~8ms", q)
+	}
+	found := false
+	for _, n := range d.Names() {
+		if n == "lat" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() does not include the histogram")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not zero the histogram")
+	}
+}

@@ -1,0 +1,69 @@
+// Package serve is the online front end over the game-arena stack: a
+// long-lived HTTP/JSON classification service that loads trained model
+// snapshots (ml.Save/ml.Load) and serves classify and transform verdicts
+// with a production-shaped hot path — micro-batched GEMM prediction, a
+// bounded admission semaphore (429 on overload), per-request deadlines,
+// per-request panic isolation and graceful drain. The paper's framework
+// casts classifier vs. evader as a repeated game; this package is the
+// arena that lets an evader probe a standing classifier over the wire
+// instead of re-training in-process per round.
+//
+// Endpoints:
+//
+//	POST /v1/classify   source or pre-embedded histogram in, per-model verdicts out
+//	POST /v1/transform  evader pipeline in, transformed IR + verdicts out
+//	GET  /healthz       readiness (503 while draining)
+//	GET  /metricz       JSON snapshot of the obs registry
+package serve
+
+// ClassifyRequest asks for per-model verdicts on one program, given either
+// as MiniC source (compiled and embedded server-side through the shared
+// progcache) or as a pre-embedded feature vector (the wire-friendly fast
+// path that goes straight to the batched predictor).
+type ClassifyRequest struct {
+	Source    string    `json:"source,omitempty"`
+	Histogram []float64 `json:"histogram,omitempty"`
+	// Models selects a subset of the loaded models; empty means all.
+	Models []string `json:"models,omitempty"`
+}
+
+// ClassifyResponse carries one verdict per consulted model.
+type ClassifyResponse struct {
+	Verdicts map[string]int `json:"verdicts"`
+	// BatchSizes reports, per model, how many concurrent requests shared
+	// the GEMM pass that produced this verdict — observability for the
+	// micro-batching queue.
+	BatchSizes map[string]int `json:"batch_sizes,omitempty"`
+}
+
+// TransformRequest runs an evader pipeline over source and classifies the
+// result: the online version of one game-1 probe.
+type TransformRequest struct {
+	Source string `json:"source"`
+	Evader string `json:"evader"`
+	// Seed drives the stochastic evaders; the same seed replays the same
+	// transformation.
+	Seed   int64    `json:"seed"`
+	Models []string `json:"models,omitempty"`
+}
+
+// TransformResponse returns the transformed program's printed IR and the
+// verdicts on its embedding.
+type TransformResponse struct {
+	IR         string         `json:"ir"`
+	Verdicts   map[string]int `json:"verdicts"`
+	BatchSizes map[string]int `json:"batch_sizes,omitempty"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status    string   `json:"status"` // "ok" or "draining"
+	Models    []string `json:"models"`
+	Embedding string   `json:"embedding"`
+	InFlight  int64    `json:"in_flight"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// predictCall is one vector waiting for a verdict from one model's batcher.
+// The caller blocks on done; the batcher fills class/batch/err before
+// closing it.
+type predictCall struct {
+	vec   []float64
+	done  chan struct{}
+	class int
+	batch int
+	err   error
+}
+
+// batcher coalesces concurrent predict calls for one model into batched
+// ml.PredictBatch passes: the first arrival opens a window, every call
+// landing within it (up to maxBatch) shares one GEMM pass. A lone request
+// still pays at most window of extra latency; under load the window never
+// empties and batches fill to maxBatch back-to-back.
+type batcher struct {
+	name     string
+	model    ml.Model
+	in       chan *predictCall
+	maxBatch int
+	window   time.Duration
+	stopped  chan struct{}
+
+	batches   *obs.Counter
+	coalesced *obs.Counter
+}
+
+func newBatcher(name string, model ml.Model, maxBatch int, window time.Duration) *batcher {
+	b := &batcher{
+		name:      name,
+		model:     model,
+		in:        make(chan *predictCall, maxBatch),
+		maxBatch:  maxBatch,
+		window:    window,
+		stopped:   make(chan struct{}),
+		batches:   obs.GetCounter("serve.batches"),
+		coalesced: obs.GetCounter("serve.batched_requests"),
+	}
+	go b.run()
+	return b
+}
+
+// enqueue hands call to the batcher without waiting for the verdict, so a
+// multi-model classify fans out to every batcher before blocking; pair with
+// wait. Fails fast if the request deadline expires while the queue is full.
+func (b *batcher) enqueue(ctx context.Context, call *predictCall) error {
+	select {
+	case b.in <- call:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wait blocks until the batcher has resolved call (or the deadline passes).
+func (b *batcher) wait(ctx context.Context, call *predictCall) error {
+	select {
+	case <-call.done:
+		return call.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops the batcher after flushing everything already enqueued.
+func (b *batcher) close() {
+	close(b.in)
+	<-b.stopped
+}
+
+func (b *batcher) run() {
+	defer close(b.stopped)
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch := append(make([]*predictCall, 0, b.maxBatch), first)
+		timer := time.NewTimer(b.window)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case call, ok := <-b.in:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, call)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+	}
+}
+
+// flush runs one batched predict pass and wakes every caller. A panicking
+// model (e.g. a dimension mismatch deep in a kernel) fails only this batch:
+// the recover converts it into a per-call error and the batcher keeps
+// serving.
+func (b *batcher) flush(batch []*predictCall) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: %s predict panicked: %v", b.name, r)
+			for _, call := range batch {
+				call.err = err
+				close(call.done)
+			}
+		}
+	}()
+	X := make([][]float64, len(batch))
+	for i, call := range batch {
+		X[i] = call.vec
+	}
+	out := make([]int, len(batch))
+	ml.PredictBatch(b.model, X, out)
+	b.batches.Add(1)
+	b.coalesced.Add(int64(len(batch)))
+	for i, call := range batch {
+		call.class = out[i]
+		call.batch = len(batch)
+		close(call.done)
+	}
+}

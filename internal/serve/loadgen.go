@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadConfig drives RunLoad against a running server.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// QPS is the offered load; Concurrency workers share one pacer so the
+	// rate holds even when individual requests are slow.
+	QPS         int
+	Duration    time.Duration
+	Concurrency int
+	// Vectors are the pre-embedded payloads to classify; requests cycle
+	// through them round-robin.
+	Vectors [][]float64
+	// Models optionally restricts each request to a model subset.
+	Models []string
+	// WaitReady bounds how long to poll /healthz before starting (0 skips
+	// the wait).
+	WaitReady time.Duration
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Sent     int
+	OK       int
+	Rejected int // 429: admission control shedding load
+	Timeout  int // 504 or client-side deadline
+	Errors   int // everything else
+	Wall     time.Duration
+	// LatencyMS holds one OK-request latency per element, unsorted.
+	LatencyMS []float64
+}
+
+// Throughput is achieved OK requests per second over the wall clock.
+func (r *LoadReport) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Wall.Seconds()
+}
+
+// Quantile returns the q-th latency quantile in milliseconds (q in [0,1]).
+func (r *LoadReport) Quantile(q float64) float64 {
+	if len(r.LatencyMS) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.LatencyMS...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// RunLoad offers cfg.QPS of classify traffic for cfg.Duration and reports
+// what came back. Latencies also land in the process-wide
+// "loadgen.latency" histogram so the obs manifest carries them.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.QPS <= 0 || cfg.Duration <= 0 || len(cfg.Vectors) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs positive qps, duration and at least one vector")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.WaitReady > 0 {
+		if err := waitReady(ctx, cfg.BaseURL, cfg.WaitReady); err != nil {
+			return nil, err
+		}
+	}
+
+	type result struct {
+		status int // HTTP status, or -1 for transport/deadline errors
+		lat    time.Duration
+	}
+	total := int(float64(cfg.QPS) * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	ticks := make(chan struct{}, total)
+	results := make(chan result, total)
+	hist := obs.GetHistogram("loadgen.latency")
+	client := &http.Client{}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration+30*time.Second)
+	defer cancel()
+
+	for w := 0; w < cfg.Concurrency; w++ {
+		go func(w int) {
+			i := w
+			for range ticks {
+				body, _ := json.Marshal(ClassifyRequest{
+					Histogram: cfg.Vectors[i%len(cfg.Vectors)],
+					Models:    cfg.Models,
+				})
+				i += cfg.Concurrency
+				start := time.Now()
+				status := doClassify(runCtx, client, cfg.BaseURL, body)
+				results <- result{status: status, lat: time.Since(start)}
+			}
+		}(w)
+	}
+
+	// One pacer feeds all workers: QPS holds as offered load even when the
+	// server is slow, which is what lets the overload path actually see 429s.
+	start := time.Now()
+	interval := time.Second / time.Duration(cfg.QPS)
+	pacer := time.NewTicker(interval)
+	sent := 0
+pace:
+	for sent < total {
+		select {
+		case <-pacer.C:
+			ticks <- struct{}{}
+			sent++
+		case <-runCtx.Done():
+			break pace
+		}
+	}
+	pacer.Stop()
+	close(ticks)
+
+	rep := &LoadReport{Sent: sent}
+	for i := 0; i < sent; i++ {
+		res := <-results
+		switch {
+		case res.status == http.StatusOK:
+			rep.OK++
+			rep.LatencyMS = append(rep.LatencyMS, float64(res.lat)/float64(time.Millisecond))
+			hist.Observe(res.lat)
+		case res.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		case res.status == http.StatusGatewayTimeout || res.status == -1 && runCtx.Err() != nil:
+			rep.Timeout++
+		default:
+			rep.Errors++
+		}
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+func doClassify(ctx context.Context, client *http.Client, baseURL string, body []byte) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/classify", bytes.NewReader(body))
+	if err != nil {
+		return -1
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return -1
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// waitReady polls /healthz until the server answers 200 or the budget runs
+// out — the handshake `make serve-smoke` relies on.
+func waitReady(ctx context.Context, baseURL string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: time.Second}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: %s not ready after %v", baseURL, budget)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// Config sizes a Server. Zero values take the defaults below.
+type Config struct {
+	// Models maps model name to a trained vector model; at least one is
+	// required.
+	Models map[string]ml.Model
+	// Embedding is the vector embedding used to featurize source-bearing
+	// requests (default "histogram"). Must match what the models were
+	// trained on.
+	Embedding string
+	// MaxInFlight bounds admitted requests; beyond it the server answers
+	// 429 instead of queueing without limit.
+	MaxInFlight int
+	// MaxBatch and BatchWindow shape the micro-batching queue: a batch
+	// closes when it reaches MaxBatch vectors or BatchWindow after its
+	// first arrival, whichever comes first.
+	MaxBatch    int
+	BatchWindow time.Duration
+	// RequestTimeout is the per-request deadline; work still pending when
+	// it expires answers 504.
+	RequestTimeout time.Duration
+}
+
+const (
+	defaultMaxInFlight    = 128
+	defaultMaxBatch       = 32
+	defaultBatchWindow    = 2 * time.Millisecond
+	defaultRequestTimeout = 10 * time.Second
+	maxBodyBytes          = 1 << 20
+)
+
+// Server serves classification and transformation verdicts over HTTP. The
+// request path is: admission semaphore (429 on overload) → per-request
+// deadline and panic isolation → handler → per-model micro-batcher.
+type Server struct {
+	cfg      Config
+	names    []string // sorted model names
+	batchers map[string]*batcher
+	admit    chan struct{}
+	draining atomic.Bool
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+
+	requests *obs.Counter
+	rejected *obs.Counter
+	errors   *obs.Counter
+	inflight *obs.Gauge
+}
+
+// New validates cfg, applies defaults and builds a Server with one batcher
+// goroutine per model.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("serve: no models configured")
+	}
+	if cfg.Embedding == "" {
+		cfg.Embedding = "histogram"
+	}
+	emb, err := embed.Get(cfg.Embedding)
+	if err != nil {
+		return nil, err
+	}
+	if emb.Kind != embed.VectorKind {
+		return nil, fmt.Errorf("serve: embedding %q is graph-shaped; the server takes vector embeddings", cfg.Embedding)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = defaultBatchWindow
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = defaultRequestTimeout
+	}
+	s := &Server{
+		cfg:      cfg,
+		batchers: make(map[string]*batcher, len(cfg.Models)),
+		admit:    make(chan struct{}, cfg.MaxInFlight),
+		mux:      http.NewServeMux(),
+		requests: obs.GetCounter("serve.requests"),
+		rejected: obs.GetCounter("serve.rejected"),
+		errors:   obs.GetCounter("serve.errors"),
+		inflight: obs.GetGauge("serve.inflight"),
+	}
+	for name, m := range cfg.Models {
+		if m == nil {
+			return nil, fmt.Errorf("serve: model %q is nil", name)
+		}
+		s.names = append(s.names, name)
+		s.batchers[name] = newBatcher(name, m, cfg.MaxBatch, cfg.BatchWindow)
+	}
+	sort.Strings(s.names)
+	s.mux.Handle("POST /v1/classify", s.guard("classify", s.handleClassify))
+	s.mux.Handle("POST /v1/transform", s.guard("transform", s.handleTransform))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	return s, nil
+}
+
+// Handler exposes the full route table (for tests via httptest and for
+// embedding in other servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the background,
+// returning the bound address. Pair with Shutdown.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server: new work is refused (healthz flips to 503,
+// classify/transform answer 503), in-flight requests run to completion
+// within ctx's budget, then the batchers flush and stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	for _, name := range s.names {
+		s.batchers[name].close()
+	}
+	return err
+}
+
+// guard wraps a handler with the shared request discipline: admission
+// control, in-flight accounting, the per-request deadline, latency
+// observation and panic isolation.
+func (s *Server) guard(op string, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+	lat := obs.GetHistogram("serve.latency." + op)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity")
+			return
+		}
+		defer func() { <-s.admit }()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		start := time.Now()
+		defer func() { lat.Observe(time.Since(start)) }()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.errors.Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("panic: %v", rec))
+			}
+		}()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		if err := h(w, r.WithContext(ctx)); err != nil {
+			s.errors.Add(1)
+			status := http.StatusBadRequest
+			if ctx.Err() != nil {
+				status = http.StatusGatewayTimeout
+			}
+			writeError(w, status, err.Error())
+		}
+	})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
+	var req ClassifyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	var vec []float64
+	switch {
+	case req.Source != "" && req.Histogram != nil:
+		return fmt.Errorf("request carries both source and histogram; send one")
+	case req.Source != "":
+		v, err := core.EmbedSource(req.Source, s.cfg.Embedding)
+		if err != nil {
+			return err
+		}
+		vec = v
+	case len(req.Histogram) > 0:
+		vec = req.Histogram
+	default:
+		return fmt.Errorf("request needs source or histogram")
+	}
+	verdicts, batches, err := s.classify(r.Context(), vec, req.Models)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, ClassifyResponse{Verdicts: verdicts, BatchSizes: batches})
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) error {
+	var req TransformRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if req.Source == "" {
+		return fmt.Errorf("request needs source")
+	}
+	irText, vec, err := core.TransformEmbed(req.Source, req.Evader, s.cfg.Embedding, req.Seed)
+	if err != nil {
+		return err
+	}
+	verdicts, batches, err := s.classify(r.Context(), vec, req.Models)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, TransformResponse{IR: irText, Verdicts: verdicts, BatchSizes: batches})
+}
+
+// classify fans one vector out to the requested models' batchers (all
+// enqueued before any wait, so the models batch concurrently) and collects
+// the verdicts.
+func (s *Server) classify(ctx context.Context, vec []float64, models []string) (map[string]int, map[string]int, error) {
+	if len(models) == 0 {
+		models = s.names
+	}
+	calls := make([]*predictCall, len(models))
+	for i, name := range models {
+		b, ok := s.batchers[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("model %q is not loaded (have %v)", name, s.names)
+		}
+		calls[i] = &predictCall{vec: vec, done: make(chan struct{})}
+		if err := b.enqueue(ctx, calls[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	verdicts := make(map[string]int, len(models))
+	batches := make(map[string]int, len(models))
+	for i, name := range models {
+		if err := s.batchers[name].wait(ctx, calls[i]); err != nil {
+			return nil, nil, err
+		}
+		verdicts[name] = calls[i].class
+		batches[name] = calls[i].batch
+	}
+	return verdicts, batches, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:    "ok",
+		Models:    s.names,
+		Embedding: s.cfg.Embedding,
+		InFlight:  s.inflight.Value(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	_ = writeJSON(w, status, resp)
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	_ = writeJSON(w, http.StatusOK, obs.Capture())
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(status)
+	_, err = w.Write(buf)
+	return err
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	_ = writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,393 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/serve"
+)
+
+// stubModel is a deterministic Model whose verdict is the index of the
+// largest coordinate, with an optional artificial latency to provoke
+// overload and timeout paths.
+type stubModel struct {
+	delay time.Duration
+	panic bool
+}
+
+func (s *stubModel) Fit(X [][]float64, y []int, numClasses int) error { return nil }
+
+func (s *stubModel) Predict(x []float64) int {
+	if s.panic {
+		panic("stub model exploded")
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *stubModel) MemoryBytes() int64 { return 0 }
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, req any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestClassifyBatchesConcurrentRequests(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Models:      map[string]ml.Model{"stub": &stubModel{}},
+		BatchWindow: 50 * time.Millisecond,
+		MaxBatch:    16,
+	})
+
+	const n = 8
+	var wg sync.WaitGroup
+	sizes := make([]int, n)
+	verdicts := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vec := make([]float64, 4)
+			vec[i%4] = 1 // expected verdict: i%4
+			resp, body := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Histogram: vec})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			var out serve.ClassifyResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			verdicts[i] = out.Verdicts["stub"]
+			sizes[i] = out.BatchSizes["stub"]
+		}(i)
+	}
+	wg.Wait()
+
+	maxBatch := 0
+	for i := 0; i < n; i++ {
+		if verdicts[i] != i%4 {
+			t.Errorf("request %d: verdict %d, want %d", i, verdicts[i], i%4)
+		}
+		if sizes[i] > maxBatch {
+			maxBatch = sizes[i]
+		}
+	}
+	// With a 50ms window and 8 requests fired together, at least one GEMM
+	// pass must have carried more than one request.
+	if maxBatch < 2 {
+		t.Errorf("no coalescing observed: max batch size %d", maxBatch)
+	}
+}
+
+func TestOverloadSheds429ThenRecovers(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Models:      map[string]ml.Model{"stub": &stubModel{delay: 200 * time.Millisecond}},
+		MaxInFlight: 2,
+		MaxBatch:    1,
+		BatchWindow: time.Millisecond,
+	})
+
+	const n = 10
+	var wg sync.WaitGroup
+	var ok, rejected, other int
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Histogram: []float64{1}})
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok++
+			case http.StatusTooManyRequests:
+				rejected++
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	if rejected == 0 {
+		t.Errorf("MaxInFlight=2 with %d concurrent slow requests shed nothing", n)
+	}
+	if ok == 0 {
+		t.Error("overload starved every request; admitted ones should finish")
+	}
+	if other != 0 {
+		t.Errorf("%d requests failed with unexpected statuses", other)
+	}
+
+	// The semaphore must fully release: a lone request after the storm
+	// succeeds rather than the server collapsing.
+	resp, body := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Histogram: []float64{1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload request failed: %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Models:      map[string]ml.Model{"stub": &stubModel{delay: 300 * time.Millisecond}},
+		MaxBatch:    1,
+		BatchWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+
+	status := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(serve.ClassifyRequest{Histogram: []float64{1}})
+		resp, err := http.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			status <- -1
+			return
+		}
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow request get admitted
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case st := <-status:
+		if st != http.StatusOK {
+			t.Fatalf("in-flight request during drain got %d, want 200", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	// New work after drain is refused at the connection or handler level.
+	resp, err := http.Get(url + "/healthz")
+	if err == nil {
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("healthz still 200 after drain")
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestRequestTimeoutAnswers504(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Models:         map[string]ml.Model{"stub": &stubModel{delay: 2 * time.Second}},
+		RequestTimeout: 100 * time.Millisecond,
+		MaxBatch:       1,
+		BatchWindow:    time.Millisecond,
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Histogram: []float64{1}})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("slow model got %d, want 504: %s", resp.StatusCode, body)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Models:      map[string]ml.Model{"bad": &stubModel{panic: true}, "good": &stubModel{}},
+		MaxBatch:    1,
+		BatchWindow: time.Millisecond,
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/classify",
+		serve.ClassifyRequest{Histogram: []float64{1}, Models: []string{"bad"}})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("panicking model answered 200: %s", body)
+	}
+	// The batcher goroutine must survive its model's panic; an unrelated
+	// model keeps serving.
+	resp, body = postJSON(t, ts.URL+"/v1/classify",
+		serve.ClassifyRequest{Histogram: []float64{0, 1}, Models: []string{"good"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy model after panic got %d: %s", resp.StatusCode, body)
+	}
+	// And the panicking model's batcher itself still answers (with the
+	// same error, not a hang).
+	resp, _ = postJSON(t, ts.URL+"/v1/classify",
+		serve.ClassifyRequest{Histogram: []float64{1}, Models: []string{"bad"}})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("panicking model recovered to 200 without retraining")
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Models: map[string]ml.Model{"stub": &stubModel{}},
+	})
+	cases := []struct {
+		name string
+		req  serve.ClassifyRequest
+	}{
+		{"empty", serve.ClassifyRequest{}},
+		{"both", serve.ClassifyRequest{Source: "int main() { return 0; }", Histogram: []float64{1}}},
+		{"unknown model", serve.ClassifyRequest{Histogram: []float64{1}, Models: []string{"nope"}}},
+		{"broken source", serve.ClassifyRequest{Source: "int main( {"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/classify", tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("got %d, want 400: %s", resp.StatusCode, body)
+			}
+			var e serve.ErrorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("400 without a JSON error body: %s", body)
+			}
+		})
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Models: map[string]ml.Model{"stub": &stubModel{}},
+	})
+	src := "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }"
+	resp, body := postJSON(t, ts.URL+"/v1/transform",
+		serve.TransformRequest{Source: src, Evader: "sub", Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transform got %d: %s", resp.StatusCode, body)
+	}
+	var out serve.TransformResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.IR == "" {
+		t.Fatal("transform returned empty IR")
+	}
+	if _, ok := out.Verdicts["stub"]; !ok {
+		t.Fatal("transform returned no verdict")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/transform",
+		serve.TransformRequest{Source: src, Evader: "warp-drive", Seed: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown evader got %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "warp-drive") {
+		t.Fatalf("error does not name the bad evader: %s", body)
+	}
+}
+
+// TestConcurrentClassifyRace hammers /v1/classify with a real trained model
+// from 8 goroutines; run under -race this is the data-race gate for the
+// whole request path (admission, batcher, obs counters).
+func TestConcurrentClassifyRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const d, classes = 8, 3
+	X := make([][]float64, 60)
+	y := make([]int, len(X))
+	for i := range X {
+		c := i % classes
+		y[i] = c
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64() + 3*float64(c)
+		}
+		X[i] = row
+	}
+	lr, err := ml.New("lr", rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.Fit(X, y, classes); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, serve.Config{
+		Models:      map[string]ml.Model{"lr": lr},
+		BatchWindow: time.Millisecond,
+	})
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				vec := X[(w*perWorker+i)%len(X)]
+				resp, body := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Histogram: vec})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("worker %d req %d: %d: %s", w, i, resp.StatusCode, body)
+					return
+				}
+				var out serve.ClassifyResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					errs <- err
+					return
+				}
+				if got, want := out.Verdicts["lr"], lr.Predict(vec); got != want {
+					errs <- fmt.Errorf("worker %d req %d: verdict %d, serial predict %d", w, i, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
