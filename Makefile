@@ -13,11 +13,19 @@
 #   make serve-smoke  boot `arena serve` on a scratch snapshot dir, push one
 #                loadgen round through /v1/classify, then SIGTERM and require
 #                a clean drain (exit 0)
-#   make check   everything CI runs: build + test + race + cross + serve-smoke
+#   make fuzz-smoke  short deterministic differential-fuzz campaign: 200
+#                generated programs through every pass, pipeline and
+#                obfuscator against the O0 interpreter oracle — run on
+#                every PR
+#   make fuzz    long local campaign over the full transform set (composed
+#                evader pipelines included); shrunk failing programs land
+#                in testdata/crashers/
+#   make check   everything CI runs: build + test + race + cross +
+#                serve-smoke + fuzz-smoke
 
 GO ?= go
 
-.PHONY: build test race bench bench-figures perf cross serve-smoke check
+.PHONY: build test race bench bench-figures perf cross serve-smoke fuzz-smoke fuzz check
 
 build:
 	$(GO) build ./...
@@ -68,4 +76,14 @@ serve-smoke:
 		kill "$$pid" 2>/dev/null ; exit 1 ; fi ; \
 	kill -TERM "$$pid" && wait "$$pid" && echo "serve-smoke: clean drain"
 
-check: build test race cross serve-smoke
+# Deterministic for the fixed seed: same verdict counts on every run and
+# worker count. Fails (exit 1) on any semantic mismatch or verifier break.
+fuzz-smoke:
+	$(GO) run ./cmd/arena fuzz -n 200 -seed 1 -set smoke -small
+
+# Open-ended local campaign: bigger programs, composed evader pipelines,
+# repeated batches for 2 minutes. Crashers are shrunk automatically.
+fuzz:
+	$(GO) run ./cmd/arena fuzz -n 200 -dur 2m -set module -v
+
+check: build test race cross serve-smoke fuzz-smoke

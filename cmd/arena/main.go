@@ -74,6 +74,8 @@ func main() {
 		err = cmdServe(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
+	case "fuzz":
+		err = cmdFuzz(args)
 	case "report":
 		err = cmdReport(args)
 	case "help", "-h", "--help":
@@ -109,6 +111,9 @@ commands:
   loadgen [-qps n] [-dur d] [-conc n]
                                   drive a running serve instance and report
                                   latency quantiles + throughput
+  fuzz [-n n] [-seed s] [-dur d]  differential-fuzz every pass, pipeline and
+                                  obfuscator against the O0 interpreter oracle;
+                                  shrunk failing programs land in -crashers
   report [-tol x] baseline.json candidate.json
                                   diff two run manifests (accuracy + timings);
                                   -tol fails the run on regressions beyond x

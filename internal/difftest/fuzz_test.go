@@ -1,0 +1,77 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/progen"
+)
+
+// FuzzPasses drives every individual pass and the O1-O3 pipelines over
+// generator seeds. The seed corpus under testdata/fuzz runs on every plain
+// `go test`; `go test -fuzz FuzzPasses ./internal/difftest` explores new
+// seeds indefinitely.
+func FuzzPasses(f *testing.F) {
+	for _, s := range []int64{0, 1, 7, 42, 5069, 90017} {
+		f.Add(s)
+	}
+	trs, err := Transforms("smoke")
+	if err != nil {
+		f.Fatal(err)
+	}
+	var pp []Transform
+	for _, tr := range trs {
+		if tr.Group == "pass" || tr.Group == "pipeline" {
+			pp = append(pp, tr)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := genFuzzProgram(seed)
+		oracle, err := Oracle(src)
+		if err != nil {
+			t.Fatalf("oracle: %v\nsource:\n%s", err, src)
+		}
+		for _, tr := range pp {
+			rng := rand.New(rand.NewSource(cellSeed(seed, tr.Name)))
+			if v, detail := CheckOne(src, tr, rng, oracle); v.Failure() {
+				t.Fatalf("transform %s: %s: %s\nsource:\n%s", tr.Name, v, detail, src)
+			}
+		}
+	})
+}
+
+// FuzzObfus drives the four obfuscators the same way.
+func FuzzObfus(f *testing.F) {
+	for _, s := range []int64{0, 3, 11, 77, 90001} {
+		f.Add(s)
+	}
+	trs, err := Transforms("smoke")
+	if err != nil {
+		f.Fatal(err)
+	}
+	var ob []Transform
+	for _, tr := range trs {
+		if tr.Group == "obfus" {
+			ob = append(ob, tr)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := genFuzzProgram(seed)
+		oracle, err := Oracle(src)
+		if err != nil {
+			t.Fatalf("oracle: %v\nsource:\n%s", err, src)
+		}
+		for _, tr := range ob {
+			rng := rand.New(rand.NewSource(cellSeed(seed, tr.Name)))
+			if v, detail := CheckOne(src, tr, rng, oracle); v.Failure() {
+				t.Fatalf("transform %s: %s: %s\nsource:\n%s", tr.Name, v, detail, src)
+			}
+		}
+	})
+}
+
+// genFuzzProgram maps a fuzz seed to a program using the smoke shape, so
+// one fuzz execution stays cheap enough for high throughput.
+func genFuzzProgram(seed int64) string {
+	return progen.GenerateCfg(rand.New(rand.NewSource(seed)), SmokeGen())
+}

@@ -1,0 +1,221 @@
+package difftest
+
+import (
+	"repro/internal/minic"
+	"repro/internal/obs"
+)
+
+// shrinkSteps counts accepted shrink mutations across all campaigns.
+var shrinkSteps = obs.GetCounter("fuzz.shrinksteps")
+
+// maxShrinkCandidates bounds the total number of candidate programs one
+// Shrink call may test; each test recompiles and reruns the program, so
+// this is the shrinker's cost ceiling.
+const maxShrinkCandidates = 2000
+
+// Shrink greedily minimizes src while failing(src) stays true, using
+// AST-level mutations: deleting top-level declarations, deleting statements,
+// replacing control flow by its body, and collapsing expressions to an
+// operand. Candidates that no longer parse, compile, or fail are simply
+// rejected — the predicate re-checks the full pipeline — so every accepted
+// step is a strictly smaller program with the same failure.
+func Shrink(src string, failing func(string) bool) string {
+	attempts := 0
+	for {
+		improved := false
+		for k := 0; attempts < maxShrinkCandidates; k++ {
+			cand, ok := mutateAt(src, k)
+			if !ok {
+				break // k exhausted the mutation points of this source
+			}
+			if cand == "" || len(cand) >= len(src) {
+				continue
+			}
+			attempts++
+			if failing(cand) {
+				src = cand
+				shrinkSteps.Inc()
+				improved = true
+				break // restart enumeration on the smaller program
+			}
+		}
+		if !improved || attempts >= maxShrinkCandidates {
+			return src
+		}
+	}
+}
+
+// mutateAt parses src, applies the k-th mutation point, and prints the
+// result. ok is false once k runs past the last mutation point (or src
+// stopped parsing, which cannot happen for sources Shrink accepts).
+func mutateAt(src string, k int) (out string, ok bool) {
+	f, err := minic.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	m := &mutator{target: k}
+	m.file(f)
+	if !m.hit {
+		return "", false
+	}
+	return minic.Print(f), true
+}
+
+// mutator walks the AST counting mutation points; the target-th point is
+// applied in place.
+type mutator struct {
+	target int
+	seen   int
+	hit    bool
+}
+
+// at reports whether the current mutation point is the target.
+func (m *mutator) at() bool {
+	hit := m.seen == m.target
+	m.seen++
+	if hit {
+		m.hit = true
+	}
+	return hit
+}
+
+func (m *mutator) file(f *minic.File) {
+	out := f.Decls[:0]
+	for _, d := range f.Decls {
+		fd, isFn := d.(*minic.FuncDecl)
+		deletable := !isFn || fd.Name != "main"
+		if deletable && m.at() {
+			continue
+		}
+		if isFn {
+			fd.Body.List = m.stmts(fd.Body.List)
+		}
+		out = append(out, d)
+	}
+	f.Decls = out
+}
+
+func (m *mutator) stmts(list []minic.Stmt) []minic.Stmt {
+	out := list[:0]
+	for _, s := range list {
+		if m.at() {
+			continue
+		}
+		out = append(out, m.stmt(s))
+	}
+	return out
+}
+
+// stmt descends into s, possibly replacing it by a simpler statement.
+func (m *mutator) stmt(s minic.Stmt) minic.Stmt {
+	switch s := s.(type) {
+	case *minic.BlockStmt:
+		s.List = m.stmts(s.List)
+	case *minic.IfStmt:
+		if m.at() {
+			return m.stmt(s.Then)
+		}
+		if s.Else != nil && m.at() {
+			s.Else = nil
+		}
+		s.Cond = m.expr(s.Cond)
+		s.Then = m.stmt(s.Then)
+		if s.Else != nil {
+			s.Else = m.stmt(s.Else)
+		}
+	case *minic.WhileStmt:
+		if m.at() {
+			return m.stmt(s.Body)
+		}
+		s.Cond = m.expr(s.Cond)
+		s.Body = m.stmt(s.Body)
+	case *minic.DoWhileStmt:
+		if m.at() {
+			return m.stmt(s.Body)
+		}
+		s.Cond = m.expr(s.Cond)
+		s.Body = m.stmt(s.Body)
+	case *minic.ForStmt:
+		if m.at() {
+			return m.stmt(s.Body)
+		}
+		if s.Cond != nil {
+			s.Cond = m.expr(s.Cond)
+		}
+		s.Body = m.stmt(s.Body)
+	case *minic.SwitchStmt:
+		s.Tag = m.expr(s.Tag)
+		for _, c := range s.Cases {
+			c.Body = m.stmts(c.Body)
+		}
+	case *minic.ReturnStmt:
+		if s.Val != nil {
+			s.Val = m.expr(s.Val)
+		}
+	case *minic.ExprStmt:
+		s.X = m.expr(s.X)
+	case *minic.DeclStmt:
+		for _, v := range s.Vars {
+			if v.Init != nil {
+				v.Init = m.expr(v.Init)
+			}
+		}
+	}
+	return s
+}
+
+// expr descends into e, possibly collapsing it to an operand or a literal.
+// Collapses that change the expression's type (dropping a cast, a deref, a
+// float call) produce programs that fail to compile and are rejected by the
+// shrink predicate, so no type bookkeeping is needed here.
+func (m *mutator) expr(e minic.Expr) minic.Expr {
+	switch e := e.(type) {
+	case *minic.BinaryExpr:
+		if m.at() {
+			return m.expr(e.X)
+		}
+		if m.at() {
+			return m.expr(e.Y)
+		}
+		e.X = m.expr(e.X)
+		e.Y = m.expr(e.Y)
+	case *minic.UnaryExpr:
+		// Collapsing * or & changes types/lvalueness; let the compile
+		// check sort out which collapses survive.
+		if m.at() {
+			return m.expr(e.X)
+		}
+		e.X = m.expr(e.X)
+	case *minic.CondExpr:
+		if m.at() {
+			return m.expr(e.Then)
+		}
+		if m.at() {
+			return m.expr(e.Else)
+		}
+		e.Cond = m.expr(e.Cond)
+		e.Then = m.expr(e.Then)
+		e.Else = m.expr(e.Else)
+	case *minic.CallExpr:
+		if m.at() {
+			return &minic.IntLit{Val: 1}
+		}
+		for i := range e.Args {
+			e.Args[i] = m.expr(e.Args[i])
+		}
+	case *minic.CastExpr:
+		e.X = m.expr(e.X)
+	case *minic.ParenExpr:
+		if m.at() {
+			return m.expr(e.X)
+		}
+		e.X = m.expr(e.X)
+	case *minic.IndexExpr:
+		e.Idx = m.expr(e.Idx)
+	case *minic.AssignExpr:
+		e.RHS = m.expr(e.RHS)
+	case *minic.IncDecExpr, *minic.FieldExpr, *minic.Ident, *minic.IntLit,
+		*minic.FloatLit, *minic.CharLit, *minic.StringLit:
+	}
+	return e
+}

@@ -9,42 +9,13 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/minic"
+	"repro/internal/progen"
 )
 
-// randExpr builds a random well-typed integer expression over the given
-// variable names.
+// randExpr is progen's promoted expression generator; the quick tests below
+// and the differential fuzzer share one grammar.
 func randExpr(rng *rand.Rand, vars []string, depth int) string {
-	if depth <= 0 || rng.Intn(3) == 0 {
-		switch rng.Intn(3) {
-		case 0:
-			return fmt.Sprintf("%d", rng.Intn(200)-100)
-		case 1:
-			return vars[rng.Intn(len(vars))]
-		default:
-			return fmt.Sprintf("%d", rng.Intn(9)+1)
-		}
-	}
-	switch rng.Intn(8) {
-	case 0:
-		return fmt.Sprintf("(%s + %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
-	case 1:
-		return fmt.Sprintf("(%s - %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
-	case 2:
-		return fmt.Sprintf("(%s * %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
-	case 3:
-		// Division guarded against zero via |d|+1.
-		return fmt.Sprintf("(%s / (%d))", randExpr(rng, vars, depth-1), rng.Intn(20)+1)
-	case 4:
-		return fmt.Sprintf("(%s ^ %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
-	case 5:
-		return fmt.Sprintf("(%s & %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
-	case 6:
-		return fmt.Sprintf("(%s | %s)", randExpr(rng, vars, depth-1), randExpr(rng, vars, depth-1))
-	default:
-		// The space stops "-" from fusing with a negative literal into the
-		// "--" decrement token.
-		return fmt.Sprintf("(- %s)", randExpr(rng, vars, depth-1))
-	}
+	return progen.RandExpr(rng, vars, depth)
 }
 
 // TestQuickPrintParseFixpoint: for random programs, Print∘Parse is a

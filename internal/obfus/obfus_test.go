@@ -85,6 +85,16 @@ func compileRun(t *testing.T, src string) (int64, string) {
 	return res.Ret, res.Output
 }
 
+// mustVerify fails the test when a transform has left the module malformed.
+// Obfuscators rewrite the CFG aggressively; shape checks alone would let
+// dominance and terminator bugs through.
+func mustVerify(t *testing.T, m *ir.Module) {
+	t.Helper()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR after transform: %v\n%s", err, m.String())
+	}
+}
+
 // TestObfuscationsPreserveSemantics applies every obfuscation (with several
 // seeds) to every program and compares behaviour.
 func TestObfuscationsPreserveSemantics(t *testing.T) {
@@ -99,6 +109,7 @@ func TestObfuscationsPreserveSemantics(t *testing.T) {
 				if err := obfus.Apply(m, name, rand.New(rand.NewSource(seed))); err != nil {
 					t.Fatalf("%s/%s seed %d: %v", prog.name, name, seed, err)
 				}
+				mustVerify(t, m)
 				res, err := interp.Run(m, interp.Options{})
 				if err != nil {
 					t.Fatalf("%s/%s seed %d: run: %v\nIR:\n%s", prog.name, name, seed, err, m.String())
@@ -126,9 +137,11 @@ func TestObfuscationThenOptimizationPreserved(t *testing.T) {
 			if err := obfus.Apply(m, name, rng); err != nil {
 				t.Fatalf("%s/%s: %v", prog.name, name, err)
 			}
+			mustVerify(t, m)
 			if err := passes.Optimize(m, passes.O3); err != nil {
 				t.Fatalf("%s/%s + O3: %v", prog.name, name, err)
 			}
+			mustVerify(t, m)
 			res, err := interp.Run(m, interp.Options{})
 			if err != nil {
 				t.Fatalf("%s/%s + O3: run: %v", prog.name, name, err)
@@ -162,6 +175,7 @@ func TestSubChangesOpcodeMix(t *testing.T) {
 	if err := obfus.Apply(m2, "sub", rand.New(rand.NewSource(5))); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m2)
 	after := opcodeHistogram(m2)
 	if after == before {
 		t.Fatal("sub did not change the opcode histogram")
@@ -190,6 +204,7 @@ func TestFlaCreatesDispatcher(t *testing.T) {
 	if err := obfus.Apply(m, "fla", rand.New(rand.NewSource(5))); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m)
 	h := opcodeHistogram(m)
 	if h[ir.OpSwitch] <= nSwitchBefore {
 		t.Fatal("flattening did not introduce a dispatcher switch")
@@ -219,12 +234,14 @@ func TestBCFAddsBlocksAndResistsO3(t *testing.T) {
 	if err := obfus.Apply(m, "bcf", rand.New(rand.NewSource(5))); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m)
 	if len(m.Func("main").Blocks) <= blocksBefore {
 		t.Fatal("bcf did not add blocks")
 	}
 	if err := passes.Optimize(m, passes.O3); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m)
 	// The opaque predicate must survive optimization: there should still
 	// be at least one conditional branch guarding a bogus path.
 	if opcodeHistogram(m)[ir.OpCondBr] == 0 {
@@ -274,6 +291,7 @@ func TestOllvmStacksAllThree(t *testing.T) {
 	if err := obfus.Apply(m, "ollvm", rand.New(rand.NewSource(9))); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m)
 	if m.NumInstrs() < sizeBefore*2 {
 		t.Fatalf("ollvm should grow code substantially: %d -> %d", sizeBefore, m.NumInstrs())
 	}

@@ -16,16 +16,30 @@ func DCE(f *ir.Function) bool {
 			}
 		})
 		removed := false
+		// Write-only allocas found during the sweep. Their stores are
+		// removed only after the sweep: removeStoresTo compacts b.Instrs
+		// in place, and doing that while the loop below is mid-compaction
+		// of the same backing array scrambles instruction order.
+		var writeOnly []*ir.Instr
 		for _, b := range f.Blocks {
 			kept := b.Instrs[:0]
 			for _, in := range b.Instrs {
-				if isDead(in, uses, f) {
+				dead, dropStores := classify(in, uses, f)
+				if dead {
 					removed, changed = true, true
 					continue
+				}
+				if dropStores {
+					writeOnly = append(writeOnly, in)
 				}
 				kept = append(kept, in)
 			}
 			b.Instrs = kept
+		}
+		for _, a := range writeOnly {
+			removeStoresTo(f, a)
+			// The alloca itself goes next round, once use-less.
+			removed, changed = true, true
 		}
 		if !removed {
 			return changed
@@ -33,9 +47,11 @@ func DCE(f *ir.Function) bool {
 	}
 }
 
-func isDead(in *ir.Instr, uses map[ir.Value]int, f *ir.Function) bool {
+// classify reports whether in is dead, and — for live write-only allocas —
+// whether its stores should be dropped after the current sweep.
+func classify(in *ir.Instr, uses map[ir.Value]int, f *ir.Function) (dead, dropStores bool) {
 	if in.Op.HasSideEffects() || in.IsTerminator() {
-		return false
+		return false, false
 	}
 	if in.Op == ir.OpAlloca {
 		// An alloca whose only uses are stores *into* it is write-only.
@@ -51,16 +67,14 @@ func isDead(in *ir.Instr, uses map[ir.Value]int, f *ir.Function) bool {
 			}
 		})
 		if !onlyStores {
-			return false
+			return false, false
 		}
 		if uses[in] > 0 {
-			// Remove the dead stores first; the alloca goes next round.
-			removeStoresTo(f, in)
-			return false
+			return false, true
 		}
-		return true
+		return true, false
 	}
-	return uses[in] == 0
+	return uses[in] == 0, false
 }
 
 func removeStoresTo(f *ir.Function, a *ir.Instr) {

@@ -15,7 +15,7 @@ func LICM(f *ir.Function) bool {
 	preds := f.Preds()
 	changed := false
 	for _, loop := range loops {
-		pre := findOrCreatePreheader(f, loop, preds)
+		pre := findOrCreatePreheader(f, loop, preds, loops)
 		if pre == nil {
 			continue
 		}
@@ -78,8 +78,12 @@ func hoistable(in *ir.Instr, loop *ir.Loop) bool {
 }
 
 // findOrCreatePreheader returns a block that is the unique out-of-loop
-// predecessor of the loop header, creating one when needed.
-func findOrCreatePreheader(f *ir.Function, loop *ir.Loop, preds map[*ir.Block][]*ir.Block) *ir.Block {
+// predecessor of the loop header, creating one when needed. A newly created
+// preheader is registered in the body set of every *enclosing* loop in
+// loops: those sets were computed before the block existed, and treating an
+// inner preheader as "outside" an outer loop would let LICM hoist a use of
+// its values above their definition.
+func findOrCreatePreheader(f *ir.Function, loop *ir.Loop, preds map[*ir.Block][]*ir.Block, loops []*ir.Loop) *ir.Block {
 	var outside []*ir.Block
 	for _, p := range preds[loop.Header] {
 		if !loop.Blocks[p] {
@@ -112,6 +116,24 @@ func findOrCreatePreheader(f *ir.Function, loop *ir.Loop, preds map[*ir.Block][]
 	}
 	for _, p := range outside {
 		p.Term().RedirectTarget(loop.Header, pre)
+	}
+	// pre sits on the outside-preds -> header edges. It belongs to an
+	// enclosing loop exactly when both endpoints of those edges do: then
+	// every path through pre stays inside that loop's body.
+	for _, other := range loops {
+		if other == loop || !other.Blocks[loop.Header] {
+			continue
+		}
+		inOther := true
+		for _, p := range outside {
+			if !other.Blocks[p] {
+				inOther = false
+				break
+			}
+		}
+		if inOther {
+			other.Blocks[pre] = true
+		}
 	}
 	return pre
 }

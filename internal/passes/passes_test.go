@@ -32,6 +32,16 @@ func runMod(t *testing.T, m *ir.Module) (int64, string) {
 	return res.Ret, res.Output
 }
 
+// mustVerify fails the test when a transform has left the module malformed.
+// Every test that applies a pass must call this (or verify inline): shape
+// assertions alone let dominance and terminator bugs slip through.
+func mustVerify(t *testing.T, m *ir.Module) {
+	t.Helper()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid IR after transform: %v\n%s", err, m.String())
+	}
+}
+
 // checkSemanticsPreserved optimizes a copy at every level and verifies the
 // observable behaviour is identical.
 func checkSemanticsPreserved(t *testing.T, src string) {
@@ -223,6 +233,7 @@ func TestMem2RegSkipsEscapedAllocas(t *testing.T) {
 	if _, err := passes.RunPass(m, "mem2reg"); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m)
 	ret, _ := runMod(t, m)
 	if ret != 9 {
 		t.Fatalf("escaped alloca mispromoted: ret = %d, want 9", ret)
@@ -241,6 +252,7 @@ func TestSCCPFoldsConstantBranches(t *testing.T) {
 	if _, err := passes.RunPass(m, "sccp"); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m)
 	if got := countOp(m, ir.OpCondBr); got != 0 {
 		t.Fatalf("sccp left %d conditional branches:\n%s", got, m.String())
 	}
@@ -265,6 +277,7 @@ func TestSCCPThroughPhis(t *testing.T) {
 	if _, err := passes.RunPass(m, "sccp"); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m)
 	res, err := interp.Run(m, interp.Options{Input: []int64{1}})
 	if err != nil {
 		t.Fatal(err)
@@ -297,6 +310,7 @@ func TestDCERemovesDeadChains(t *testing.T) {
 	if !passes.DCE(f) {
 		t.Fatal("DCE found nothing")
 	}
+	mustVerify(t, m)
 	if f.NumInstrs() != 2 {
 		t.Fatalf("expected 2 instructions left, have %d:\n%s", f.NumInstrs(), f.String())
 	}
@@ -305,6 +319,7 @@ func TestDCERemovesDeadChains(t *testing.T) {
 func TestDCEKeepsSideEffects(t *testing.T) {
 	m := compile(t, `int main() { print(7); return 0; }`)
 	passes.DCE(m.Func("main"))
+	mustVerify(t, m)
 	_, out := runMod(t, m)
 	if out != "7\n" {
 		t.Fatalf("DCE removed a call with side effects; output %q", out)
@@ -323,6 +338,7 @@ func TestInstCombineIdentities(t *testing.T) {
 	bd.Ret(v4)
 	passes.InstCombine(f)
 	passes.DCE(f)
+	mustVerify(t, m)
 	if f.NumInstrs() != 1 {
 		t.Fatalf("expected only ret left:\n%s", f.String())
 	}
@@ -386,6 +402,7 @@ func TestInstCombineUndoesMBA(t *testing.T) {
 			f := build(tc.emit)
 			passes.InstCombine(f)
 			passes.DCE(f)
+			mustVerify(t, f.Mod)
 			if f.NumInstrs() != 2 {
 				t.Fatalf("expected [op, ret], got:\n%s", f.String())
 			}
@@ -460,6 +477,7 @@ func TestGVNEliminatesRedundancy(t *testing.T) {
 	z := bd.Mul(x, y)
 	bd.Ret(z)
 	passes.GVN(f)
+	mustVerify(t, m)
 	if f.NumInstrs() != 3 {
 		t.Fatalf("commuted add not value-numbered:\n%s", f.String())
 	}
@@ -583,6 +601,7 @@ func TestO3ShrinksDynamicInstructionCount(t *testing.T) {
 	if err := passes.Optimize(m3, passes.O3); err != nil {
 		t.Fatal(err)
 	}
+	mustVerify(t, m3)
 	r3, err := interp.Run(m3, interp.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -624,6 +643,9 @@ func TestRandomProgramsPreserved(t *testing.T) {
 			m := compile(t, src)
 			if err := passes.Optimize(m, lvl); err != nil {
 				t.Fatalf("trial %d %s: %v\n%s", trial, lvl, err, src)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("trial %d %s: invalid IR: %v\nsource:\n%s", trial, lvl, err, src)
 			}
 			got, err := interp.Run(m, interp.Options{})
 			if err != nil {

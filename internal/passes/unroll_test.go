@@ -93,6 +93,7 @@ func TestUnrollSkipsLargeLoops(t *testing.T) {
 	f := m.Func("main")
 	before := f.NumInstrs()
 	passes.UnrollLoops(f)
+	mustVerify(t, m)
 	if f.NumInstrs() > before*4 {
 		t.Fatalf("oversized loop was unrolled: %d -> %d instrs", before, f.NumInstrs())
 	}
@@ -113,6 +114,7 @@ func TestUnrollSkipsDynamicBound(t *testing.T) {
 	if passes.UnrollLoops(f) {
 		t.Fatalf("dynamic-bound loop unrolled:\n%s", f.String())
 	}
+	mustVerify(t, m)
 	res, err := interp.Run(m, interp.Options{Input: []int64{6}})
 	if err != nil || res.Ret != 15 {
 		t.Fatalf("ret=%v err=%v", res, err)

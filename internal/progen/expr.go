@@ -1,0 +1,48 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandExpr builds a random well-typed integer expression over the given
+// variable names. Division is guarded against zero by construction (the
+// denominator is a positive literal), so the expression can only trap via
+// the interpreter's step budget, never via division by zero.
+//
+// This is the expression generator behind both the quick tests in
+// internal/minic and the statement bodies of Generate; keeping one copy
+// means a grammar extension immediately widens every consumer's coverage.
+func RandExpr(rng *rand.Rand, vars []string, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", rng.Intn(200)-100)
+		case 1:
+			return vars[rng.Intn(len(vars))]
+		default:
+			return fmt.Sprintf("%d", rng.Intn(9)+1)
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", RandExpr(rng, vars, depth-1), RandExpr(rng, vars, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", RandExpr(rng, vars, depth-1), RandExpr(rng, vars, depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", RandExpr(rng, vars, depth-1), RandExpr(rng, vars, depth-1))
+	case 3:
+		// Division guarded against zero via |d|+1.
+		return fmt.Sprintf("(%s / (%d))", RandExpr(rng, vars, depth-1), rng.Intn(20)+1)
+	case 4:
+		return fmt.Sprintf("(%s ^ %s)", RandExpr(rng, vars, depth-1), RandExpr(rng, vars, depth-1))
+	case 5:
+		return fmt.Sprintf("(%s & %s)", RandExpr(rng, vars, depth-1), RandExpr(rng, vars, depth-1))
+	case 6:
+		return fmt.Sprintf("(%s | %s)", RandExpr(rng, vars, depth-1), RandExpr(rng, vars, depth-1))
+	default:
+		// The space stops "-" from fusing with a negative literal into the
+		// "--" decrement token.
+		return fmt.Sprintf("(- %s)", RandExpr(rng, vars, depth-1))
+	}
+}
