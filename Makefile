@@ -6,6 +6,9 @@
 #                (the game harness, the embeddings and parallel training)
 #                — run on every PR
 #   make bench   kernel/training benchmarks -> BENCH_ml.json
+#   make bench-interp  execution-engine benchmarks (tree interpreter vs the
+#                compiled bytecode VM over the Benchmark-Game kernels)
+#                -> BENCH_interp.json
 #   make bench-figures  regenerate the paper figures as benchmark metrics
 #   make perf    the harness speedup benchmark (compile cache + parallel rounds)
 #   make cross   cross-compile for non-amd64 targets (portable kernel paths
@@ -20,12 +23,15 @@
 #   make fuzz    long local campaign over the full transform set (composed
 #                evader pipelines included); shrunk failing programs land
 #                in testdata/crashers/
+#   make fuzz-smoke-vm  the fuzz-smoke campaign cross-validated on the
+#                bytecode VM (-engine vm): every cell must match the tree
+#                interpreter bit-for-bit
 #   make check   everything CI runs: build + test + race + cross +
-#                serve-smoke + fuzz-smoke
+#                serve-smoke + fuzz-smoke + fuzz-smoke-vm
 
 GO ?= go
 
-.PHONY: build test race bench bench-figures perf cross serve-smoke fuzz-smoke fuzz check
+.PHONY: build test race bench bench-interp bench-figures perf cross serve-smoke fuzz-smoke fuzz-smoke-vm fuzz check
 
 build:
 	$(GO) build ./...
@@ -36,7 +42,7 @@ test: build
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ml/... \
-		./internal/obs/... ./internal/serve/... ./cmd/arena/...
+		./internal/obs/... ./internal/serve/... ./internal/vm/... ./cmd/arena/...
 
 # arm64 covers the !amd64 dispatch build; 386 additionally shakes out
 # 64-bit-assuming code on a 32-bit word size.
@@ -54,6 +60,15 @@ bench:
 	  $(GO) test -run xxx -bench BenchmarkHarnessRounds -benchtime 3x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_ml.json
 	@echo wrote BENCH_ml.json
+
+# Tree interpreter vs compiled bytecode VM over the Benchmark-Game kernels
+# (the Figure-13 workload). BenchmarkVM must sustain >= 5x the interpreter's
+# steps/second; steps/op is reported so the JSON also proves both engines
+# executed identical step counts. Results land in BENCH_interp.json.
+bench-interp:
+	$(GO) test -run xxx -bench 'BenchmarkInterp|BenchmarkVM' -benchmem ./internal/vm/ \
+	| $(GO) run ./cmd/benchjson -o BENCH_interp.json
+	@echo wrote BENCH_interp.json
 
 bench-figures:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -81,9 +96,15 @@ serve-smoke:
 fuzz-smoke:
 	$(GO) run ./cmd/arena fuzz -n 200 -seed 1 -set smoke -small
 
+# The same campaign cross-validated against the bytecode VM: every
+# transformed cell additionally runs on -engine vm and must match the tree
+# interpreter bit-for-bit (return, output, trap kind, step count).
+fuzz-smoke-vm:
+	$(GO) run ./cmd/arena fuzz -n 200 -seed 1 -set smoke -small -engine vm
+
 # Open-ended local campaign: bigger programs, composed evader pipelines,
 # repeated batches for 2 minutes. Crashers are shrunk automatically.
 fuzz:
 	$(GO) run ./cmd/arena fuzz -n 200 -dur 2m -set module -v
 
-check: build test race cross serve-smoke fuzz-smoke
+check: build test race cross serve-smoke fuzz-smoke fuzz-smoke-vm

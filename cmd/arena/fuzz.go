@@ -28,6 +28,8 @@ func cmdFuzz(args []string) error {
 	crashers := fs.String("crashers", "testdata/crashers",
 		"directory for shrunk failing programs (empty = don't write)")
 	noShrink := fs.Bool("no-shrink", false, "report failures unshrunk (faster triage turnaround)")
+	engine := fs.String("engine", "tree",
+		"execution engine for the transformed side (tree = reference interpreter, vm = compiled bytecode; vm is also cross-checked bit-for-bit against tree)")
 	verbose := fs.Bool("v", false, "per-transform table + obs footer")
 	of := addObs(fs)
 	if err := fs.Parse(args); err != nil {
@@ -40,7 +42,7 @@ func cmdFuzz(args []string) error {
 
 	cfg := difftest.CampaignConfig{
 		N: *n, Seed: *seed, Workers: *workers, Set: *set,
-		CrashersDir: *crashers, Shrink: !*noShrink,
+		CrashersDir: *crashers, Shrink: !*noShrink, Engine: *engine,
 	}
 	if *small {
 		cfg.Gen = difftest.SmokeGen()
@@ -111,6 +113,7 @@ func merge(total, batch *difftest.CampaignResult) {
 		t.Equal += st.Equal
 		t.TrapSkipped += st.TrapSkipped
 		t.Mismatch += st.Mismatch
+		t.EngineDiverged += st.EngineDiverged
 		t.VerifyFail += st.VerifyFail
 		t.Errors += st.Errors
 		t.Nanos += st.Nanos

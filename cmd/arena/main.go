@@ -576,6 +576,8 @@ func cmdDistance(args []string) error {
 func cmdSpeedup(args []string) error {
 	fs := flag.NewFlagSet("speedup", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "random seed for the obfuscator")
+	engine := fs.String("engine", "tree",
+		"execution engine measuring the step counts (tree = reference interpreter, vm = compiled bytecode)")
 	o := addObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -584,7 +586,7 @@ func cmdSpeedup(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.Speedup(*seed)
+	rep, err := core.SpeedupEngine(*seed, *engine)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/embed"
+	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/ml"
 	"repro/internal/passes"
 	"repro/internal/progcache"
@@ -55,21 +57,70 @@ func EmbedSource(src, embedding string) (embed.Vector, error) {
 // IR together with its vector embedding — the payload a classifier-side
 // verdict on the evaded program needs.
 func TransformEmbed(src, evader, embedding string, seed int64) (string, embed.Vector, error) {
-	emb, err := vectorEmbedding(embedding)
+	m, v, err := transformEmbedModule(src, evader, embedding, seed)
 	if err != nil {
 		return "", nil, err
 	}
+	return m.String(), v, nil
+}
+
+func transformEmbedModule(src, evader, embedding string, seed int64) (*ir.Module, embed.Vector, error) {
+	emb, err := vectorEmbedding(embedding)
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := ValidateEvader(evader); err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
 	m, err := Transform(src, evader, rand.New(rand.NewSource(seed)))
 	if err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
 	start := time.Now()
 	v := emb.Vec(m)
 	phaseEmbed.Observe(time.Since(start))
-	return m.String(), v, nil
+	return m, v, nil
+}
+
+// ExecObs is the observable outcome of executing a transformed program:
+// return value, stdout and the dynamic instruction count, or the trap
+// message when execution failed. Steps is engine-independent (the engines
+// are conformance-tested to agree bit-for-bit), so it is directly
+// comparable with the Figure-13 cost numbers.
+type ExecObs struct {
+	Ret    int64  `json:"ret"`
+	Output string `json:"output"`
+	Steps  int64  `json:"steps"`
+	Trap   string `json:"trap,omitempty"`
+}
+
+// ExecMaxSteps bounds served executions; a transformed program that spins
+// past it reports a budget trap instead of stalling the server.
+const ExecMaxSteps = 16 << 20
+
+// TransformEmbedRun is TransformEmbed plus execution of the transformed
+// module on the named engine ("" = tree interpreter, "vm" = compiled
+// bytecode). Traps are reported in the observation, not as an error: a
+// trapping evaded program is still a servable result.
+func TransformEmbedRun(src, evader, embedding string, seed int64, engine string) (string, embed.Vector, *ExecObs, error) {
+	eng, err := interp.EngineByName(engine)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	m, v, err := transformEmbedModule(src, evader, embedding, seed)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	start := time.Now()
+	res, rerr := eng.Run(m, interp.Options{MaxSteps: ExecMaxSteps})
+	phaseExec.Observe(time.Since(start))
+	ob := &ExecObs{}
+	if rerr != nil {
+		ob.Trap = rerr.Error()
+	} else {
+		ob.Ret, ob.Output, ob.Steps = res.Ret, res.Output, res.Steps
+	}
+	return m.String(), v, ob, nil
 }
 
 // TrainVectorModels featurizes every sample of set with a vector embedding

@@ -28,6 +28,7 @@ var (
 	phaseFit       = obs.GetTimer("phase.fit")
 	phasePredict   = obs.GetTimer("phase.predict")
 	phaseTrain     = obs.GetTimer("phase.train")
+	phaseExec      = obs.GetTimer("phase.exec")
 	phaseRounds    = obs.GetCounter("phase.rounds")
 )
 

@@ -10,6 +10,11 @@ import (
 	"repro/internal/passes"
 	"repro/internal/progcache"
 	"repro/internal/stats"
+
+	// Register the compiled bytecode engine: everything that executes
+	// programs (difftest, serve, cmd/arena) imports core, so the "vm"
+	// -engine value is always resolvable.
+	_ "repro/internal/vm"
 )
 
 // SpeedupRow is one kernel of the Figure-13 performance experiment:
@@ -37,6 +42,19 @@ type SpeedupReport struct {
 // at O0, at O3 and under the combined O-LLVM obfuscation, with dynamic
 // instruction count standing in for wall-clock time.
 func Speedup(seed int64) (*SpeedupReport, error) {
+	return SpeedupEngine(seed, "")
+}
+
+// SpeedupEngine is Speedup on a selectable execution engine ("" or "tree"
+// = the tree interpreter, "vm" = compiled bytecode). Step counts are
+// engine-independent by the engines' conformance contract, so the report
+// is identical either way — the engine only changes how long it takes to
+// produce.
+func SpeedupEngine(seed int64, engine string) (*SpeedupReport, error) {
+	eng, err := interp.EngineByName(engine)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	rep := &SpeedupReport{}
 	var o3s, slows []float64
@@ -59,7 +77,7 @@ func Speedup(seed int64) (*SpeedupReport, error) {
 					return 0, err
 				}
 			}
-			res, err := interp.Run(m, interp.Options{MaxSteps: 2_000_000_000})
+			res, err := eng.Run(m, interp.Options{MaxSteps: 2_000_000_000})
 			if err != nil {
 				return 0, fmt.Errorf("%s/%s: %w", p.Name, transform, err)
 			}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/progcache"
 	"repro/internal/progen"
@@ -40,20 +41,29 @@ type CampaignConfig struct {
 	Shrink bool
 	// Gen overrides the program shape; zero value means progen defaults.
 	Gen progen.Config
+	// Engine selects the execution engine for transformed runs ("" or
+	// "tree" = interpreter only). Any other engine is cross-validated
+	// against the tree interpreter on every cell: the two must agree
+	// bit-for-bit (Ret, Output, Steps, trap kind) or the cell fails with
+	// EngineDiverged.
+	Engine string
 }
 
 // TransformStats aggregates the verdicts of one transform over a campaign.
 type TransformStats struct {
-	Equal       int64
-	TrapSkipped int64
-	Mismatch    int64
-	VerifyFail  int64
-	Errors      int64
-	Nanos       int64
+	Equal          int64
+	TrapSkipped    int64
+	Mismatch       int64
+	EngineDiverged int64
+	VerifyFail     int64
+	Errors         int64
+	Nanos          int64
 }
 
 // Failures returns the count of semantics-breaking verdicts.
-func (s *TransformStats) Failures() int64 { return s.Mismatch + s.VerifyFail + s.Errors }
+func (s *TransformStats) Failures() int64 {
+	return s.Mismatch + s.EngineDiverged + s.VerifyFail + s.Errors
+}
 
 // Failure is one semantics-breaking cell, with its (possibly shrunk) repro.
 type Failure struct {
@@ -109,6 +119,12 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var eng interp.Engine
+	if cfg.Engine != "" && cfg.Engine != "tree" {
+		if eng, err = interp.EngineByName(cfg.Engine); err != nil {
+			return nil, err
+		}
+	}
 	gen := cfg.Gen
 	if gen == (progen.Config{}) {
 		gen = progen.DefaultConfig()
@@ -152,7 +168,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 				for _, tr := range trs {
 					start := time.Now()
 					rng := rand.New(rand.NewSource(cellSeed(progSeed, tr.Name)))
-					v, detail := CheckOne(src, tr, rng, oracle)
+					v, detail := CheckOneEngine(src, tr, rng, oracle, eng)
 					elapsed := time.Since(start)
 					obs.GetTimer("fuzz.transform." + tr.Name).Observe(elapsed)
 					mu.Lock()
@@ -167,6 +183,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 					case Mismatch:
 						st.Mismatch++
 						mismatches.Inc()
+					case EngineDiverged:
+						st.EngineDiverged++
+						mismatches.Inc()
 					case VerifyFail:
 						st.VerifyFail++
 						verifyfails.Inc()
@@ -178,7 +197,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 						repro := src
 						if cfg.Shrink {
 							mu.Unlock()
-							repro = ShrinkFailure(src, tr, progSeed)
+							repro = ShrinkFailureEngine(src, tr, progSeed, eng)
 							mu.Lock()
 						}
 						res.Failures = append(res.Failures, Failure{
@@ -220,13 +239,20 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 // oracle is recomputed per candidate, so shrinking can never convert a
 // transform bug into a generator artifact.
 func ShrinkFailure(src string, tr Transform, progSeed int64) string {
+	return ShrinkFailureEngine(src, tr, progSeed, nil)
+}
+
+// ShrinkFailureEngine is ShrinkFailure under a specific execution engine,
+// so an EngineDiverged cell shrinks while the engines still disagree
+// rather than degenerating to any unrelated failure shape.
+func ShrinkFailureEngine(src string, tr Transform, progSeed int64, eng interp.Engine) string {
 	return Shrink(src, func(cand string) bool {
 		oracle, err := Oracle(cand)
 		if err != nil {
 			return false
 		}
 		rng := rand.New(rand.NewSource(cellSeed(progSeed, tr.Name)))
-		v, _ := CheckOne(cand, tr, rng, oracle)
+		v, _ := CheckOneEngine(cand, tr, rng, oracle, eng)
 		return v.Failure()
 	})
 }

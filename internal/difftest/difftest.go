@@ -91,7 +91,20 @@ func trapKind(err error) string {
 // Interpreter errors become trap observations rather than Go errors: a trap
 // is a legitimate program behaviour under the equivalence policy.
 func Observe(m *ir.Module, maxSteps int64) Obs {
-	res, err := interp.Run(m, interp.Options{MaxSteps: maxSteps})
+	return ObserveEngine(m, maxSteps, nil)
+}
+
+// ObserveEngine is Observe on a specific execution engine (nil means the
+// tree interpreter). Every engine reports the same Obs for the same module
+// by contract; EngineCheck enforces it.
+func ObserveEngine(m *ir.Module, maxSteps int64, eng interp.Engine) Obs {
+	var res *interp.Result
+	var err error
+	if eng == nil {
+		res, err = interp.Run(m, interp.Options{MaxSteps: maxSteps})
+	} else {
+		res, err = eng.Run(m, interp.Options{MaxSteps: maxSteps})
+	}
 	if err != nil {
 		o := Obs{Trap: trapKind(err)}
 		if res != nil {
@@ -119,14 +132,15 @@ func Oracle(src string) (Obs, error) {
 // Verdict classifies one (program, transform) cell.
 type Verdict int
 
-// The verdicts, from best to worst. Mismatch, VerifyFail and TransformError
-// are failures; Equal and TrapSkipped are not.
+// The verdicts, from best to worst. Mismatch, EngineDiverged, VerifyFail
+// and TransformError are failures; Equal and TrapSkipped are not.
 const (
-	Equal       Verdict = iota // identical observable behaviour
-	TrapSkipped                // oracle trapped; compared under the relaxed trap clause
-	Mismatch                   // observable behaviour diverged
-	VerifyFail                 // ir.Verify failed after the transform
-	TransformError             // the transform itself returned an error
+	Equal          Verdict = iota // identical observable behaviour
+	TrapSkipped                   // oracle trapped; compared under the relaxed trap clause
+	Mismatch                      // observable behaviour diverged
+	EngineDiverged                // two execution engines disagreed on the same module
+	VerifyFail                    // ir.Verify failed after the transform
+	TransformError                // the transform itself returned an error
 )
 
 func (v Verdict) String() string {
@@ -137,6 +151,8 @@ func (v Verdict) String() string {
 		return "trap-skipped"
 	case Mismatch:
 		return "mismatch"
+	case EngineDiverged:
+		return "engine-diverged"
 	case VerifyFail:
 		return "verify-fail"
 	default:
@@ -289,12 +305,41 @@ func Transforms(set string) ([]Transform, error) {
 // CheckOne runs a single (program, transform) cell against a precomputed
 // oracle and returns the verdict plus a human-readable detail on failure.
 func CheckOne(src string, tr Transform, rng *rand.Rand, oracle Obs) (Verdict, string) {
+	return CheckOneEngine(src, tr, rng, oracle, nil)
+}
+
+// EngineCheck runs m on both the tree interpreter and eng and demands a
+// bit-identical observation: same return value, same output, same trap
+// kind, same step count. This is the engine-conformance half of the fuzz
+// campaign — unlike transform equivalence there is no relaxed trap clause,
+// because the two engines execute the very same module.
+func EngineCheck(m *ir.Module, maxSteps int64, eng interp.Engine) (Obs, Verdict, string) {
+	tree := Observe(m, maxSteps)
+	got := ObserveEngine(m, maxSteps, eng)
+	if got != tree {
+		return tree, EngineDiverged, fmt.Sprintf("engine %s disagrees with tree: %s vs %s", eng.Name(), got, tree)
+	}
+	return tree, Equal, ""
+}
+
+// CheckOneEngine is CheckOne with engine cross-validation: when eng is
+// non-nil (and not the tree interpreter itself), the transformed module is
+// executed on both engines and any disagreement is reported as
+// EngineDiverged before the usual transform-equivalence comparison.
+func CheckOneEngine(src string, tr Transform, rng *rand.Rand, oracle Obs, eng interp.Engine) (Verdict, string) {
 	m, err := tr.Apply(src, rng)
 	if err != nil {
 		return TransformError, err.Error()
 	}
 	if err := m.Verify(); err != nil {
 		return VerifyFail, err.Error()
+	}
+	if eng != nil && eng.Name() != "tree" {
+		got, v, detail := EngineCheck(m, budgetFor(oracle.Steps), eng)
+		if v.Failure() {
+			return v, detail
+		}
+		return Equivalent(oracle, got)
 	}
 	got := Observe(m, budgetFor(oracle.Steps))
 	return Equivalent(oracle, got)

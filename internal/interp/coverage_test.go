@@ -11,6 +11,7 @@ import (
 	"repro/internal/obfus"
 	"repro/internal/passes"
 	"repro/internal/progen"
+	"repro/internal/vm"
 )
 
 // directlyExercised pins the opcodes that opcodes_test.go builds and runs by
@@ -62,6 +63,16 @@ func sweepModule(op ir.Opcode) *ir.Module {
 		if op != ir.OpFPToUI {
 			in.Ty = ir.F64
 		}
+	case op == ir.OpFRem:
+		in.Args = []ir.Value{ir.ConstFloat(7.5), ir.ConstFloat(2.0)}
+		in.Ty = ir.F64
+	case op == ir.OpUIToFP:
+		in.Args = []ir.Value{ir.ConstInt(ir.I64, 8)}
+		in.Ty = ir.F64
+	case op == ir.OpUDiv || op == ir.OpURem || op == ir.OpLShr:
+		in.Args = []ir.Value{ir.ConstInt(ir.I64, 8), ir.ConstInt(ir.I64, 2)}
+	case op == ir.OpZExt || op == ir.OpFreeze || op == ir.OpVAArg:
+		in.Args = []ir.Value{ir.ConstInt(ir.I64, 8)}
 	default:
 		in.Args = []ir.Value{ir.ConstInt(ir.I64, 8), ir.ConstInt(ir.I64, 0)}
 	}
@@ -72,14 +83,34 @@ func sweepModule(op ir.Opcode) *ir.Module {
 	return m
 }
 
+// markVM compiles m to bytecode and records every opcode the compiler
+// lowered; the corpus modules thus prove the VM's compile path handles the
+// opcodes real programs produce (execution parity over the same corpus is
+// TestVMMatchesInterpCorpus in internal/vm).
+func markVM(t *testing.T, m *ir.Module, cover []bool) {
+	t.Helper()
+	if _, err := vm.Compile(m); err != nil {
+		t.Fatalf("vm compile: %v", err)
+	}
+	for _, f := range m.Functions {
+		f.ForEachInstr(func(in *ir.Instr) { cover[in.Op] = true })
+	}
+}
+
 // TestOpcodeCoverage asserts that every one of the 63 IR opcodes is exercised
 // by the interpreter test suite: the differential-fuzzing corpus (generated
 // programs at O0, after -O3, and after the stacked obfuscator) covers the
 // opcodes real programs produce, opcodes_test.go covers the hand-built ones,
 // and a direct sweep here drives the never-emitted tail. A new opcode — or a
 // generator regression that stops emitting one — fails with the missing list.
+//
+// The same accounting runs against the bytecode VM: every corpus module is
+// lowered through vm.Compile, and the tail opcodes the corpus never emits
+// are driven through the vm engine directly, so both engines are proven to
+// stay in control on all 63 opcodes.
 func TestOpcodeCoverage(t *testing.T) {
 	cover := make([]bool, ir.NumOpcodes)
+	vmCover := make([]bool, ir.NumOpcodes)
 
 	for seed := int64(0); seed < 40; seed++ {
 		src := progen.GenerateSeed(seed)
@@ -88,45 +119,74 @@ func TestOpcodeCoverage(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		markOpcodes(m, cover)
+		markVM(t, m, vmCover)
 		m2, _ := minic.CompileSource(src, "cov")
 		if err := passes.Optimize(m2, passes.O3); err != nil {
 			t.Fatalf("seed %d O3: %v", seed, err)
 		}
 		markOpcodes(m2, cover)
+		markVM(t, m2, vmCover)
 		m3, _ := minic.CompileSource(src, "cov")
 		if err := obfus.Apply(m3, "ollvm", rand.New(rand.NewSource(seed))); err != nil {
 			t.Fatalf("seed %d ollvm: %v", seed, err)
 		}
 		markOpcodes(m3, cover)
+		markVM(t, m3, vmCover)
 	}
 
 	for _, op := range directlyExercised {
 		cover[op] = true
 	}
 
+	// sweepEngines executes one sweep module on the interpreter and the VM,
+	// accepting a value or a clean trap from either — never a crash.
+	sweepEngines := func(op ir.Opcode) {
+		m := sweepModule(op)
+		for _, name := range interp.EngineNames() {
+			eng, err := interp.EngineByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(m, interp.Options{}); err != nil &&
+				!strings.Contains(err.Error(), "unimplemented opcode") &&
+				!strings.Contains(err.Error(), "unreachable") {
+				t.Errorf("%s on %s: unexpected trap class: %v", op, name, err)
+			}
+		}
+	}
+
 	for _, op := range sweepOps {
 		if cover[op] {
 			t.Errorf("%s is in sweepOps but the corpus already emits it; move it out", op)
 		}
-		// Run returns an error for a trap; an unrecovered panic would fail
-		// the test, which is the point — the interpreter must stay in
-		// control on every opcode, implemented or not.
-		if _, err := interp.Run(sweepModule(op), interp.Options{}); err != nil &&
-			!strings.Contains(err.Error(), "unimplemented opcode") &&
-			!strings.Contains(err.Error(), "unreachable") {
-			t.Errorf("%s: unexpected trap class: %v", op, err)
-		}
+		sweepEngines(op)
 		cover[op] = true
+		vmCover[op] = true
 	}
 
-	var missing []string
-	for op := ir.Opcode(0); op < ir.NumOpcodes; op++ {
-		if !cover[op] {
-			missing = append(missing, op.String())
+	// The hand-exercised opcodes go through the interpreter in
+	// opcodes_test.go via Machine.Call; the VM runs whole modules, so drive
+	// each through a main-wrapped sweep here to cover its bytecode path.
+	for _, op := range directlyExercised {
+		if vmCover[op] {
+			continue
+		}
+		sweepEngines(op)
+		vmCover[op] = true
+	}
+
+	report := func(engine string, cov []bool) {
+		var missing []string
+		for op := ir.Opcode(0); op < ir.NumOpcodes; op++ {
+			if !cov[op] {
+				missing = append(missing, op.String())
+			}
+		}
+		if len(missing) > 0 {
+			t.Fatalf("%s: %d of %d opcodes not exercised by the corpus, opcodes_test.go or the sweep: %s",
+				engine, len(missing), ir.NumOpcodes, strings.Join(missing, ", "))
 		}
 	}
-	if len(missing) > 0 {
-		t.Fatalf("%d of %d opcodes not exercised by the corpus, opcodes_test.go or the sweep: %s",
-			len(missing), ir.NumOpcodes, strings.Join(missing, ", "))
-	}
+	report("tree", cover)
+	report("vm", vmCover)
 }

@@ -146,8 +146,19 @@ func (mc *Machine) alloc(size int) (int64, error) {
 	if mc.sp+size > mc.opts.MaxMem {
 		return 0, errTrap{"out of memory"}
 	}
-	for mc.sp+size > len(mc.mem) {
-		mc.mem = append(mc.mem, make([]byte, len(mc.mem))...)
+	if need := mc.sp + size; need > len(mc.mem) {
+		// Double up to the demand, but never past MaxMem: the bound is a
+		// promise about arena footprint, not just about program behavior.
+		newLen := len(mc.mem)
+		for newLen < need {
+			newLen *= 2
+		}
+		if newLen > mc.opts.MaxMem {
+			newLen = mc.opts.MaxMem
+		}
+		grown := make([]byte, newLen)
+		copy(grown, mc.mem)
+		mc.mem = grown
 	}
 	addr := int64(mc.sp)
 	mc.sp += size
@@ -312,11 +323,40 @@ func (mc *Machine) eval(fr *frame, v ir.Value) Val {
 		}
 		return val
 	case *ir.Global:
-		return Val{I: mc.globalAddr[x]}
+		addr, ok := mc.globalAddr[x]
+		if !ok {
+			// A global that was never registered with the module would
+			// otherwise evaluate to address 0 and surface much later as a
+			// baffling memory trap; name the culprit at the use site.
+			panic(errTrap{"use of unknown global @" + x.Name + " in @" + fr.fn.Name})
+		}
+		return Val{I: addr}
 	case *ir.Function:
 		panic(errTrap{"function pointers are not supported"})
 	}
 	panic(errTrap{"unknown value kind"})
+}
+
+// FPToInt64 is the defined float-to-integer conversion of the IR: NaN and
+// ±Inf convert to 0 (the historical carve-out), and finite values outside
+// the int64 range saturate to MinInt64/MaxInt64. Go's own int64(f) is
+// implementation-dependent for out-of-range values (amd64 yields MinInt64,
+// arm64 saturates), which would make the fuzz oracle and the Figure-13 step
+// counts architecture-dependent; pinning saturation here keeps every engine
+// and every architecture bit-identical.
+func FPToInt64(f float64) int64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	// math.MaxInt64 as a float64 constant rounds up to 2^63, so >= catches
+	// exactly the values that overflow; -2^63 itself is representable.
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f < math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
 }
 
 func truncInt(t *ir.Type, v int64) int64 {
@@ -445,10 +485,7 @@ func (mc *Machine) execInstr(fr *frame, in *ir.Instr) (Val, error) {
 
 	case ir.OpFPToSI, ir.OpFPToUI:
 		f := mc.eval(fr, in.Args[0]).F
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return Val{I: 0}, nil
-		}
-		return Val{I: truncInt(in.Ty, int64(f))}, nil
+		return Val{I: truncInt(in.Ty, FPToInt64(f))}, nil
 
 	case ir.OpSIToFP:
 		return Val{F: float64(mc.eval(fr, in.Args[0]).I)}, nil

@@ -347,9 +347,13 @@ func constEval(e Expr) (int64, float64, bool, error) {
 			}
 			return ai % bi, 0, false, nil
 		case "<<":
-			return ai << uint(bi), 0, false, nil
+			// Mask the count like the interpreter and the IR folder do
+			// (shl/ashr use count & 63): Go would yield 0 for counts >= 64
+			// or huge uint conversions of negative counts, silently
+			// diverging from the runtime result of the same expression.
+			return ai << (uint64(bi) & 63), 0, false, nil
 		case ">>":
-			return ai >> uint(bi), 0, false, nil
+			return ai >> (uint64(bi) & 63), 0, false, nil
 		case "&":
 			return ai & bi, 0, false, nil
 		case "|":

@@ -16,6 +16,8 @@
 //	GET  /metricz       JSON snapshot of the obs registry
 package serve
 
+import "repro/internal/core"
+
 // ClassifyRequest asks for per-model verdicts on one program, given either
 // as MiniC source (compiled and embedded server-side through the shared
 // progcache) or as a pre-embedded feature vector (the wire-friendly fast
@@ -45,14 +47,20 @@ type TransformRequest struct {
 	// transformation.
 	Seed   int64    `json:"seed"`
 	Models []string `json:"models,omitempty"`
+	// Execute additionally runs the transformed program on the server's
+	// configured engine and returns its observable behaviour (return
+	// value, output, dynamic step count, or trap).
+	Execute bool `json:"execute,omitempty"`
 }
 
 // TransformResponse returns the transformed program's printed IR and the
-// verdicts on its embedding.
+// verdicts on its embedding. Exec is present iff the request asked for
+// execution.
 type TransformResponse struct {
 	IR         string         `json:"ir"`
 	Verdicts   map[string]int `json:"verdicts"`
 	BatchSizes map[string]int `json:"batch_sizes,omitempty"`
+	Exec       *core.ExecObs  `json:"exec,omitempty"`
 }
 
 // HealthResponse is the /healthz payload.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/interp"
 	"repro/internal/ml"
 	"repro/internal/obs"
 )
@@ -37,6 +38,10 @@ type Config struct {
 	// RequestTimeout is the per-request deadline; work still pending when
 	// it expires answers 504.
 	RequestTimeout time.Duration
+	// Engine executes /v1/transform requests that ask for execution:
+	// "tree" (default) is the reference interpreter, "vm" the compiled
+	// bytecode engine. Validated at construction so a typo fails fast.
+	Engine string
 }
 
 const (
@@ -92,6 +97,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = defaultRequestTimeout
+	}
+	if _, err := interp.EngineByName(cfg.Engine); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -227,7 +235,17 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) error {
 	if req.Source == "" {
 		return fmt.Errorf("request needs source")
 	}
-	irText, vec, err := core.TransformEmbed(req.Source, req.Evader, s.cfg.Embedding, req.Seed)
+	var (
+		irText string
+		vec    []float64
+		exec   *core.ExecObs
+		err    error
+	)
+	if req.Execute {
+		irText, vec, exec, err = core.TransformEmbedRun(req.Source, req.Evader, s.cfg.Embedding, req.Seed, s.cfg.Engine)
+	} else {
+		irText, vec, err = core.TransformEmbed(req.Source, req.Evader, s.cfg.Embedding, req.Seed)
+	}
 	if err != nil {
 		return err
 	}
@@ -235,7 +253,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, TransformResponse{IR: irText, Verdicts: verdicts, BatchSizes: batches})
+	return writeJSON(w, http.StatusOK, TransformResponse{IR: irText, Verdicts: verdicts, BatchSizes: batches, Exec: exec})
 }
 
 // classify fans one vector out to the requested models' batchers (all

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/ml"
 	"repro/internal/serve"
 )
@@ -326,6 +327,76 @@ func TestTransformRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "warp-drive") {
 		t.Fatalf("error does not name the bad evader: %s", body)
+	}
+}
+
+// TestTransformExecute covers the execute=true path: the response must
+// carry the transformed program's observable behaviour, computed on the
+// configured engine — identical under tree and vm, since the engines are
+// conformance-tested to agree bit-for-bit.
+func TestTransformExecute(t *testing.T) {
+	src := "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }"
+	var execs []*core.ExecObs
+	for _, engine := range []string{"tree", "vm"} {
+		_, ts := newTestServer(t, serve.Config{
+			Models: map[string]ml.Model{"stub": &stubModel{}},
+			Engine: engine,
+		})
+		resp, body := postJSON(t, ts.URL+"/v1/transform",
+			serve.TransformRequest{Source: src, Evader: "sub", Seed: 7, Execute: true})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %s: transform got %d: %s", engine, resp.StatusCode, body)
+		}
+		var out serve.TransformResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Exec == nil {
+			t.Fatalf("engine %s: execute=true returned no exec observation", engine)
+		}
+		if out.Exec.Trap != "" {
+			t.Fatalf("engine %s: unexpected trap: %s", engine, out.Exec.Trap)
+		}
+		if out.Exec.Ret != 45 {
+			t.Errorf("engine %s: ret = %d, want 45", engine, out.Exec.Ret)
+		}
+		if out.Exec.Steps <= 0 {
+			t.Errorf("engine %s: steps = %d, want > 0", engine, out.Exec.Steps)
+		}
+		execs = append(execs, out.Exec)
+	}
+	if *execs[0] != *execs[1] {
+		t.Errorf("engines disagree over the wire: %+v vs %+v", execs[0], execs[1])
+	}
+
+	// Without execute, the observation stays absent.
+	_, ts := newTestServer(t, serve.Config{
+		Models: map[string]ml.Model{"stub": &stubModel{}},
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/transform",
+		serve.TransformRequest{Source: src, Evader: "sub", Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transform got %d: %s", resp.StatusCode, body)
+	}
+	var out serve.TransformResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Exec != nil {
+		t.Fatalf("execute=false returned an exec observation: %+v", out.Exec)
+	}
+}
+
+// TestBadEngineRejectedAtConstruction pins the fail-fast contract: a typo'd
+// -engine must be an error when the server is built, not a 500 at request
+// time.
+func TestBadEngineRejectedAtConstruction(t *testing.T) {
+	_, err := serve.New(serve.Config{
+		Models: map[string]ml.Model{"stub": &stubModel{}},
+		Engine: "warp-drive",
+	})
+	if err == nil || !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("bad engine not rejected by name: %v", err)
 	}
 }
 
