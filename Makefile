@@ -6,6 +6,8 @@
 #                (the game harness, the embeddings and parallel training)
 #                — run on every PR
 #   make bench   kernel/training benchmarks -> BENCH_ml.json
+#   make bench-ir  flat-IR benchmarks (Flatten cost, flat-share vs clone,
+#                graph builders over the flat view) -> BENCH_ir.json
 #   make bench-interp  execution-engine benchmarks (tree interpreter vs the
 #                compiled bytecode VM over the Benchmark-Game kernels)
 #                -> BENCH_interp.json
@@ -31,7 +33,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-interp bench-figures perf cross serve-smoke fuzz-smoke fuzz-smoke-vm fuzz check
+.PHONY: build test race bench bench-ir bench-interp bench-figures perf cross serve-smoke fuzz-smoke fuzz-smoke-vm fuzz check
 
 build:
 	$(GO) build ./...
@@ -41,8 +43,9 @@ test: build
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ml/... \
-		./internal/obs/... ./internal/serve/... ./internal/vm/... ./cmd/arena/...
+	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ir/... \
+		./internal/linalg/... ./internal/ml/... ./internal/obs/... \
+		./internal/progcache/... ./internal/serve/... ./internal/vm/... ./cmd/arena/...
 
 # arm64 covers the !amd64 dispatch build; 386 additionally shakes out
 # 64-bit-assuming code on a 32-bit word size.
@@ -60,6 +63,16 @@ bench:
 	  $(GO) test -run xxx -bench BenchmarkHarnessRounds -benchtime 3x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_ml.json
 	@echo wrote BENCH_ml.json
+
+# Flat-IR numbers, recorded machine-readably: what a flatten costs, what the
+# old per-consumer Clone cost, what a shared flat hit costs (nothing), and
+# the graph/vector builders over the flat view. Results land in
+# BENCH_ir.json.
+bench-ir:
+	{ $(GO) test -run xxx -bench 'BenchmarkFlatten|BenchmarkClone|BenchmarkFlatShare|BenchmarkCompileClone' -benchmem ./internal/ir/ ; \
+	  $(GO) test -run xxx -bench 'BenchmarkGraphBuilders|BenchmarkHistogram|BenchmarkVectorBuilders' -benchmem ./internal/embed/ ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_ir.json
+	@echo wrote BENCH_ir.json
 
 # Tree interpreter vs compiled bytecode VM over the Benchmark-Game kernels
 # (the Figure-13 workload). BenchmarkVM must sustain >= 5x the interpreter's

@@ -32,24 +32,25 @@ func TrainSignatureScanner(malware, benign []string, n int, minSupport float64) 
 	}
 	counts := make(map[string]int)
 	for _, src := range malware {
-		// n-gram extraction only reads the module, so the shared cached
-		// master is enough — the ensemble trains ten engines over the same
-		// corpora and now compiles each source once instead of ten times.
-		m, err := progcache.CompileShared(src, "sig")
+		// n-gram extraction only reads opcodes, so the cached flat view is
+		// enough — the ensemble trains ten engines over the same corpora and
+		// now compiles and flattens each source once instead of ten times,
+		// streaming the dense opcode column instead of walking instructions.
+		fl, err := progcache.CompileFlat(src, "sig")
 		if err != nil {
 			return nil, fmt.Errorf("core: signature training: %w", err)
 		}
-		for gram := range ngrams(m, n) {
+		for gram := range ngramsFlat(fl, n) {
 			counts[gram]++
 		}
 	}
 	benignGrams := make(map[string]bool)
 	for _, src := range benign {
-		m, err := progcache.CompileShared(src, "sig")
+		fl, err := progcache.CompileFlat(src, "sig")
 		if err != nil {
 			return nil, fmt.Errorf("core: signature training: %w", err)
 		}
-		for gram := range ngrams(m, n) {
+		for gram := range ngramsFlat(fl, n) {
 			benignGrams[gram] = true
 		}
 	}
@@ -77,8 +78,17 @@ func (sc *SignatureScanner) NumSignatures() int { return len(sc.signatures) }
 // Scan reports whether the module matches the family (>= threshold
 // signature hits).
 func (sc *SignatureScanner) Scan(m *ir.Module) bool {
+	return sc.scanGrams(ngrams(m, sc.n))
+}
+
+// ScanFlat is Scan over a flat view.
+func (sc *SignatureScanner) ScanFlat(fl *ir.Flat) bool {
+	return sc.scanGrams(ngramsFlat(fl, sc.n))
+}
+
+func (sc *SignatureScanner) scanGrams(grams map[string]bool) bool {
 	hits := 0
-	for gram := range ngrams(m, sc.n) {
+	for gram := range grams {
 		if sc.signatures[gram] {
 			hits++
 			if hits >= sc.threshold {
@@ -101,6 +111,20 @@ func ngrams(m *ir.Module, n int) map[string]bool {
 				}
 				out[string(buf)] = true
 			}
+		}
+	}
+	return out
+}
+
+// ngramsFlat is ngrams over a flat view. Block instruction spans are
+// contiguous in the dense opcode column, so each n-gram is a direct
+// substring of fl.Ops — same windows, same keys, no per-instruction walk.
+func ngramsFlat(fl *ir.Flat, n int) map[string]bool {
+	out := make(map[string]bool)
+	for bi := range fl.Blocks {
+		ops := fl.Ops[fl.Blocks[bi].Ins0:fl.Blocks[bi].Ins1]
+		for i := 0; i+n <= len(ops); i++ {
+			out[string(ops[i:i+n])] = true
 		}
 	}
 	return out
@@ -134,11 +158,14 @@ func TrainAVEnsemble(malware, benign []string) (*AVEnsemble, error) {
 	return e, nil
 }
 
-// DetectionRate returns the fraction of engines flagging m.
+// DetectionRate returns the fraction of engines flagging m. The module is
+// flattened once and all engines stream the same opcode column, instead of
+// each engine re-walking the pointer IR.
 func (e *AVEnsemble) DetectionRate(m *ir.Module) float64 {
+	fl := ir.Flatten(m)
 	flags := 0
 	for _, sc := range e.engines {
-		if sc.Scan(m) {
+		if sc.ScanFlat(fl) {
 			flags++
 		}
 	}

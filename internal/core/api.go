@@ -42,12 +42,12 @@ func EmbedSource(src, embedding string) (embed.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := progcache.CompileShared(src, "prog")
+	fl, err := progcache.CompileFlat(src, "prog")
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	v := emb.Vec(m)
+	v := emb.VecFlat(fl)
 	phaseEmbed.Observe(time.Since(start))
 	return v, nil
 }
@@ -77,7 +77,7 @@ func transformEmbedModule(src, evader, embedding string, seed int64) (*ir.Module
 		return nil, nil, err
 	}
 	start := time.Now()
-	v := emb.Vec(m)
+	v := emb.VecFlat(ir.Flatten(m))
 	phaseEmbed.Observe(time.Since(start))
 	return m, v, nil
 }

@@ -26,13 +26,14 @@ func DistanceAnalysis(samples []dataset.Sample, transforms []string, seed int64)
 	for _, tr := range transforms {
 		dists := make([]float64, 0, len(samples))
 		for _, s := range samples {
-			// Histogram only reads the module; share the cached master so
-			// the baseline compile happens once across all transforms.
-			orig, err := progcache.CompileShared(s.Source, "orig")
+			// The baseline histogram only reads opcodes; share the cached
+			// flat view so the compile and flatten happen once across all
+			// transforms and the scan streams the dense opcode column.
+			orig, err := progcache.CompileFlat(s.Source, "orig")
 			if err != nil {
 				return nil, err
 			}
-			h0 := embed.Histogram(orig)
+			h0 := embed.HistogramFlat(orig)
 			m, err := Transform(s.Source, tr, rand.New(rand.NewSource(rng.Int63())))
 			if err != nil {
 				return nil, err

@@ -286,32 +286,37 @@ func featurizeOne(s dataset.Sample, transform string, normalize bool,
 	norm passes.Level, emb *embed.Embedding, seed int64) featurized {
 
 	f := featurized{label: s.Class}
-	var m *ir.Module
-	var err error
+	var fl *ir.Flat
 	if !normalize && (transform == "" || transform == "none" || transform == "O0") {
 		// The passive evader with no normalizer leaves the module exactly
 		// as compiled, and embeddings only read it — so every round and
-		// every worker can share the one cached master, skipping both the
-		// front end and the clone.
-		m, err = progcache.CompileShared(s.Source, "prog")
-	} else {
-		m, err = Transform(s.Source, transform, rand.New(rand.NewSource(seed)))
-	}
-	if err != nil {
-		f.err = err
-		return f
-	}
-	if normalize {
-		if err := Normalize(m, norm); err != nil {
+		// every worker can share the one cached flat view, skipping the
+		// front end, the clone and the flatten.
+		var err error
+		fl, err = progcache.CompileFlat(s.Source, "prog")
+		if err != nil {
 			f.err = err
 			return f
 		}
+	} else {
+		m, err := Transform(s.Source, transform, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			f.err = err
+			return f
+		}
+		if normalize {
+			if err := Normalize(m, norm); err != nil {
+				f.err = err
+				return f
+			}
+		}
+		fl = ir.Flatten(m)
 	}
 	embedStart := time.Now()
 	if emb.Kind == embed.GraphKind {
-		f.graph = emb.Graph(m)
+		f.graph = emb.GraphFlat(fl)
 	} else {
-		f.vec = emb.Vec(m)
+		f.vec = emb.VecFlat(fl)
 	}
 	phaseEmbed.Observe(time.Since(embedStart))
 	return f

@@ -35,12 +35,35 @@ int main() {
 	return m
 }
 
-// BenchmarkGraphBuilders measures the graph embedding constructors; the
-// interesting number is allocs/op, dominated (before the bulk feature-row
-// allocation) by one one-hot slice per instruction node.
+var graphBuilderNames = []string{"cfg", "cfg_compact", "cdfg", "cdfg_plus", "programl"}
+
+// BenchmarkGraphBuilders measures the production graph-embedding path: the
+// struct-of-arrays builders over a shared ir.Flat view (featurize obtains
+// the view from progcache, so Flatten cost — measured separately by
+// BenchmarkFlatten — is off the per-embed path). The builders allocate only
+// their output: one backing array for all feature rows plus exact-sized
+// edge slices.
 func BenchmarkGraphBuilders(b *testing.B) {
+	fl := ir.Flatten(benchModule(b))
+	for _, name := range graphBuilderNames {
+		emb, err := embed.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				emb.GraphFlat(fl)
+			}
+		})
+	}
+}
+
+// BenchmarkGraphBuildersPointer is the legacy pointer-walking path, kept as
+// the baseline the flat builders are measured against in BENCH_ir.json.
+func BenchmarkGraphBuildersPointer(b *testing.B) {
 	m := benchModule(b)
-	for _, name := range []string{"cfg", "cfg_compact", "cdfg", "cdfg_plus", "programl"} {
+	for _, name := range graphBuilderNames {
 		emb, err := embed.Get(name)
 		if err != nil {
 			b.Fatal(err)
@@ -55,8 +78,17 @@ func BenchmarkGraphBuilders(b *testing.B) {
 }
 
 // BenchmarkHistogram covers the hot vector embedding used by most arena
-// pipelines.
+// pipelines, on its production (flat) path.
 func BenchmarkHistogram(b *testing.B) {
+	fl := ir.Flatten(benchModule(b))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		embed.HistogramFlat(fl)
+	}
+}
+
+// BenchmarkHistogramPointer is the pointer-IR baseline for BenchmarkHistogram.
+func BenchmarkHistogramPointer(b *testing.B) {
 	m := benchModule(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -64,14 +96,35 @@ func BenchmarkHistogram(b *testing.B) {
 	}
 }
 
-// BenchmarkIR2VecSerial is the single-goroutine baseline for the seed-vector
-// cache.
-func BenchmarkIR2VecSerial(b *testing.B) {
+// BenchmarkVectorBuilders measures the remaining flat vector embeddings
+// (milepost's pooled dominator/loop analysis, ir2vec's precomputed vocab).
+func BenchmarkVectorBuilders(b *testing.B) {
 	m := benchModule(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		embed.IR2Vec(m)
-	}
+	fl := ir.Flatten(m)
+	b.Run("milepost", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			embed.MilepostFlat(fl)
+		}
+	})
+	b.Run("milepost_pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			embed.Milepost(m)
+		}
+	})
+	b.Run("ir2vec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			embed.IR2VecFlat(fl)
+		}
+	})
+	b.Run("ir2vec_pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			embed.IR2Vec(m)
+		}
+	})
 }
 
 // BenchmarkIR2VecParallel exercises the seed-vector cache from all CPUs the

@@ -55,14 +55,23 @@ const (
 	GraphKind
 )
 
-// Embedding is a named embedding function.
+// Embedding is a named embedding function. Every embedding has two
+// implementations producing identical output: one walking the pointer IR
+// and one streaming the struct-of-arrays ir.Flat view. Callers holding a
+// Flat (the progcache shared path, or any module flattened after its last
+// mutation) should prefer VecFlat/GraphFlat — the flat builders allocate
+// only their output.
 type Embedding struct {
 	Name string
 	Kind Kind
 	// Vec computes the vector form (VectorKind only).
 	Vec func(*ir.Module) Vector
+	// VecFlat computes the same vector from the flat view.
+	VecFlat func(*ir.Flat) Vector
 	// Graph computes the graph form (GraphKind only).
 	Graph func(*ir.Module) *Graph
+	// GraphFlat computes the same graph from the flat view.
+	GraphFlat func(*ir.Flat) *Graph
 }
 
 // Names lists all embeddings in the paper's order (Figure 3).
@@ -80,23 +89,23 @@ func VectorNames() []string { return []string{"ir2vec", "milepost", "histogram"}
 func Get(name string) (*Embedding, error) {
 	switch name {
 	case "histogram":
-		return &Embedding{Name: name, Kind: VectorKind, Vec: Histogram}, nil
+		return &Embedding{Name: name, Kind: VectorKind, Vec: Histogram, VecFlat: HistogramFlat}, nil
 	case "milepost":
-		return &Embedding{Name: name, Kind: VectorKind, Vec: Milepost}, nil
+		return &Embedding{Name: name, Kind: VectorKind, Vec: Milepost, VecFlat: MilepostFlat}, nil
 	case "ir2vec":
-		return &Embedding{Name: name, Kind: VectorKind, Vec: IR2Vec}, nil
+		return &Embedding{Name: name, Kind: VectorKind, Vec: IR2Vec, VecFlat: IR2VecFlat}, nil
 	case "cfg":
-		return &Embedding{Name: name, Kind: GraphKind, Graph: CFG}, nil
+		return &Embedding{Name: name, Kind: GraphKind, Graph: CFG, GraphFlat: CFGFlat}, nil
 	case "cfg_compact":
-		return &Embedding{Name: name, Kind: GraphKind, Graph: CFGCompact}, nil
+		return &Embedding{Name: name, Kind: GraphKind, Graph: CFGCompact, GraphFlat: CFGCompactFlat}, nil
 	case "cdfg":
-		return &Embedding{Name: name, Kind: GraphKind, Graph: CDFG}, nil
+		return &Embedding{Name: name, Kind: GraphKind, Graph: CDFG, GraphFlat: CDFGFlat}, nil
 	case "cdfg_compact":
-		return &Embedding{Name: name, Kind: GraphKind, Graph: CDFGCompact}, nil
+		return &Embedding{Name: name, Kind: GraphKind, Graph: CDFGCompact, GraphFlat: CDFGCompactFlat}, nil
 	case "cdfg_plus":
-		return &Embedding{Name: name, Kind: GraphKind, Graph: CDFGPlus}, nil
+		return &Embedding{Name: name, Kind: GraphKind, Graph: CDFGPlus, GraphFlat: CDFGPlusFlat}, nil
 	case "programl":
-		return &Embedding{Name: name, Kind: GraphKind, Graph: ProGraML}, nil
+		return &Embedding{Name: name, Kind: GraphKind, Graph: ProGraML, GraphFlat: ProGraMLFlat}, nil
 	}
 	return nil, fmt.Errorf("embed: unknown embedding %q", name)
 }

@@ -13,7 +13,19 @@ import (
 
 const arenaMaxClass = 26 // largest pooled buffer: 2^26 floats = 512 MiB
 
-var arenaPools [arenaMaxClass + 1]sync.Pool
+// Buffers travel through the pools as *[]float64 / *[]int: a pointer fits in
+// an interface word, so neither Put nor Get allocates. Storing the slice by
+// value instead would box its 24-byte header on every Put — one heap
+// allocation per Drop, which on the serial Predict fallback used to dominate
+// the per-row allocation count. The emptied header boxes are recycled
+// through their own pools.
+var (
+	arenaPools [arenaMaxClass + 1]sync.Pool
+	intPools   [arenaMaxClass + 1]sync.Pool
+
+	floatHdrPool = sync.Pool{New: func() any { return new([]float64) }}
+	intHdrPool   = sync.Pool{New: func() any { return new([]int) }}
+)
 
 func arenaClass(n int) int {
 	if n <= 1 {
@@ -33,7 +45,10 @@ func Grab(n int) []float64 {
 		return make([]float64, n)
 	}
 	if v := arenaPools[c].Get(); v != nil {
-		buf := v.([]float64)[:n]
+		h := v.(*[]float64)
+		buf := (*h)[:n]
+		*h = nil
+		floatHdrPool.Put(h)
 		Zero(buf)
 		return buf
 	}
@@ -48,8 +63,9 @@ func Drop(buf []float64) {
 	if cap(buf) == 0 || c > arenaMaxClass || cap(buf) != 1<<c {
 		return
 	}
-	//nolint:staticcheck // pooling the backing array, value type is fine here
-	arenaPools[c].Put(buf[:cap(buf)])
+	h := floatHdrPool.Get().(*[]float64)
+	*h = buf[:cap(buf)]
+	arenaPools[c].Put(h)
 }
 
 // GrabInts is Grab for []int scratch (pool-backed, zeroed).
@@ -62,7 +78,10 @@ func GrabInts(n int) []int {
 		return make([]int, n)
 	}
 	if v := intPools[c].Get(); v != nil {
-		buf := v.([]int)[:n]
+		h := v.(*[]int)
+		buf := (*h)[:n]
+		*h = nil
+		intHdrPool.Put(h)
 		for i := range buf {
 			buf[i] = 0
 		}
@@ -77,7 +96,7 @@ func DropInts(buf []int) {
 	if cap(buf) == 0 || c > arenaMaxClass || cap(buf) != 1<<c {
 		return
 	}
-	intPools[c].Put(buf[:cap(buf)])
+	h := intHdrPool.Get().(*[]int)
+	*h = buf[:cap(buf)]
+	intPools[c].Put(h)
 }
-
-var intPools [arenaMaxClass + 1]sync.Pool

@@ -568,5 +568,10 @@ func (rf *RandomForest) decodeSnap(r *snapReader) {
 			}
 		}
 		rf.trees[i] = t
+		// The snapshot format carries the class count per tree (all trees of
+		// one Fit share it); restore the forest-level tally width from it.
+		if t.numClasses > rf.numCl {
+			rf.numCl = t.numClasses
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -37,6 +38,40 @@ func (m *KNN) Fit(X [][]float64, y []int, numClasses int) error {
 	return nil
 }
 
+// knnNB is one neighbour candidate in the k-smallest selection.
+type knnNB struct {
+	d float64
+	c int
+}
+
+// knnScratch is the per-prediction working set (candidate buffer + vote
+// counts). Predict is the serial PredictBatch fallback, so this is recycled
+// through a pool instead of allocated per row.
+type knnScratch struct {
+	nbs   []knnNB
+	votes []float64
+}
+
+var knnScratchPool = sync.Pool{New: func() any { return new(knnScratch) }}
+
+// sortNeighbours orders the candidate buffer ascending by distance. Up to 12
+// elements this is the same stable insertion sort sort.Slice itself runs at
+// that length, inlined to skip its closure and reflection allocations; larger
+// k falls back to sort.Slice so the ordering of tied distances (and hence
+// which candidate a later insertion evicts) stays identical to the original
+// code on every path.
+func sortNeighbours(nbs []knnNB) {
+	if len(nbs) <= 12 {
+		for i := 1; i < len(nbs); i++ {
+			for j := i; j > 0 && nbs[j].d < nbs[j-1].d; j-- {
+				nbs[j], nbs[j-1] = nbs[j-1], nbs[j]
+			}
+		}
+		return
+	}
+	sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+}
+
 // Predict votes among the k nearest training rows. The inner distance scan
 // prunes against the current k-th best: squared distance only grows, so a
 // row whose partial sum already reaches that bound can be discarded without
@@ -44,17 +79,17 @@ func (m *KNN) Fit(X [][]float64, y []int, numClasses int) error {
 func (m *KNN) Predict(x []float64) int {
 	xs := linalg.Grab(len(x))
 	m.std.applyInto(xs, x)
-	type nb struct {
-		d float64
-		c int
-	}
 	k := m.K
 	if k > len(m.X) {
 		k = len(m.X)
 	}
+	sc := knnScratchPool.Get().(*knnScratch)
+	if cap(sc.nbs) < k+1 {
+		sc.nbs = make([]knnNB, 0, k+1)
+	}
 	// Partial selection of the k smallest distances.
 	limit := math.Inf(1)
-	nbs := make([]nb, 0, k+1)
+	nbs := sc.nbs[:0]
 	for i, row := range m.X {
 		var d float64
 		if m.noPrune {
@@ -63,9 +98,9 @@ func (m *KNN) Predict(x []float64) int {
 			d = sqDistBounded(xs, row, limit)
 		}
 		if len(nbs) < k {
-			nbs = append(nbs, nb{d, m.y[i]})
+			nbs = append(nbs, knnNB{d, m.y[i]})
 			if len(nbs) == k {
-				sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+				sortNeighbours(nbs)
 				limit = nbs[k-1].d
 			}
 			continue
@@ -73,17 +108,36 @@ func (m *KNN) Predict(x []float64) int {
 		if d >= limit {
 			continue
 		}
-		pos := sort.Search(k, func(j int) bool { return nbs[j].d > d })
-		copy(nbs[pos+1:], nbs[pos:k-1])
-		nbs[pos] = nb{d, m.y[i]}
+		// Upper-bound binary search (same answer as sort.Search over
+		// nbs[j].d > d, without the escaping closure).
+		lo, hi := 0, k
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if nbs[mid].d > d {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(nbs[lo+1:], nbs[lo:k-1])
+		nbs[lo] = knnNB{d, m.y[i]}
 		limit = nbs[k-1].d
 	}
 	linalg.Drop(xs)
-	votes := make([]float64, m.numCl)
+	if cap(sc.votes) < m.numCl {
+		sc.votes = make([]float64, m.numCl)
+	}
+	votes := sc.votes[:m.numCl]
+	for i := range votes {
+		votes[i] = 0
+	}
 	for _, n := range nbs {
 		votes[n.c]++
 	}
-	return argmax(votes)
+	best := argmax(votes)
+	sc.nbs = nbs
+	knnScratchPool.Put(sc)
+	return best
 }
 
 func sqDist(a, b []float64) float64 {

@@ -1,0 +1,148 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The pooled-scratch Predict paths (KNN candidate buffer + inlined insertion
+// sort, RF slice tally) must return exactly what the allocating originals
+// returned, including on tied distances and tied vote counts. The reference
+// implementations below are the pre-pooling code, kept verbatim as oracles.
+
+// refKNNPredict is the original KNN.Predict: per-call slices, sort.Slice for
+// the initial k ordering, sort.Search for insertions.
+func refKNNPredict(m *KNN, x []float64) int {
+	xs := make([]float64, len(x))
+	m.std.applyInto(xs, x)
+	type nb struct {
+		d float64
+		c int
+	}
+	k := m.K
+	if k > len(m.X) {
+		k = len(m.X)
+	}
+	limit := math.Inf(1)
+	nbs := make([]nb, 0, k+1)
+	for i, row := range m.X {
+		var d float64
+		if m.noPrune {
+			d = sqDist(xs, row)
+		} else {
+			d = sqDistBounded(xs, row, limit)
+		}
+		if len(nbs) < k {
+			nbs = append(nbs, nb{d, m.y[i]})
+			if len(nbs) == k {
+				sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+				limit = nbs[k-1].d
+			}
+			continue
+		}
+		if d >= limit {
+			continue
+		}
+		pos := sort.Search(k, func(j int) bool { return nbs[j].d > d })
+		copy(nbs[pos+1:], nbs[pos:k-1])
+		nbs[pos] = nb{d, m.y[i]}
+		limit = nbs[k-1].d
+	}
+	votes := make([]float64, m.numCl)
+	for _, n := range nbs {
+		votes[n.c]++
+	}
+	return argmax(votes)
+}
+
+// tieGrid draws feature rows from a tiny integer grid so squared distances
+// collide constantly — the adversarial case for neighbour ordering.
+func tieGrid(rng *rand.Rand, n, d int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = float64(rng.Intn(3))
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func TestKNNPooledPredictMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X := tieGrid(rng, 240, 6)
+	y := make([]int, len(X))
+	for i := range y {
+		y[i] = rng.Intn(4)
+	}
+	// k=5 exercises the inlined insertion sort, k=15 the sort.Slice
+	// fallback plus the binary-search insertion on a wider buffer.
+	for _, k := range []int{1, 5, 12, 15} {
+		m := NewKNN(k)
+		if err := m.Fit(X, y, 4); err != nil {
+			t.Fatal(err)
+		}
+		queries := append(tieGrid(rng, 300, 6), X[:40]...)
+		for qi, q := range queries {
+			if got, want := m.Predict(q), refKNNPredict(m, q); got != want {
+				t.Fatalf("k=%d query %d: pooled Predict=%d, reference=%d", k, qi, got, want)
+			}
+		}
+	}
+}
+
+func TestRFSliceTallyMatchesMapTally(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	X := tieGrid(rng, 200, 6)
+	y := make([]int, len(X))
+	for i := range y {
+		y[i] = rng.Intn(4)
+	}
+	// Many shallow trees disagree often, producing tied vote counts.
+	rf := NewRandomForest(31, 2, rand.New(rand.NewSource(3)))
+	if err := rf.Fit(X, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range tieGrid(rng, 300, 6) {
+		if got, want := rf.Predict(q), rf.predictMapVotes(q); got != want {
+			t.Fatalf("query %d: slice tally=%d, map tally=%d", qi, got, want)
+		}
+	}
+}
+
+func TestRFSnapshotRestoresTallyWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X := tieGrid(rng, 120, 5)
+	y := make([]int, len(X))
+	for i := range y {
+		y[i] = rng.Intn(3)
+	}
+	rf := NewRandomForest(9, 3, rand.New(rand.NewSource(7)))
+	if err := rf.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, rf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf2, ok := m.(*RandomForest)
+	if !ok {
+		t.Fatalf("loaded %T, want *RandomForest", m)
+	}
+	if rf2.numCl != rf.numCl {
+		t.Fatalf("restored numCl=%d, want %d", rf2.numCl, rf.numCl)
+	}
+	for qi, q := range tieGrid(rng, 100, 5) {
+		if got, want := rf2.Predict(q), rf.Predict(q); got != want {
+			t.Fatalf("query %d: restored forest=%d, original=%d", qi, got, want)
+		}
+	}
+}

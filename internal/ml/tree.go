@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/linalg"
 )
 
 // treeNode is one node of a CART decision tree, stored in a flat arena.
@@ -192,6 +194,7 @@ type RandomForest struct {
 	NumTrees int
 	MaxDepth int
 	trees    []*DecisionTree
+	numCl    int
 	rng      *rand.Rand
 }
 
@@ -211,6 +214,7 @@ func (rf *RandomForest) Fit(X [][]float64, y []int, numClasses int) error {
 	if mtry < 1 {
 		mtry = 1
 	}
+	rf.numCl = numClasses
 	rf.trees = make([]*DecisionTree, rf.NumTrees)
 	n := len(X)
 	for ti := range rf.trees {
@@ -231,8 +235,30 @@ func (rf *RandomForest) Fit(X [][]float64, y []int, numClasses int) error {
 	return nil
 }
 
-// Predict takes a majority vote over the ensemble.
+// Predict takes a majority vote over the ensemble. The tally runs over a
+// pooled slice; the winner is the first class in tree order to reach each
+// new peak count, exactly as the old map-based tally resolved ties.
 func (rf *RandomForest) Predict(x []float64) int {
+	if rf.numCl <= 0 {
+		return rf.predictMapVotes(x)
+	}
+	votes := linalg.GrabInts(rf.numCl)
+	best, bestN := 0, -1
+	for _, t := range rf.trees {
+		c := t.Predict(x)
+		votes[c]++
+		if votes[c] > bestN {
+			best, bestN = c, votes[c]
+		}
+	}
+	linalg.DropInts(votes)
+	return best
+}
+
+// predictMapVotes is the unbounded-class fallback for forests whose class
+// count is unknown (zero-valued structs in tests); trained or snapshot-
+// restored forests always carry numCl.
+func (rf *RandomForest) predictMapVotes(x []float64) int {
 	votes := map[int]int{}
 	best, bestN := 0, -1
 	for _, t := range rf.trees {

@@ -6,6 +6,12 @@
 // as a compiler's module cache). Consumers that go on to mutate the module
 // with passes or obfuscations receive a deep clone of the cached master;
 // read-only consumers can share the master directly.
+//
+// Alongside each master module the cache lazily materializes its
+// struct-of-arrays view (ir.Flatten), built at most once per entry and
+// shared by every CompileFlat caller: the embedding pipeline, distance
+// analyses, antivirus scoring and the bytecode compiler all walk the same
+// immutable flat tables with zero per-call cloning or indexing.
 package progcache
 
 import (
@@ -18,12 +24,17 @@ import (
 	"repro/internal/obs"
 )
 
-// entry is one cache slot. The sync.Once serializes the first compile of a
-// source (singleflight) without holding any global lock.
+// entry is one cache slot. The sync.Onces serialize the first compile of a
+// source and the first flatten of its master (singleflight) without
+// holding any global lock. The flat view is invalidated with the entry —
+// it lives and dies with the master module it indexes.
 type entry struct {
 	once sync.Once
 	mod  *ir.Module
 	err  error
+
+	flatOnce sync.Once
+	flat     *ir.Flat
 }
 
 // The cache counters live in the process-wide obs registry ("progcache.*"),
@@ -39,6 +50,9 @@ var (
 	entries      = obs.GetGauge("progcache.entries")
 	compileTimer = obs.GetTimer("progcache.compile")
 	cloneTimer   = obs.GetTimer("progcache.clone")
+	flatHits     = obs.GetCounter("progcache.flat.hits")
+	flatMisses   = obs.GetCounter("progcache.flat.misses")
+	flattenTimer = obs.GetTimer("progcache.flatten")
 )
 
 func init() { enabled.Store(true) }
@@ -51,7 +65,8 @@ func SetEnabled(on bool) { enabled.Store(on) }
 // Enabled reports whether the cache is active.
 func Enabled() bool { return enabled.Load() }
 
-// Reset drops every cached module and zeroes the counters.
+// Reset drops every cached module (and with it every cached flat view) and
+// zeroes the counters.
 func Reset() {
 	cache.Range(func(k, _ any) bool { cache.Delete(k); return true })
 	entries.Set(0)
@@ -64,16 +79,24 @@ func ResetStats() {
 	misses.Reset()
 	compileTimer.Reset()
 	cloneTimer.Reset()
+	flatHits.Reset()
+	flatMisses.Reset()
+	flattenTimer.Reset()
 }
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	Hits, Misses, Entries int64
+	// FlatHits/FlatMisses count CompileFlat calls served from an existing
+	// flat view vs. ones that built it.
+	FlatHits, FlatMisses int64
 	// CompileTime is the total front-end time spent on cache misses;
 	// CloneTime is the total time spent deep-cloning cached modules for
-	// mutating consumers.
+	// mutating consumers; FlattenTime is the total time spent building
+	// struct-of-arrays views on flat misses.
 	CompileTime time.Duration
 	CloneTime   time.Duration
+	FlattenTime time.Duration
 }
 
 // Snapshot returns the current counters.
@@ -84,15 +107,19 @@ func Snapshot() Stats {
 		Hits:        hits.Value(),
 		Misses:      misses.Value(),
 		Entries:     n,
+		FlatHits:    flatHits.Value(),
+		FlatMisses:  flatMisses.Value(),
 		CompileTime: compileTimer.Total(),
 		CloneTime:   cloneTimer.Total(),
+		FlattenTime: flattenTimer.Total(),
 	}
 }
 
-// lookup returns the compiled master module for src. The cache is keyed by
-// the source text alone — the module name only labels printed IR, so one
-// master serves callers that name their modules differently.
-func lookup(src, name string) (*ir.Module, error) {
+// lookupEntry returns the cache slot for src with its master compiled. The
+// cache is keyed by the source text alone — the module name only labels
+// printed IR, so one master serves callers that name their modules
+// differently.
+func lookupEntry(src, name string) (*entry, error) {
 	e, loaded := cache.Load(src)
 	if !loaded {
 		e, loaded = cache.LoadOrStore(src, &entry{})
@@ -110,7 +137,7 @@ func lookup(src, name string) (*ir.Module, error) {
 	if loaded && ent.err == nil {
 		hits.Inc()
 	}
-	return ent.mod, ent.err
+	return ent, ent.err
 }
 
 // Compile returns a freshly cloned module for src that the caller owns and
@@ -120,12 +147,12 @@ func Compile(src, name string) (*ir.Module, error) {
 	if !enabled.Load() {
 		return minic.CompileSource(src, name)
 	}
-	master, err := lookup(src, name)
+	ent, err := lookupEntry(src, name)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	m := master.Clone()
+	m := ent.mod.Clone()
 	cloneTimer.Observe(time.Since(start))
 	m.Name = name
 	return m, nil
@@ -139,5 +166,45 @@ func CompileShared(src, name string) (*ir.Module, error) {
 	if !enabled.Load() {
 		return minic.CompileSource(src, name)
 	}
-	return lookup(src, name)
+	ent, err := lookupEntry(src, name)
+	if err != nil {
+		return nil, err
+	}
+	return ent.mod, nil
+}
+
+// CompileFlat returns the cached struct-of-arrays view of src's master
+// module, flattening it on first use. Like the master itself the view is
+// shared and strictly read-only; unlike Compile there is nothing to clone —
+// any number of embed/featurize/scan/compile consumers stream the same
+// tables concurrently. With the cache disabled the module and its view are
+// built fresh on every call.
+func CompileFlat(src, name string) (*ir.Flat, error) {
+	if !enabled.Load() {
+		m, err := minic.CompileSource(src, name)
+		if err != nil {
+			return nil, err
+		}
+		flatMisses.Inc()
+		start := time.Now()
+		fl := ir.Flatten(m)
+		flattenTimer.Observe(time.Since(start))
+		return fl, nil
+	}
+	ent, err := lookupEntry(src, name)
+	if err != nil {
+		return nil, err
+	}
+	built := false
+	ent.flatOnce.Do(func() {
+		built = true
+		flatMisses.Inc()
+		start := time.Now()
+		ent.flat = ir.Flatten(ent.mod)
+		flattenTimer.Observe(time.Since(start))
+	})
+	if !built {
+		flatHits.Inc()
+	}
+	return ent.flat, nil
 }

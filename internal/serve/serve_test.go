@@ -462,3 +462,41 @@ func TestConcurrentClassifyRace(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMetriczSurfacesFlatCacheCounters drives two source-bearing classify
+// requests for the same program (first builds the cached flat view, second
+// reuses it) and checks /metricz reports the progcache flat counters and
+// flatten timer alongside the existing clone timer metrics.
+func TestMetriczSurfacesFlatCacheCounters(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Models: map[string]ml.Model{"stub": &stubModel{}},
+	})
+	src := "int main() { int i; int s; s = 0; for (i = 0; i < 9; i = i + 1) { s = s + i; } return s; }"
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Source: src})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d got %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64           `json:"counters"`
+		Timers   map[string]json.RawMessage `json:"timers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["progcache.flat.misses"] < 1 {
+		t.Fatalf("metricz missing progcache.flat.misses: %v", snap.Counters)
+	}
+	if snap.Counters["progcache.flat.hits"] < 1 {
+		t.Fatalf("metricz missing progcache.flat.hits: %v", snap.Counters)
+	}
+	if _, ok := snap.Timers["progcache.flatten"]; !ok {
+		t.Fatalf("metricz missing progcache.flatten timer: %v", snap.Timers)
+	}
+}

@@ -185,6 +185,15 @@ type val struct {
 	f float64
 }
 
+// gepRef is the compile-time residue of one slow-path GEP: the element type
+// of the base pointer and the instruction's operand count. gepSlow re-walks
+// the type chain from these plus the operand slots in extra, so no pointer
+// back into the IR instruction is needed.
+type gepRef struct {
+	elem *ir.Type
+	n    int32
+}
+
 // funcCode is one compiled function.
 type funcCode struct {
 	name      string
@@ -194,21 +203,20 @@ type funcCode struct {
 	constBase int   // offset of the constant region within the frame
 	consts    []val // copied into frame[constBase:] at call entry
 
-	extra  []int32     // call-argument, select and slow-GEP slot pool
-	swVals []int64     // switch case values
-	swPCs  []int32     // switch case targets, parallel to swVals
-	ipool  []int64     // immediates too wide for an inst field
-	msgs   []string    // trap messages
-	geps   []*ir.Instr // instructions interpreted by opGEPSlow
+	extra  []int32  // call-argument, select and slow-GEP slot pool
+	swVals []int64  // switch case values
+	swPCs  []int32  // switch case targets, parallel to swVals
+	ipool  []int64  // immediates too wide for an inst field
+	msgs   []string // trap messages
+	geps   []gepRef // GEPs interpreted by opGEPSlow
 }
 
 // Program is a compiled module, reusable across runs: Compile once, then
 // Run any number of times (each Run gets a fresh memory arena and output).
 type Program struct {
-	mod     *ir.Module
-	funcs   []*funcCode
-	fnIndex map[*ir.Function]int32
-	main    int32 // index into funcs, -1 if main is missing or a declaration
+	mod   *ir.Module
+	funcs []*funcCode
+	main  int32 // index into funcs, -1 if main is missing or a declaration
 	// entry is the funcCode executed for the top-level main call. When main
 	// has parameters it is a variant compiled with every parameter use
 	// trapping "missing argument", because the top-level call passes no

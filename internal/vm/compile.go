@@ -3,60 +3,80 @@ package vm
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/ir"
 )
 
-// Compile lowers every function of m into bytecode. The Program keeps a
-// reference to m only for global initialization and diagnostics; the module
-// may be executed concurrently by multiple machines afterwards as long as
-// nothing mutates it.
+// Compile lowers every function of m into bytecode. The module is flattened
+// first (see ir.Flatten); callers holding a cached flat view should use
+// CompileFlat directly and skip the re-flatten.
 func Compile(m *ir.Module) (*Program, error) {
-	p := &Program{mod: m, fnIndex: make(map[*ir.Function]int32), main: -1}
+	return CompileFlat(ir.Flatten(m))
+}
+
+// CompileFlat lowers a flattened module into bytecode. The flat view's
+// operand spans map directly onto register operands, so compilation runs
+// over dense index tables — no per-function map[*ir.Instr]int32 slot table,
+// no pointer-keyed global or callee lookups. The Program keeps a reference
+// to the underlying module only for global initialization and diagnostics;
+// the view and module may be shared concurrently afterwards as long as
+// nothing mutates them.
+func CompileFlat(fl *ir.Flat) (*Program, error) {
+	p := &Program{mod: fl.Mod, main: -1}
 
 	// Globals land at compile-time-known addresses because the machine
 	// allocates them exactly like interp.NewMachine: bump pointer from 16,
 	// module order, 8-byte aligned. exec.go re-derives the same addresses
-	// at machine init and double-checks them against this table.
-	gaddr := make(map[*ir.Global]int64, len(m.Globals))
+	// at machine init. Rows appended by Flatten for globals unknown to the
+	// module get address -1 and trap on use.
+	gaddr := make([]int64, len(fl.Globals))
 	sp := int64(16)
-	for _, g := range m.Globals {
-		size := (int64(g.Elem.Size()) + 7) &^ 7
-		gaddr[g] = sp
+	for i := range fl.Globals {
+		if !fl.Globals[i].Known {
+			gaddr[i] = -1
+			continue
+		}
+		size := (int64(fl.Types[fl.Globals[i].Elem].Size()) + 7) &^ 7
+		gaddr[i] = sp
 		sp += size
 	}
 
-	for _, f := range m.Functions {
-		if f.IsDecl() {
+	// defIdx maps flat function index -> Program func index; -1 for
+	// declarations (including the trailing foreign-callee rows).
+	defIdx := make([]int32, len(fl.Funcs))
+	for i := range fl.Funcs {
+		if fl.Funcs[i].IsDecl() {
+			defIdx[i] = -1
 			continue
 		}
-		p.fnIndex[f] = int32(len(p.funcs))
+		defIdx[i] = int32(len(p.funcs))
 		p.funcs = append(p.funcs, nil) // reserve the index before bodies compile
 	}
-	for _, f := range m.Functions {
-		if f.IsDecl() {
+	for i := range fl.Funcs {
+		if defIdx[i] < 0 {
 			continue
 		}
-		fc, err := compileFunc(f, p.fnIndex, gaddr, false)
+		fc, err := compileFunc(fl, int32(i), defIdx, gaddr, false)
 		if err != nil {
 			return nil, err
 		}
-		p.funcs[p.fnIndex[f]] = fc
+		p.funcs[defIdx[i]] = fc
 	}
-	if mf := m.Func("main"); mf != nil {
-		idx, defined := p.fnIndex[mf]
+	if fl.MainIdx >= 0 {
+		mi := fl.MainIdx
 		switch {
-		case !defined:
+		case defIdx[mi] < 0:
 			p.mainDecl = true
-		case len(mf.Params) == 0:
-			p.main = idx
-			p.entry = p.funcs[idx]
+		case fl.Funcs[mi].NumParams() == 0:
+			p.main = defIdx[mi]
+			p.entry = p.funcs[p.main]
 		default:
 			// The top-level call passes no arguments, so any parameter use
 			// must trap "missing argument" — recursive calls to main from
 			// inside the program still use the normal variant.
-			p.main = idx
-			fc, err := compileFunc(mf, p.fnIndex, gaddr, true)
+			p.main = defIdx[mi]
+			fc, err := compileFunc(fl, mi, defIdx, gaddr, true)
 			if err != nil {
 				return nil, err
 			}
@@ -67,18 +87,19 @@ func Compile(m *ir.Module) (*Program, error) {
 }
 
 type fnCompiler struct {
-	f       *ir.Function
-	fc      *funcCode
-	fnIndex map[*ir.Function]int32
-	gaddr   map[*ir.Global]int64
-	noArgs  bool // entry-variant: every parameter use traps "missing argument"
+	fl     *ir.Flat
+	f      *ir.FlatFunc
+	fc     *funcCode
+	defIdx []int32
+	gaddr  []int64
+	noArgs bool // entry-variant: every parameter use traps "missing argument"
 
-	slots  map[*ir.Instr]int32
+	slots  []int32 // frame slot per instruction, indexed by i - f.Ins0; -1 = no result
 	cpool  map[ckey]int32
 	temp   int32 // phi-cycle scratch slot
 	nconst int32
 
-	blockStart map[*ir.Block]int32
+	blockStart []int32 // code offset per block, indexed by b - f.Blk0
 	fixups     []fixup
 	edgePC     map[edgeKey]int32
 	msgIdx     map[string]int32
@@ -91,7 +112,8 @@ type ckey struct {
 	f uint64
 }
 
-type edgeKey struct{ pred, succ *ir.Block }
+// edgeKey is a (pred, succ) pair of module-wide block indices.
+type edgeKey struct{ pred, succ int32 }
 
 // fixup is a branch operand awaiting edge resolution: after all blocks and
 // edge stubs are emitted, the named field of code[pc] is patched with the
@@ -100,38 +122,42 @@ type fixup struct {
 	pc    int32
 	field uint8 // 0 = dst, 1 = b, 2 = swPCs[swIdx]
 	swIdx int32
-	pred  *ir.Block
-	succ  *ir.Block
+	pred  int32
+	succ  int32
 }
 
-func compileFunc(f *ir.Function, fnIndex map[*ir.Function]int32, gaddr map[*ir.Global]int64, noArgs bool) (*funcCode, error) {
+func compileFunc(fl *ir.Flat, fi int32, defIdx []int32, gaddr []int64, noArgs bool) (*funcCode, error) {
+	f := &fl.Funcs[fi]
 	c := &fnCompiler{
-		f:       f,
-		fc:      &funcCode{name: f.Name, nparams: len(f.Params)},
-		fnIndex: fnIndex,
-		gaddr:   gaddr,
-		noArgs:  noArgs,
-		slots:   make(map[*ir.Instr]int32),
-		cpool:   make(map[ckey]int32),
-		blockStart: make(map[*ir.Block]int32, len(f.Blocks)),
-		edgePC:     make(map[edgeKey]int32),
-		msgIdx:     make(map[string]int32),
+		fl:     fl,
+		f:      f,
+		fc:     &funcCode{name: f.Name, nparams: f.NumParams()},
+		defIdx: defIdx,
+		gaddr:  gaddr,
+		noArgs: noArgs,
+		slots:  make([]int32, f.Ins1-f.Ins0),
+		cpool:  make(map[ckey]int32),
+		edgePC: make(map[edgeKey]int32),
+		msgIdx: make(map[string]int32),
 	}
 
 	// Slot assignment: params, then every value-producing instruction, then
 	// one scratch slot for phi-cycle breaking, then the constant region.
-	next := int32(len(f.Params))
-	f.ForEachInstr(func(in *ir.Instr) {
-		if in.HasResult() {
-			c.slots[in] = next
+	next := int32(f.NumParams())
+	for i := f.Ins0; i < f.Ins1; i++ {
+		if fl.HasResult(i) {
+			c.slots[i-f.Ins0] = next
 			next++
+		} else {
+			c.slots[i-f.Ins0] = -1
 		}
-	})
+	}
 	c.temp = next
 	c.fc.constBase = int(next) + 1
 
-	for _, b := range f.Blocks {
-		c.blockStart[b] = int32(len(c.fc.code))
+	c.blockStart = make([]int32, f.Blk1-f.Blk0)
+	for b := f.Blk0; b < f.Blk1; b++ {
+		c.blockStart[b-f.Blk0] = int32(len(c.fc.code))
 		c.compileBlock(b)
 	}
 	c.resolveEdges()
@@ -161,33 +187,76 @@ func (c *fnCompiler) constSlot(v val) int32 {
 // return is the trap message the interpreter would raise when evaluating
 // this operand; the caller compiles the whole instruction to opTrap so the
 // trap still fires at the same execution point.
-func (c *fnCompiler) slotOf(v ir.Value) (int32, string) {
-	switch x := v.(type) {
-	case *ir.Const:
-		if x.Ty.IsFloat() {
-			return c.constSlot(val{f: x.F}), ""
+func (c *fnCompiler) slotOf(a ir.Operand) (int32, string) {
+	fl := c.fl
+	switch a.Kind {
+	case ir.OperConst:
+		k := &fl.Consts[a.Idx]
+		if fl.Types[k.Ty].IsFloat() {
+			return c.constSlot(val{f: k.F}), ""
 		}
-		return c.constSlot(val{i: x.I}), ""
-	case *ir.Param:
-		if c.noArgs || x.Index >= len(c.f.Params) {
-			return 0, "missing argument " + x.Name
+		return c.constSlot(val{i: k.I}), ""
+	case ir.OperParam:
+		if c.noArgs || a.Idx < c.f.Par0 || a.Idx >= c.f.Par1 {
+			return 0, "missing argument " + fl.ParamNames[a.Idx]
 		}
-		return int32(x.Index), ""
-	case *ir.Instr:
-		if s, ok := c.slots[x]; ok {
-			return s, ""
+		return a.Idx - c.f.Par0, ""
+	case ir.OperInstr:
+		if a.Idx >= c.f.Ins0 && a.Idx < c.f.Ins1 {
+			if s := c.slots[a.Idx-c.f.Ins0]; s >= 0 {
+				return s, ""
+			}
 		}
-		return 0, "use of undefined value " + x.Ref() + " in @" + c.f.Name
-	case *ir.Global:
-		addr, ok := c.gaddr[x]
-		if !ok {
-			return 0, "use of unknown global @" + x.Name + " in @" + c.f.Name
+		return 0, "use of undefined value %t" + strconv.Itoa(int(fl.Instrs[a.Idx].ID)) + " in @" + c.f.Name
+	case ir.OperGlobal:
+		if addr := c.gaddr[a.Idx]; addr >= 0 {
+			return c.constSlot(val{i: addr}), ""
 		}
-		return c.constSlot(val{i: addr}), ""
-	case *ir.Function:
+		return 0, "use of unknown global @" + fl.Globals[a.Idx].G.Name + " in @" + c.f.Name
+	case ir.OperFunc:
 		return 0, "function pointers are not supported"
+	case ir.OperBadInstr:
+		return 0, "use of undefined value " + fl.Strings[a.Idx] + " in @" + c.f.Name
+	case ir.OperBadParam:
+		return 0, "missing argument " + fl.Strings[a.Idx]
 	}
 	return 0, "unknown value kind"
+}
+
+// operandType returns the IR type of an operand. It is only called for
+// operands slotOf resolved, which excludes the Bad/Func/Unknown kinds.
+func (c *fnCompiler) operandType(a ir.Operand) *ir.Type {
+	fl := c.fl
+	switch a.Kind {
+	case ir.OperConst:
+		return fl.Types[fl.Consts[a.Idx].Ty]
+	case ir.OperParam:
+		return fl.Types[fl.ParamTypes[a.Idx]]
+	case ir.OperGlobal:
+		return fl.Globals[a.Idx].G.Type()
+	default:
+		return fl.Types[fl.Instrs[a.Idx].Ty]
+	}
+}
+
+// operandElem returns the pointee type of a pointer-typed operand (nil when
+// the operand is not a pointer), without materializing the pointer type.
+func (c *fnCompiler) operandElem(a ir.Operand) *ir.Type {
+	fl := c.fl
+	switch a.Kind {
+	case ir.OperConst:
+		return fl.Types[fl.Consts[a.Idx].Ty].Elem
+	case ir.OperParam:
+		return fl.Types[fl.ParamTypes[a.Idx]].Elem
+	case ir.OperGlobal:
+		return fl.Types[fl.Globals[a.Idx].Elem]
+	default:
+		return fl.Types[fl.Instrs[a.Idx].Ty].Elem
+	}
+}
+
+func (c *fnCompiler) blockLabel(b int32) string {
+	return c.fl.Strings[c.fl.Blocks[b].Label]
 }
 
 func (c *fnCompiler) trapMsg(msg string) int32 {
@@ -211,7 +280,7 @@ func (c *fnCompiler) emitTrap(msg string, cost uint8) {
 }
 
 // branchTo records a pending edge target to be patched after stubs exist.
-func (c *fnCompiler) branchTo(pc int32, field uint8, swIdx int32, pred, succ *ir.Block) {
+func (c *fnCompiler) branchTo(pc int32, field uint8, swIdx int32, pred, succ int32) {
 	c.fixups = append(c.fixups, fixup{pc: pc, field: field, swIdx: swIdx, pred: pred, succ: succ})
 }
 
@@ -224,23 +293,23 @@ func shOf(t *ir.Type) uint8 {
 	return 0
 }
 
-func (c *fnCompiler) compileBlock(b *ir.Block) {
-	instrs := b.Instrs[b.FirstNonPhi():] // phis compile into edge stubs
-	for _, in := range instrs {
-		c.compileInstr(b, in)
+func (c *fnCompiler) compileBlock(b int32) {
+	blk := &c.fl.Blocks[b]
+	for i := c.fl.FirstNonPhi(b); i < blk.Ins1; i++ { // phis compile into edge stubs
+		c.compileInstr(b, i)
 	}
-	if b.Term() == nil {
-		c.emitTrap("block "+b.Label()+" fell through without terminator", 0)
+	if !c.fl.BlockHasTerm(b) {
+		c.emitTrap("block "+c.blockLabel(b)+" fell through without terminator", 0)
 	}
 }
 
-// operands resolves the value operands of in, compiling the instruction to
+// operands resolves value operands to slots, compiling the instruction to
 // a trap (and reporting false) if any operand cannot be evaluated — the
 // same point at which the interpreter would trap.
-func (c *fnCompiler) operands(in *ir.Instr, vs ...ir.Value) ([]int32, bool) {
-	slots := make([]int32, len(vs))
-	for i, v := range vs {
-		s, msg := c.slotOf(v)
+func (c *fnCompiler) operands(args []ir.Operand) ([]int32, bool) {
+	slots := make([]int32, len(args))
+	for i, a := range args {
+		s, msg := c.slotOf(a)
 		if msg != "" {
 			c.emitTrap(msg, 1)
 			return nil, false
@@ -250,80 +319,85 @@ func (c *fnCompiler) operands(in *ir.Instr, vs ...ir.Value) ([]int32, bool) {
 	return slots, true
 }
 
-func (c *fnCompiler) compileInstr(b *ir.Block, in *ir.Instr) {
-	dst := int32(-1)
-	if s, ok := c.slots[in]; ok {
-		dst = s
-	}
+func (c *fnCompiler) compileInstr(b, i int32) {
+	fl := c.fl
+	irOp := fl.Op(i)
+	row := &fl.Instrs[i]
+	args := fl.Args(i)
+	dst := c.slots[i-c.f.Ins0]
 
 	switch {
-	case in.Op.IsIntBinary():
-		s, ok := c.operands(in, in.Args[0], in.Args[1])
+	case irOp.IsIntBinary():
+		s, ok := c.operands(args[:2])
 		if !ok {
 			return
 		}
-		c.emit(inst{op: opAdd + op(in.Op-ir.OpAdd), cost: 1, sh: shOf(in.Ty), dst: dst, a: s[0], b: s[1]})
+		c.emit(inst{op: opAdd + op(irOp-ir.OpAdd), cost: 1, sh: shOf(fl.Types[row.Ty]), dst: dst, a: s[0], b: s[1]})
 		return
-	case in.Op.IsFloatBinary():
-		s, ok := c.operands(in, in.Args[0], in.Args[1])
+	case irOp.IsFloatBinary():
+		s, ok := c.operands(args[:2])
 		if !ok {
 			return
 		}
-		c.emit(inst{op: opFAdd + op(in.Op-ir.OpFAdd), cost: 1, dst: dst, a: s[0], b: s[1]})
+		c.emit(inst{op: opFAdd + op(irOp-ir.OpFAdd), cost: 1, dst: dst, a: s[0], b: s[1]})
 		return
 	}
 
-	switch in.Op {
+	switch irOp {
 	case ir.OpRet:
-		if len(in.Args) == 0 {
+		if len(args) == 0 {
 			c.emit(inst{op: opRetVoid, cost: 1})
 			return
 		}
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
 		c.emit(inst{op: opRet, cost: 1, a: s[0]})
 
 	case ir.OpBr:
+		blocks := fl.InstrBlockArgs(i)
 		pc := c.emit(inst{op: opJmp, cost: 1})
-		c.branchTo(pc, 0, 0, b, in.Blocks[0])
+		c.branchTo(pc, 0, 0, b, blocks[0])
 
 	case ir.OpCondBr:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
+		blocks := fl.InstrBlockArgs(i)
 		pc := c.emit(inst{op: opCondBr, cost: 1, a: s[0]})
-		c.branchTo(pc, 0, 0, b, in.Blocks[0])
-		c.branchTo(pc, 1, 0, b, in.Blocks[1])
+		c.branchTo(pc, 0, 0, b, blocks[0])
+		c.branchTo(pc, 1, 0, b, blocks[1])
 
 	case ir.OpSwitch:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
+		blocks := fl.InstrBlockArgs(i)
+		swVals := fl.InstrSwitchVals(i)
 		base := int32(len(c.fc.swVals))
-		pc := c.emit(inst{op: opSwitch, cost: 1, a: s[0], b: base, c: int32(len(in.SwitchVals))})
-		c.branchTo(pc, 0, 0, b, in.Blocks[0]) // default
-		for i, sv := range in.SwitchVals {
+		pc := c.emit(inst{op: opSwitch, cost: 1, a: s[0], b: base, c: int32(len(swVals))})
+		c.branchTo(pc, 0, 0, b, blocks[0]) // default
+		for k, sv := range swVals {
 			c.fc.swVals = append(c.fc.swVals, sv)
 			c.fc.swPCs = append(c.fc.swPCs, 0)
-			c.branchTo(pc, 2, base+int32(i), b, in.Blocks[i+1])
+			c.branchTo(pc, 2, base+int32(k), b, blocks[k+1])
 		}
 
 	case ir.OpUnreachable:
 		c.emitTrap("reached unreachable in @"+c.f.Name, 1)
 
 	case ir.OpFNeg:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
 		c.emit(inst{op: opFNeg, cost: 1, dst: dst, a: s[0]})
 
 	case ir.OpAlloca:
-		size := in.AllocaTy.Size()
+		size := fl.Types[row.Aux].Size()
 		if size >= 0 && size <= math.MaxInt32 {
 			c.emit(inst{op: opAlloca, cost: 1, dst: dst, c: int32(size)})
 			return
@@ -333,39 +407,40 @@ func (c *fnCompiler) compileInstr(b *ir.Block, in *ir.Instr) {
 		c.emit(inst{op: opAllocaP, cost: 1, dst: dst, c: pi})
 
 	case ir.OpLoad:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
-		c.emit(inst{op: loadOp(in.Ty), cost: 1, dst: dst, a: s[0], c: int32(in.Ty.Size())})
+		ty := fl.Types[row.Ty]
+		c.emit(inst{op: loadOp(ty), cost: 1, dst: dst, a: s[0], c: int32(ty.Size())})
 
 	case ir.OpStore:
-		s, ok := c.operands(in, in.Args[0], in.Args[1])
+		s, ok := c.operands(args[:2])
 		if !ok {
 			return
 		}
-		vt := in.Args[0].Type()
+		vt := c.operandType(args[0])
 		c.emit(inst{op: storeOp(vt), cost: 1, a: s[0], b: s[1], c: int32(vt.Size())})
 
 	case ir.OpGEP:
-		c.compileGEP(in, dst)
+		c.compileGEP(args, dst)
 
 	case ir.OpICmp:
-		s, ok := c.operands(in, in.Args[0], in.Args[1])
+		s, ok := c.operands(args[:2])
 		if !ok {
 			return
 		}
-		c.emit(inst{op: opIEq + op(in.Pred), cost: 1, dst: dst, a: s[0], b: s[1]})
+		c.emit(inst{op: opIEq + op(row.Pred), cost: 1, dst: dst, a: s[0], b: s[1]})
 
 	case ir.OpFCmp:
-		s, ok := c.operands(in, in.Args[0], in.Args[1])
+		s, ok := c.operands(args[:2])
 		if !ok {
 			return
 		}
-		c.emit(inst{op: fcmpOp(in.Pred), cost: 1, dst: dst, a: s[0], b: s[1]})
+		c.emit(inst{op: fcmpOp(ir.CmpPred(row.Pred)), cost: 1, dst: dst, a: s[0], b: s[1]})
 
 	case ir.OpSelect:
-		s, ok := c.operands(in, in.Args[0], in.Args[1], in.Args[2])
+		s, ok := c.operands(args[:3])
 		if !ok {
 			return
 		}
@@ -374,48 +449,48 @@ func (c *fnCompiler) compileInstr(b *ir.Block, in *ir.Instr) {
 		c.emit(inst{op: opSelect, cost: 1, dst: dst, a: s[0], b: base})
 
 	case ir.OpCall:
-		c.compileCall(in, dst)
+		c.compileCall(row, args, dst)
 
 	case ir.OpTrunc:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
-		if sh := shOf(in.Ty); sh != 0 {
+		if sh := shOf(fl.Types[row.Ty]); sh != 0 {
 			c.emit(inst{op: opTrunc, cost: 1, sh: sh, dst: dst, a: s[0]})
 		} else {
 			c.emit(inst{op: opMov, cost: 1, dst: dst, a: s[0]})
 		}
 
 	case ir.OpZExt:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
 		// The interpreter masks whenever from.Bits < 64, including the
 		// degenerate zext-from-pointer (Bits 0, so the result is 0).
-		if from := in.Args[0].Type(); from.Bits < 64 {
+		if from := c.operandType(args[0]); from.Bits < 64 {
 			c.emit(inst{op: opZExt, cost: 1, sh: uint8(from.Bits), dst: dst, a: s[0]})
 		} else {
 			c.emit(inst{op: opMov, cost: 1, dst: dst, a: s[0]})
 		}
 
 	case ir.OpFPToSI, ir.OpFPToUI:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
-		c.emit(inst{op: opFPToI, cost: 1, sh: shOf(in.Ty), dst: dst, a: s[0]})
+		c.emit(inst{op: opFPToI, cost: 1, sh: shOf(fl.Types[row.Ty]), dst: dst, a: s[0]})
 
 	case ir.OpSIToFP:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
 		c.emit(inst{op: opSIToFP, cost: 1, dst: dst, a: s[0]})
 
 	case ir.OpUIToFP:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
@@ -425,7 +500,7 @@ func (c *fnCompiler) compileInstr(b *ir.Block, in *ir.Instr) {
 	// width casts are value-preserving in this memory model.
 	case ir.OpSExt, ir.OpFPTrunc, ir.OpFPExt, ir.OpPtrToInt, ir.OpIntToPtr,
 		ir.OpBitcast, ir.OpAddrSpaceCast, ir.OpFreeze:
-		s, ok := c.operands(in, in.Args[0])
+		s, ok := c.operands(args[:1])
 		if !ok {
 			return
 		}
@@ -434,7 +509,7 @@ func (c *fnCompiler) compileInstr(b *ir.Block, in *ir.Instr) {
 	default:
 		// The exotic tail (vectors, atomics, exception handling) traps at
 		// execution time exactly like the interpreter's default case.
-		c.emitTrap("unimplemented opcode "+in.Op.String(), 1)
+		c.emitTrap("unimplemented opcode "+irOp.String(), 1)
 	}
 }
 
@@ -489,7 +564,7 @@ type gepStep struct {
 	isOff  bool
 	off    int64 // struct field offset
 	scale  int64 // array element size
-	argIdx int   // index into Args[2:] for the dynamic case
+	argIdx int   // index into args[2:] for the dynamic case
 }
 
 // planGEP walks the element-type chain at compile time. It succeeds only
@@ -498,7 +573,7 @@ type gepStep struct {
 // out-of-range field indices, non-aggregate element types, malformed
 // types — reports !ok and the whole instruction compiles to opGEPSlow,
 // which re-runs the interpreter's walk (and raises its traps) at run time.
-func planGEP(elem *ir.Type, idxs []ir.Value) ([]gepStep, bool) {
+func (c *fnCompiler) planGEP(elem *ir.Type, idxs []ir.Operand) ([]gepStep, bool) {
 	if elem == nil {
 		return nil, false
 	}
@@ -512,8 +587,11 @@ func planGEP(elem *ir.Type, idxs []ir.Value) ([]gepStep, bool) {
 			}
 			plan = append(plan, gepStep{scale: int64(elem.Size()), argIdx: i})
 		case elem.IsStruct():
-			cst, isConst := ix.(*ir.Const)
-			if !isConst || cst.Ty.IsFloat() {
+			if ix.Kind != ir.OperConst {
+				return nil, false
+			}
+			cst := &c.fl.Consts[ix.Idx]
+			if c.fl.Types[cst.Ty].IsFloat() {
 				return nil, false
 			}
 			fi := cst.I
@@ -533,16 +611,16 @@ func planGEP(elem *ir.Type, idxs []ir.Value) ([]gepStep, bool) {
 // accumulate directly into the destination slot (safe: SSA operands are
 // defined before the GEP, so the destination never aliases a source).
 // Only the first step charges the IR instruction's step.
-func (c *fnCompiler) compileGEP(in *ir.Instr, dst int32) {
-	s, ok := c.operands(in, in.Args...)
+func (c *fnCompiler) compileGEP(args []ir.Operand, dst int32) {
+	s, ok := c.operands(args)
 	if !ok {
 		return
 	}
-	elem := in.Args[0].Type().Elem
-	plan, fast := planGEP(elem, in.Args[2:])
+	elem := c.operandElem(args[0])
+	plan, fast := c.planGEP(elem, args[2:])
 	if !fast {
 		gi := int32(len(c.fc.geps))
-		c.fc.geps = append(c.fc.geps, in)
+		c.fc.geps = append(c.fc.geps, gepRef{elem: elem, n: int32(len(args))})
 		base := int32(len(c.fc.extra))
 		c.fc.extra = append(c.fc.extra, s...)
 		c.emit(inst{op: opGEPSlow, cost: 1, dst: dst, a: base, c: gi})
@@ -578,27 +656,27 @@ func (c *fnCompiler) emitAddImm(dst, base int32, off int64, cost uint8) {
 	c.emit(inst{op: opAddImmP, cost: cost, dst: dst, a: base, c: pi})
 }
 
-func (c *fnCompiler) compileCall(in *ir.Instr, dst int32) {
-	s, ok := c.operands(in, in.Args...)
+func (c *fnCompiler) compileCall(row *ir.FlatInstr, args []ir.Operand, dst int32) {
+	s, ok := c.operands(args)
 	if !ok {
 		return
 	}
 	base := int32(len(c.fc.extra))
 	c.fc.extra = append(c.fc.extra, s...)
-	if in.Callee != nil {
-		idx, defined := c.fnIndex[in.Callee]
-		if !defined {
-			// interp surfaces this as a plain returned error, not a
-			// "trap:"-prefixed panic; opTrapErr preserves that shape.
-			c.emit(inst{op: opTrapErr, cost: 1, a: c.trapMsg("call to declaration @" + in.Callee.Name)})
+	if row.Aux >= 0 { // direct callee (Aux < 0 means builtin, like Callee == nil)
+		if idx := c.defIdx[row.Aux]; idx >= 0 {
+			c.emit(inst{op: opCall, cost: 1, dst: dst, a: idx, b: base, c: int32(len(s))})
 			return
 		}
-		c.emit(inst{op: opCall, cost: 1, dst: dst, a: idx, b: base, c: int32(len(s))})
+		// interp surfaces this as a plain returned error, not a
+		// "trap:"-prefixed panic; opTrapErr preserves that shape.
+		c.emit(inst{op: opTrapErr, cost: 1, a: c.trapMsg("call to declaration @" + c.fl.Funcs[row.Aux].Name)})
 		return
 	}
-	bi, known := builtinIndex[in.Builtin]
+	name := c.fl.Strings[-2-row.Aux]
+	bi, known := builtinIndex[name]
 	if !known {
-		c.emitTrap("unknown builtin "+in.Builtin, 1)
+		c.emitTrap("unknown builtin "+name, 1)
 		return
 	}
 	c.emit(inst{op: opCallB, cost: 1, dst: dst, a: bi, b: base, c: int32(len(s))})
@@ -618,24 +696,36 @@ func (c *fnCompiler) resolveEdges() {
 		if _, done := c.edgePC[key]; done {
 			continue
 		}
-		phis := fx.succ.Phis()
-		if len(phis) == 0 {
-			c.edgePC[key] = c.blockStart[fx.succ]
+		phiEnd := c.fl.FirstNonPhi(fx.succ)
+		if phiEnd == c.fl.Blocks[fx.succ].Ins0 {
+			c.edgePC[key] = c.blockStart[fx.succ-c.f.Blk0]
 			continue
 		}
-		c.edgePC[key] = c.emitEdgeStub(fx.pred, fx.succ, phis)
+		c.edgePC[key] = c.emitEdgeStub(fx.pred, fx.succ, phiEnd)
 	}
 }
 
 type move struct{ dst, src int32 }
 
-func (c *fnCompiler) emitEdgeStub(pred, succ *ir.Block, phis []*ir.Instr) int32 {
+// phiIncoming returns the incoming operand of phi p for predecessor pred.
+func (c *fnCompiler) phiIncoming(p, pred int32) (ir.Operand, bool) {
+	args := c.fl.Args(p)
+	for k, blk := range c.fl.InstrBlockArgs(p) {
+		if blk == pred && k < len(args) {
+			return args[k], true
+		}
+	}
+	return ir.Operand{}, false
+}
+
+func (c *fnCompiler) emitEdgeStub(pred, succ, phiEnd int32) int32 {
 	start := int32(len(c.fc.code))
-	moves := make([]move, 0, len(phis))
-	for _, phi := range phis {
-		inc := phi.PhiIncoming(pred)
-		if inc == nil {
-			c.emitTrap("phi has no incoming value for edge "+pred.Label()+"->"+succ.Label(), 0)
+	phi0 := c.fl.Blocks[succ].Ins0
+	moves := make([]move, 0, phiEnd-phi0)
+	for p := phi0; p < phiEnd; p++ {
+		inc, ok := c.phiIncoming(p, pred)
+		if !ok {
+			c.emitTrap("phi has no incoming value for edge "+c.blockLabel(pred)+"->"+c.blockLabel(succ), 0)
 			return start
 		}
 		src, msg := c.slotOf(inc)
@@ -643,13 +733,17 @@ func (c *fnCompiler) emitEdgeStub(pred, succ *ir.Block, phis []*ir.Instr) int32 
 			c.emitTrap(msg, 0)
 			return start
 		}
-		if d := c.slots[phi]; d != src {
+		d := c.slots[p-c.f.Ins0]
+		if d < 0 {
+			d = 0 // a result-less phi, kept only for out-of-contract IR parity
+		}
+		if d != src {
 			moves = append(moves, move{dst: d, src: src})
 		}
 	}
 	c.scheduleMoves(moves)
-	c.emit(inst{op: opStepN, c: int32(len(phis))})
-	c.emit(inst{op: opJmp, dst: c.blockStart[succ]})
+	c.emit(inst{op: opStepN, c: phiEnd - phi0})
+	c.emit(inst{op: opJmp, dst: c.blockStart[succ-c.f.Blk0]})
 	return start
 }
 

@@ -479,10 +479,10 @@ func (m *machine) exec(fc *funcCode, base int) (val, error) {
 // including its exact traps.
 func (m *machine) gepSlow(fc *funcCode, rs []val, in inst) int64 {
 	g := fc.geps[in.c]
-	slots := fc.extra[in.a : int(in.a)+len(g.Args)]
-	elem := g.Args[0].Type().Elem
+	slots := fc.extra[in.a : in.a+g.n]
+	elem := g.elem
 	addr := rs[slots[0]].i + rs[slots[1]].i*int64(elem.Size())
-	for k := range g.Args[2:] {
+	for k := 0; k < int(g.n)-2; k++ {
 		switch {
 		case elem.IsArray():
 			elem = elem.Elem
