@@ -18,6 +18,11 @@
 #   make serve-smoke  boot `arena serve` on a scratch snapshot dir, push one
 #                loadgen round through /v1/classify, then SIGTERM and require
 #                a clean drain (exit 0)
+#   make gateway-smoke  boot `arena gateway -spawn 3`, run strict loadgen
+#                through it while killing one replica and hot-swapping a
+#                snapshot across the surviving fleet; requires zero non-429
+#                loss, a reportable per-replica latency manifest and a clean
+#                SIGTERM drain — run on every PR
 #   make fuzz-smoke  short deterministic differential-fuzz campaign: 200
 #                generated programs through every pass, pipeline and
 #                obfuscator against the O0 interpreter oracle — run on
@@ -29,11 +34,11 @@
 #                bytecode VM (-engine vm): every cell must match the tree
 #                interpreter bit-for-bit
 #   make check   everything CI runs: build + test + race + cross +
-#                serve-smoke + fuzz-smoke + fuzz-smoke-vm
+#                serve-smoke + gateway-smoke + fuzz-smoke + fuzz-smoke-vm
 
 GO ?= go
 
-.PHONY: build test race bench bench-ir bench-interp bench-figures perf cross serve-smoke fuzz-smoke fuzz-smoke-vm fuzz check
+.PHONY: build test race bench bench-ir bench-interp bench-figures perf cross serve-smoke gateway-smoke fuzz-smoke fuzz-smoke-vm fuzz check
 
 build:
 	$(GO) build ./...
@@ -45,7 +50,8 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ir/... \
 		./internal/linalg/... ./internal/ml/... ./internal/obs/... \
-		./internal/progcache/... ./internal/serve/... ./internal/vm/... ./cmd/arena/...
+		./internal/progcache/... ./internal/serve/... ./internal/gateway/... \
+		./internal/vm/... ./cmd/arena/...
 
 # arm64 covers the !amd64 dispatch build; 386 additionally shakes out
 # 64-bit-assuming code on a 32-bit word size.
@@ -104,6 +110,37 @@ serve-smoke:
 		kill "$$pid" 2>/dev/null ; exit 1 ; fi ; \
 	kill -TERM "$$pid" && wait "$$pid" && echo "serve-smoke: clean drain"
 
+# Sharded-tier smoke: gateway spawns 3 serve replicas, strict loadgen runs
+# through the gateway while one replica is killed and a snapshot is
+# hot-swapped across the surviving fleet; zero non-429 loss is required
+# (-strict), the per-replica latency manifest must survive `arena report`,
+# and the SIGTERM drain must exit 0.
+gateway-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/arena" ./cmd/arena || exit 1; \
+	"$$tmp/arena" gateway -addr 127.0.0.1:18960 -spawn 3 -snapshots "$$tmp/snap" \
+		-models rf -classes 4 -per 6 2>"$$tmp/gw.log" & \
+	gpid=$$!; \
+	if ! "$$tmp/arena" loadgen -addr http://127.0.0.1:18960 -wait 60s \
+		-qps 20 -dur 1s -conc 2 -classes 4 -per 2 ; then \
+		echo "gateway-smoke: warmup loadgen failed; gateway log:" ; cat "$$tmp/gw.log" ; \
+		kill "$$gpid" 2>/dev/null ; exit 1 ; fi ; \
+	"$$tmp/arena" loadgen -addr http://127.0.0.1:18960 -strict \
+		-qps 150 -dur 6s -conc 8 -classes 4 -per 2 -out "$$tmp/load.json" & \
+	lpid=$$!; \
+	sleep 2; \
+	rpid=$$(sed -n 's/.*spawned replica .*pid \([0-9]*\)).*/\1/p' "$$tmp/gw.log" | head -1); \
+	if [ -n "$$rpid" ]; then kill -9 "$$rpid" && echo "gateway-smoke: killed replica pid $$rpid"; fi; \
+	sleep 1; \
+	if ! "$$tmp/arena" push -addr http://127.0.0.1:18960 -model rf -snap "$$tmp/snap/rf.snap"; then \
+		echo "gateway-smoke: snapshot push failed; gateway log:" ; cat "$$tmp/gw.log" ; \
+		kill "$$gpid" "$$lpid" 2>/dev/null ; exit 1 ; fi ; \
+	if ! wait "$$lpid"; then \
+		echo "gateway-smoke: strict loadgen lost requests; gateway log:" ; cat "$$tmp/gw.log" ; \
+		kill "$$gpid" 2>/dev/null ; exit 1 ; fi ; \
+	"$$tmp/arena" report -tol 0 "$$tmp/load.json" "$$tmp/load.json" || { kill "$$gpid" 2>/dev/null ; exit 1 ; }; \
+	kill -TERM "$$gpid" && wait "$$gpid" && echo "gateway-smoke: clean drain"
+
 # Deterministic for the fixed seed: same verdict counts on every run and
 # worker count. Fails (exit 1) on any semantic mismatch or verifier break.
 fuzz-smoke:
@@ -120,4 +157,4 @@ fuzz-smoke-vm:
 fuzz:
 	$(GO) run ./cmd/arena fuzz -n 200 -dur 2m -set module -v
 
-check: build test race cross serve-smoke fuzz-smoke fuzz-smoke-vm
+check: build test race cross serve-smoke gateway-smoke fuzz-smoke fuzz-smoke-vm

@@ -72,6 +72,10 @@ func main() {
 		err = cmdMalware(args)
 	case "serve":
 		err = cmdServe(args)
+	case "gateway":
+		err = cmdGateway(args)
+	case "push":
+		err = cmdPush(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
 	case "fuzz":
@@ -107,10 +111,17 @@ commands:
   malware                         Mirai-family study (Fig 15; -av for Fig 16)
   serve                           HTTP classification service on model snapshots
                                   (micro-batched predict, 429 overload shedding,
-                                  graceful drain on SIGTERM)
-  loadgen [-qps n] [-dur d] [-conc n]
-                                  drive a running serve instance and report
-                                  latency quantiles + throughput
+                                  hot-swappable snapshots, graceful drain on SIGTERM)
+  gateway [-spawn n | -replicas a,b,c]
+                                  sharded front tier over N serve replicas:
+                                  consistent-hash routing, health probing, retries,
+                                  hedged requests, fleet-wide snapshot hot-swap
+  push -model m -snap file.snap   hot-swap a model snapshot through a gateway
+                                  (or a single serve instance)
+  loadgen [-qps n] [-dur d] [-conc n] [-sweep a,b,c] [-open] [-strict]
+                                  drive a serve instance or gateway and report
+                                  latency quantiles + throughput (per-replica
+                                  quantiles when the target is a gateway)
   fuzz [-n n] [-seed s] [-dur d]  differential-fuzz every pass, pipeline and
                                   obfuscator against the O0 interpreter oracle;
                                   shrunk failing programs land in -crashers

@@ -2,12 +2,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -15,6 +18,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/progcache"
 	"repro/internal/serve"
 	"repro/internal/stats"
 )
@@ -40,6 +45,8 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline (504 past it)")
 	engine := fs.String("engine", "tree",
 		"execution engine for transform requests with execute=true (tree = reference interpreter, vm = compiled bytecode)")
+	cacheCap := fs.Int("cache-cap", progcache.DefaultUntrustedCap,
+		"LRU slots for compiles of client-supplied sources (0 disables retention)")
 	verbose := fs.Bool("v", false, "print the obs footer after shutdown")
 	o := addObs(fs)
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +56,7 @@ func cmdServe(args []string) error {
 	if len(names) == 0 {
 		return fmt.Errorf("serve: -models is empty")
 	}
+	progcache.SetUntrustedCap(*cacheCap)
 	rec, err := o.begin("serve", fs, *seed, *verbose)
 	if err != nil {
 		return err
@@ -136,16 +144,23 @@ func loadOrTrainSnapshots(dir string, names []string, embedding string, classes,
 	return loaded, nil
 }
 
-// cmdLoadgen offers classify load to a running server and reports latency
-// quantiles and throughput; with -out the numbers land in a run manifest
-// that `arena report` can diff against a baseline.
+// cmdLoadgen offers classify load to a running server or gateway and
+// reports latency quantiles and throughput; with -out the numbers land in a
+// run manifest that `arena report` can diff against a baseline. -sweep runs
+// one round per QPS value to cut a latency-under-load curve, and when the
+// target is a gateway the manifest additionally carries per-replica
+// p50/p90/p99 cells pulled from its /metricz.
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server or gateway base URL")
 	qps := fs.Int("qps", 50, "offered classify requests per second")
-	dur := fs.Duration("dur", 5*time.Second, "how long to offer load")
-	conc := fs.Int("conc", 4, "concurrent client workers")
+	sweep := fs.String("sweep", "", "comma-separated QPS list: one load round per value (overrides -qps)")
+	dur := fs.Duration("dur", 5*time.Second, "how long to offer load per round")
+	conc := fs.Int("conc", 4, "concurrent client workers (closed-loop mode)")
+	open := fs.Bool("open", false, "open-loop arrivals: one goroutine per due request instead of a fixed pool")
+	clientInflight := fs.Int("client-inflight", 1024, "open-loop cap on outstanding requests; arrivals past it count as dropped")
 	wait := fs.Duration("wait", 0, "poll /healthz this long for the server to come up before starting")
+	strict := fs.Bool("strict", false, "exit nonzero unless every request was answered 200 or shed with 429")
 	models := fs.String("models", "", "comma-separated model subset per request (empty = all loaded)")
 	embedding := fs.String("embedding", "histogram", "embedding for the payload vectors")
 	classes := fs.Int("classes", 8, "problem classes for the payload corpus")
@@ -154,6 +169,17 @@ func cmdLoadgen(args []string) error {
 	o := addObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	qpsList := []int{*qps}
+	if *sweep != "" {
+		qpsList = nil
+		for _, part := range strings.Split(*sweep, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || q <= 0 {
+				return fmt.Errorf("loadgen: bad -sweep entry %q", part)
+			}
+			qpsList = append(qpsList, q)
+		}
 	}
 	rec, err := o.begin("loadgen", fs, *seed, false)
 	if err != nil {
@@ -173,42 +199,97 @@ func cmdLoadgen(args []string) error {
 		vectors = append(vectors, v)
 	}
 
-	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
-		BaseURL:     strings.TrimRight(*addr, "/"),
-		QPS:         *qps,
-		Duration:    *dur,
-		Concurrency: *conc,
-		Vectors:     vectors,
-		Models:      splitNames(*models),
-		WaitReady:   *wait,
-	})
-	if err != nil {
-		return err
-	}
-
-	p50, p90, p99 := rep.Quantile(0.50), rep.Quantile(0.90), rep.Quantile(0.99)
+	base := strings.TrimRight(*addr, "/")
 	w := newTable()
-	fmt.Fprintf(w, "sent\tok\trejected\ttimeout\terrors\tthroughput\tp50\tp90\tp99\n")
-	fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.1f req/s\t%.2f ms\t%.2f ms\t%.2f ms\n",
-		rep.Sent, rep.OK, rep.Rejected, rep.Timeout, rep.Errors,
-		rep.Throughput(), p50, p90, p99)
+	fmt.Fprintf(w, "qps\toffered\tsent\tok\trejected\ttimeout\tdropped\terrors\tthroughput\tp50\tp90\tp99\n")
+	var totalOK, totalLost int
+	waitBudget := *wait
+	for _, q := range qpsList {
+		rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+			BaseURL:           base,
+			QPS:               q,
+			Duration:          *dur,
+			Concurrency:       *conc,
+			OpenLoop:          *open,
+			MaxClientInFlight: *clientInflight,
+			Vectors:           vectors,
+			Models:            splitNames(*models),
+			WaitReady:         waitBudget,
+		})
+		if err != nil {
+			return err
+		}
+		waitBudget = 0 // only the first round waits for readiness
+
+		p50, p90, p99 := rep.Quantile(0.50), rep.Quantile(0.90), rep.Quantile(0.99)
+		fmt.Fprintf(w, "%d\t%.1f/s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f req/s\t%.2f ms\t%.2f ms\t%.2f ms\n",
+			q, rep.OfferedQPS(), rep.Sent, rep.OK, rep.Rejected, rep.Timeout, rep.Dropped, rep.Errors,
+			rep.Throughput(), p50, p90, p99)
+
+		prefix := "loadgen"
+		if len(qpsList) > 1 {
+			prefix = fmt.Sprintf("loadgen/qps=%d", q)
+		}
+		rec.man.AddCell(prefix+"/p50_ms", "latency_ms", []float64{p50})
+		rec.man.AddCell(prefix+"/p90_ms", "latency_ms", []float64{p90})
+		rec.man.AddCell(prefix+"/p99_ms", "latency_ms", []float64{p99})
+		rec.man.AddCell(prefix+"/throughput_rps", "throughput", []float64{rep.Throughput()})
+		rec.man.AddCell(prefix+"/offered_qps", "throughput", []float64{rep.OfferedQPS()})
+		rec.man.AddCell(prefix+"/target_qps", "throughput", []float64{float64(rep.TargetQPS)})
+		rec.man.AddCell(prefix+"/ok", "count", []float64{float64(rep.OK)})
+		rec.man.AddCell(prefix+"/rejected", "count", []float64{float64(rep.Rejected)})
+		rec.man.AddSummaryCell(prefix+"/latency_ms", "latency_ms", stats.Summarize(rep.LatencyMS))
+		totalOK += rep.OK
+		totalLost += rep.Timeout + rep.Errors + rep.Dropped
+	}
 	w.Flush()
 
-	rec.man.AddCell("loadgen/p50_ms", "latency_ms", []float64{p50})
-	rec.man.AddCell("loadgen/p90_ms", "latency_ms", []float64{p90})
-	rec.man.AddCell("loadgen/p99_ms", "latency_ms", []float64{p99})
-	rec.man.AddCell("loadgen/throughput_rps", "throughput", []float64{rep.Throughput()})
-	rec.man.AddCell("loadgen/ok", "count", []float64{float64(rep.OK)})
-	rec.man.AddCell("loadgen/rejected", "count", []float64{float64(rep.Rejected)})
-	rec.man.AddSummaryCell("loadgen/latency_ms", "latency_ms", stats.Summarize(rep.LatencyMS))
+	addReplicaCells(rec, base)
 	if err := rec.finish(); err != nil {
 		return err
 	}
-	if rep.OK == 0 {
-		return fmt.Errorf("loadgen: no request succeeded (%d sent, %d rejected, %d timed out, %d errors)",
-			rep.Sent, rep.Rejected, rep.Timeout, rep.Errors)
+	if totalOK == 0 {
+		return fmt.Errorf("loadgen: no request succeeded")
+	}
+	if *strict && totalLost > 0 {
+		return fmt.Errorf("loadgen: -strict: %d requests lost (timeout/error/dropped)", totalLost)
 	}
 	return nil
+}
+
+// addReplicaCells pulls the target's /metricz and surfaces the gateway's
+// per-replica latency quantiles and request counters as manifest cells. A
+// plain serve target publishes no gateway.replica.* series, so this is a
+// silent no-op there (and on any scrape failure — the load numbers still
+// stand on their own).
+func addReplicaCells(rec *runRecorder, baseURL string) {
+	resp, err := http.Get(baseURL + "/metricz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return
+	}
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "gateway.replica.") && strings.HasSuffix(name, ".latency") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		id := strings.TrimSuffix(strings.TrimPrefix(name, "gateway."), ".latency") // "replica.<i>"
+		toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		rec.man.AddCell("gateway/"+id+"/p50_ms", "latency_ms", []float64{toMS(h.Quantile(0.50))})
+		rec.man.AddCell("gateway/"+id+"/p90_ms", "latency_ms", []float64{toMS(h.Quantile(0.90))})
+		rec.man.AddCell("gateway/"+id+"/p99_ms", "latency_ms", []float64{toMS(h.Quantile(0.99))})
+		if c, ok := snap.Counters["gateway."+id+".requests"]; ok {
+			rec.man.AddCell("gateway/"+id+"/requests", "count", []float64{float64(c)})
+		}
+	}
 }
 
 // splitNames parses a comma-separated name list into a sorted,

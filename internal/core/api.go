@@ -38,11 +38,22 @@ func vectorEmbedding(name string) (*embed.Embedding, error) {
 // returns its vector embedding. Read-only on the cached module: concurrent
 // callers share one compiled master.
 func EmbedSource(src, embedding string) (embed.Vector, error) {
+	return embedSource(progcache.CompileFlat, src, embedding)
+}
+
+// EmbedSourceUntrusted is EmbedSource for sources arriving over the wire:
+// the compile goes through progcache's bounded untrusted tier, so arbitrary
+// client traffic cannot grow the pinned process-wide cache without limit.
+func EmbedSourceUntrusted(src, embedding string) (embed.Vector, error) {
+	return embedSource(progcache.CompileFlatUntrusted, src, embedding)
+}
+
+func embedSource(compileFlat func(src, name string) (*ir.Flat, error), src, embedding string) (embed.Vector, error) {
 	emb, err := vectorEmbedding(embedding)
 	if err != nil {
 		return nil, err
 	}
-	fl, err := progcache.CompileFlat(src, "prog")
+	fl, err := compileFlat(src, "prog")
 	if err != nil {
 		return nil, err
 	}
@@ -57,14 +68,24 @@ func EmbedSource(src, embedding string) (embed.Vector, error) {
 // IR together with its vector embedding — the payload a classifier-side
 // verdict on the evaded program needs.
 func TransformEmbed(src, evader, embedding string, seed int64) (string, embed.Vector, error) {
-	m, v, err := transformEmbedModule(src, evader, embedding, seed)
+	m, v, err := transformEmbedModule(Transform, src, evader, embedding, seed)
 	if err != nil {
 		return "", nil, err
 	}
 	return m.String(), v, nil
 }
 
-func transformEmbedModule(src, evader, embedding string, seed int64) (*ir.Module, embed.Vector, error) {
+// TransformEmbedUntrusted is TransformEmbed over the bounded untrusted
+// compile tier — the serve-path variant for client-supplied sources.
+func TransformEmbedUntrusted(src, evader, embedding string, seed int64) (string, embed.Vector, error) {
+	m, v, err := transformEmbedModule(TransformUntrusted, src, evader, embedding, seed)
+	if err != nil {
+		return "", nil, err
+	}
+	return m.String(), v, nil
+}
+
+func transformEmbedModule(transform func(src, name string, rng *rand.Rand) (*ir.Module, error), src, evader, embedding string, seed int64) (*ir.Module, embed.Vector, error) {
 	emb, err := vectorEmbedding(embedding)
 	if err != nil {
 		return nil, nil, err
@@ -72,7 +93,7 @@ func transformEmbedModule(src, evader, embedding string, seed int64) (*ir.Module
 	if err := ValidateEvader(evader); err != nil {
 		return nil, nil, err
 	}
-	m, err := Transform(src, evader, rand.New(rand.NewSource(seed)))
+	m, err := transform(src, evader, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -103,11 +124,22 @@ const ExecMaxSteps = 16 << 20
 // bytecode). Traps are reported in the observation, not as an error: a
 // trapping evaded program is still a servable result.
 func TransformEmbedRun(src, evader, embedding string, seed int64, engine string) (string, embed.Vector, *ExecObs, error) {
+	return transformEmbedRun(Transform, src, evader, embedding, seed, engine)
+}
+
+// TransformEmbedRunUntrusted is TransformEmbedRun over the bounded
+// untrusted compile tier — the serve-path variant for client-supplied
+// sources.
+func TransformEmbedRunUntrusted(src, evader, embedding string, seed int64, engine string) (string, embed.Vector, *ExecObs, error) {
+	return transformEmbedRun(TransformUntrusted, src, evader, embedding, seed, engine)
+}
+
+func transformEmbedRun(transform func(src, name string, rng *rand.Rand) (*ir.Module, error), src, evader, embedding string, seed int64, engine string) (string, embed.Vector, *ExecObs, error) {
 	eng, err := interp.EngineByName(engine)
 	if err != nil {
 		return "", nil, nil, err
 	}
-	m, v, err := transformEmbedModule(src, evader, embedding, seed)
+	m, v, err := transformEmbedModule(transform, src, evader, embedding, seed)
 	if err != nil {
 		return "", nil, nil, err
 	}

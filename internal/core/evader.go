@@ -64,11 +64,23 @@ func ValidateEvader(name string) error {
 // branch that mutates the module works on a private clone, so repeated
 // transforms of the same source skip the front end entirely.
 func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
+	return transformFrom(progcache.Compile, src, name, rng)
+}
+
+// TransformUntrusted is Transform with the O0 compile drawn from
+// progcache's bounded untrusted tier — the variant for client-supplied
+// sources on the serving path, which must not pin entries in the
+// process-wide cache.
+func TransformUntrusted(src, name string, rng *rand.Rand) (*ir.Module, error) {
+	return transformFrom(progcache.CompileUntrusted, src, name, rng)
+}
+
+func transformFrom(compile func(src, name string) (*ir.Module, error), src, name string, rng *rand.Rand) (*ir.Module, error) {
 	switch name {
 	case "none", "", "O0":
-		return progcache.Compile(src, "prog")
+		return compile(src, "prog")
 	case "O1", "O2", "O3":
-		m, err := progcache.Compile(src, "prog")
+		m, err := compile(src, "prog")
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +90,7 @@ func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
 		}
 		return m, nil
 	case "mem2reg":
-		m, err := progcache.Compile(src, "prog")
+		m, err := compile(src, "prog")
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +99,7 @@ func Transform(src, name string, rng *rand.Rand) (*ir.Module, error) {
 		}
 		return m, nil
 	case "bcf", "fla", "sub", "ollvm":
-		m, err := progcache.Compile(src, "prog")
+		m, err := compile(src, "prog")
 		if err != nil {
 			return nil, err
 		}

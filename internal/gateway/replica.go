@@ -1,0 +1,122 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// replica is the gateway's view of one backend serve process: its address,
+// its probed health, a backpressure cooldown, and the per-replica obs
+// series the latency-under-load manifests are cut from.
+type replica struct {
+	idx  int
+	base string // normalized base URL, e.g. "http://127.0.0.1:8081"
+
+	// healthy is refreshed by the /healthz prober and cleared inline by
+	// transport failures, so a killed replica stops receiving traffic on
+	// the first failed attempt rather than a probe interval later.
+	healthy atomic.Bool
+	// coolUntil (unix nanos) parks the replica after a 429/503 answer:
+	// backpressure-aware routing prefers replicas that are not shedding.
+	coolUntil atomic.Int64
+
+	mu       sync.Mutex
+	versions map[string]int64 // snapshot versions from the last probe
+
+	requests     *obs.Counter
+	failures     *obs.Counter
+	backpressure *obs.Counter
+	latency      *obs.Histogram
+	healthGauge  *obs.Gauge
+}
+
+func newReplica(idx int, base string) *replica {
+	p := "gateway.replica." + strconv.Itoa(idx)
+	r := &replica{
+		idx:          idx,
+		base:         base,
+		requests:     obs.GetCounter(p + ".requests"),
+		failures:     obs.GetCounter(p + ".failures"),
+		backpressure: obs.GetCounter(p + ".backpressure"),
+		latency:      obs.GetHistogram(p + ".latency"),
+		healthGauge:  obs.GetGauge(p + ".healthy"),
+	}
+	// Optimistic until the first probe: traffic flows immediately after
+	// boot, and a wrong guess costs one failed attempt, not a probe period.
+	r.setHealthy(true)
+	return r
+}
+
+func (r *replica) setHealthy(ok bool) {
+	r.healthy.Store(ok)
+	if ok {
+		r.healthGauge.Set(1)
+	} else {
+		r.healthGauge.Set(0)
+	}
+}
+
+// available reports whether routing should prefer this replica right now.
+func (r *replica) available(now time.Time) bool {
+	return r.healthy.Load() && now.UnixNano() >= r.coolUntil.Load()
+}
+
+func (r *replica) cooling(now time.Time) bool {
+	return now.UnixNano() < r.coolUntil.Load()
+}
+
+// park extends the backpressure cooldown to now+d (never shortens it).
+func (r *replica) park(d time.Duration) {
+	until := time.Now().Add(d).UnixNano()
+	for {
+		cur := r.coolUntil.Load()
+		if until <= cur || r.coolUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// probe refreshes health (and the reported snapshot versions) from the
+// replica's /healthz.
+func (r *replica) probe(ctx context.Context, client *http.Client) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		r.setHealthy(false)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		r.setHealthy(false)
+		return
+	}
+	var h serve.HealthResponse
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ok := resp.StatusCode == http.StatusOK
+	r.setHealthy(ok)
+	if ok && h.Versions != nil {
+		r.mu.Lock()
+		r.versions = h.Versions
+		r.mu.Unlock()
+	}
+}
+
+func (r *replica) snapshotVersions() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.versions))
+	for k, v := range r.versions {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over replica indices. Virtual nodes smooth
+// the key distribution (vnodes points per replica, fnv64a-hashed); the ring
+// itself is immutable after construction — replica health is a
+// routing-time filter, not a ring mutation, so a flapping replica does not
+// reshuffle every other key's home.
+//
+// Keys are per-request: the classify/transform `source` field when present
+// (so repeated probes of one program land on one replica and re-hit its
+// private progcache — the shared-nothing design needs affinity to pay off),
+// the raw body bytes otherwise.
+type ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+func newRing(replicas, vnodes int) *ring {
+	r := &ring{n: replicas}
+	r.points = make([]ringPoint, 0, replicas*vnodes)
+	for i := 0; i < replicas; i++ {
+		for v := 0; v < vnodes; v++ {
+			h := hashString("replica-" + strconv.Itoa(i) + "/" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return mix64(h.Sum64())
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw fnv64a over near-identical short
+// strings ("replica-0/1", "replica-0/2", ...) leaves the vnode points
+// clustered, which starves some replicas of arc length; a final avalanche
+// spreads them uniformly. Keys and points go through the same mix, so the
+// hash space stays consistent.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// order returns every replica index exactly once, in ring-walk order
+// starting from key's home — the preference sequence for routing, retries
+// and hedges.
+func (r *ring) order(key uint64) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for k := 0; k < len(r.points) && len(out) < r.n; k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

@@ -32,6 +32,11 @@ type entry struct {
 	once sync.Once
 	mod  *ir.Module
 	err  error
+	// ready flips once the compile in once.Do has finished, so the
+	// untrusted tier can peek at settled entries without touching the Once
+	// (a no-op Do would race the storing goroutine's real Do and could mark
+	// the entry done before it ever compiled).
+	ready atomic.Bool
 
 	flatOnce sync.Once
 	flat     *ir.Flat
@@ -65,11 +70,12 @@ func SetEnabled(on bool) { enabled.Store(on) }
 // Enabled reports whether the cache is active.
 func Enabled() bool { return enabled.Load() }
 
-// Reset drops every cached module (and with it every cached flat view) and
-// zeroes the counters.
+// Reset drops every cached module (and with it every cached flat view),
+// empties the untrusted tier and zeroes the counters.
 func Reset() {
 	cache.Range(func(k, _ any) bool { cache.Delete(k); return true })
 	entries.Set(0)
+	ResetUntrusted()
 	ResetStats()
 }
 
@@ -90,6 +96,10 @@ type Stats struct {
 	// FlatHits/FlatMisses count CompileFlat calls served from an existing
 	// flat view vs. ones that built it.
 	FlatHits, FlatMisses int64
+	// The Untrusted* fields mirror the bounded LRU tier that serves
+	// wire-originated compiles (see untrusted.go).
+	UntrustedHits, UntrustedMisses     int64
+	UntrustedEntries, UntrustedEvicted int64
 	// CompileTime is the total front-end time spent on cache misses;
 	// CloneTime is the total time spent deep-cloning cached modules for
 	// mutating consumers; FlattenTime is the total time spent building
@@ -104,14 +114,18 @@ func Snapshot() Stats {
 	n := int64(0)
 	cache.Range(func(_, _ any) bool { n++; return true })
 	return Stats{
-		Hits:        hits.Value(),
-		Misses:      misses.Value(),
-		Entries:     n,
-		FlatHits:    flatHits.Value(),
-		FlatMisses:  flatMisses.Value(),
-		CompileTime: compileTimer.Total(),
-		CloneTime:   cloneTimer.Total(),
-		FlattenTime: flattenTimer.Total(),
+		Hits:             hits.Value(),
+		Misses:           misses.Value(),
+		Entries:          n,
+		FlatHits:         flatHits.Value(),
+		FlatMisses:       flatMisses.Value(),
+		UntrustedHits:    utHits.Value(),
+		UntrustedMisses:  utMisses.Value(),
+		UntrustedEntries: utEntries.Value(),
+		UntrustedEvicted: utEvictions.Value(),
+		CompileTime:      compileTimer.Total(),
+		CloneTime:        cloneTimer.Total(),
+		FlattenTime:      flattenTimer.Total(),
 	}
 }
 
@@ -133,6 +147,7 @@ func lookupEntry(src, name string) (*entry, error) {
 		start := time.Now()
 		ent.mod, ent.err = minic.CompileSource(src, name)
 		compileTimer.Observe(time.Since(start))
+		ent.ready.Store(true)
 	})
 	if loaded && ent.err == nil {
 		hits.Inc()

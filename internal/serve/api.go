@@ -10,10 +10,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/classify   source or pre-embedded histogram in, per-model verdicts out
-//	POST /v1/transform  evader pipeline in, transformed IR + verdicts out
-//	GET  /healthz       readiness (503 while draining)
-//	GET  /metricz       JSON snapshot of the obs registry
+//	POST /v1/classify       source or pre-embedded histogram in, per-model verdicts out
+//	POST /v1/transform      evader pipeline in, transformed IR + verdicts out
+//	PUT  /v1/models/{name}  hot-swap (or add) a model from a pushed snapshot
+//	GET  /healthz           readiness (503 while draining) + model versions
+//	GET  /metricz           JSON snapshot of the obs registry
 package serve
 
 import "repro/internal/core"
@@ -65,10 +66,21 @@ type TransformResponse struct {
 
 // HealthResponse is the /healthz payload.
 type HealthResponse struct {
-	Status    string   `json:"status"` // "ok" or "draining"
-	Models    []string `json:"models"`
-	Embedding string   `json:"embedding"`
-	InFlight  int64    `json:"in_flight"`
+	Status string   `json:"status"` // "ok" or "draining"
+	Models []string `json:"models"`
+	// Versions counts snapshot generations per model: 1 at boot, bumped by
+	// every PUT /v1/models push. The gateway uses it to confirm a fleet
+	// converged on one snapshot.
+	Versions  map[string]int64 `json:"versions,omitempty"`
+	Embedding string           `json:"embedding"`
+	InFlight  int64            `json:"in_flight"`
+}
+
+// ModelPutResponse answers a snapshot push: the named model now serves
+// generation Version.
+type ModelPutResponse struct {
+	Model   string `json:"model"`
+	Version int64  `json:"version"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// DrainBarrier tracks in-flight HTTP handlers so a graceful shutdown can
+// wait for them before tearing down the resources they use (the batchers).
+// It exists because http.Server.Shutdown only waits for *connections* the
+// server itself accepted: handlers reached through Handler() (httptest,
+// embedding in another mux) are invisible to it, and an expired shutdown
+// context returns early with handlers still running. Closing the batchers
+// on either path used to panic the racing handlers' enqueues; the barrier
+// makes the ordering explicit, and the batchers' own close-safety covers
+// whatever the drain budget could not wait for.
+//
+// The gateway reuses the same discipline for its proxy handlers.
+type DrainBarrier struct {
+	mu         sync.Mutex
+	inflight   int
+	draining   bool
+	idleClosed bool
+	idle       chan struct{} // closed when draining and inflight hits zero
+}
+
+// NewDrainBarrier returns a barrier with no handlers in flight.
+func NewDrainBarrier() *DrainBarrier {
+	return &DrainBarrier{idle: make(chan struct{})}
+}
+
+// Enter registers one handler. It returns false once draining has begun;
+// the caller must answer 503 and must not call Exit.
+func (b *DrainBarrier) Enter() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.draining {
+		return false
+	}
+	b.inflight++
+	return true
+}
+
+// Exit unregisters a handler previously admitted by Enter.
+func (b *DrainBarrier) Exit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inflight--
+	if b.draining && b.inflight <= 0 {
+		b.closeIdleLocked()
+	}
+}
+
+// Draining reports whether BeginDrain or Drain has been called.
+func (b *DrainBarrier) Draining() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining
+}
+
+// InFlight returns the number of handlers currently inside the barrier.
+func (b *DrainBarrier) InFlight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inflight
+}
+
+// BeginDrain flips the barrier into draining mode: every subsequent Enter
+// fails. Safe to call more than once.
+func (b *DrainBarrier) BeginDrain() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.draining = true
+	if b.inflight <= 0 {
+		b.closeIdleLocked()
+	}
+}
+
+// Drain begins draining (if BeginDrain has not already) and waits until
+// every admitted handler has exited or ctx expires, returning ctx's error
+// in the latter case. Handlers that exit after an expired Drain still
+// unblock any later Drain call.
+func (b *DrainBarrier) Drain(ctx context.Context) error {
+	b.BeginDrain()
+	select {
+	case <-b.idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *DrainBarrier) closeIdleLocked() {
+	if !b.idleClosed {
+		b.idleClosed = true
+		close(b.idle)
+	}
+}

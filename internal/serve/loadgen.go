@@ -13,15 +13,23 @@ import (
 	"repro/internal/obs"
 )
 
-// LoadConfig drives RunLoad against a running server.
+// LoadConfig drives RunLoad against a running server or gateway.
 type LoadConfig struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// QPS is the offered load; Concurrency workers share one pacer so the
-	// rate holds even when individual requests are slow.
+	// QPS is the offered load, paced against absolute time (see pace).
 	QPS         int
 	Duration    time.Duration
 	Concurrency int
+	// OpenLoop switches from the closed worker pool to open-loop arrivals:
+	// every due request gets its own goroutine regardless of how many are
+	// still outstanding, so server slowness cannot throttle the offered
+	// rate — the arrival process a latency-under-load curve needs.
+	// MaxClientInFlight bounds the outstanding requests (default 1024);
+	// arrivals past the bound are counted as Dropped rather than queued,
+	// keeping the arrival process honest.
+	OpenLoop          bool
+	MaxClientInFlight int
 	// Vectors are the pre-embedded payloads to classify; requests cycle
 	// through them round-robin.
 	Vectors [][]float64
@@ -38,8 +46,14 @@ type LoadReport struct {
 	OK       int
 	Rejected int // 429: admission control shedding load
 	Timeout  int // 504 or client-side deadline
+	Dropped  int // open-loop arrivals shed client-side at MaxClientInFlight
 	Errors   int // everything else
 	Wall     time.Duration
+	// TargetQPS and OfferWall record what the pacer was asked for and how
+	// long releasing Sent ticks actually took, so OfferedQPS exposes pacer
+	// undershoot instead of silently reporting fiction.
+	TargetQPS int
+	OfferWall time.Duration
 	// LatencyMS holds one OK-request latency per element, unsorted.
 	LatencyMS []float64
 }
@@ -50,6 +64,17 @@ func (r *LoadReport) Throughput() float64 {
 		return 0
 	}
 	return float64(r.OK) / r.Wall.Seconds()
+}
+
+// OfferedQPS is the arrival rate the pacer actually achieved. Compare with
+// TargetQPS: a gap means the load generator, not the server, was the
+// bottleneck (the old ticker-based pacer silently lost ticks past ~1k qps,
+// making every high-QPS curve an undershoot).
+func (r *LoadReport) OfferedQPS() float64 {
+	if r.OfferWall <= 0 {
+		return 0
+	}
+	return float64(r.Sent) / r.OfferWall.Seconds()
 }
 
 // Quantile returns the q-th latency quantile in milliseconds (q in [0,1]).
@@ -63,6 +88,53 @@ func (r *LoadReport) Quantile(q float64) float64 {
 	return s[i]
 }
 
+// pace releases total ticks at qps, calling emit(i) for tick i from this
+// goroutine. A time.Ticker undershoots badly here: at sub-millisecond
+// intervals the runtime coalesces expirations and the dropped ticks are
+// simply lost, capping offered load around the timer resolution no matter
+// the configured rate. pace instead schedules against absolute time — on
+// every wakeup it releases the whole backlog of ticks whose deadline has
+// passed, then sleeps until the next absolute deadline — so the released
+// count tracks elapsed*qps at any rate the host can generate. Returns the
+// ticks released (total, unless ctx expired first) and the offering wall
+// clock.
+func pace(ctx context.Context, qps, total int, emit func(int)) (int, time.Duration) {
+	start := time.Now()
+	sent := 0
+	for sent < total {
+		if ctx.Err() != nil {
+			break
+		}
+		due := int(time.Since(start).Seconds()*float64(qps)) + 1
+		if due > total {
+			due = total
+		}
+		for sent < due {
+			emit(sent)
+			sent++
+		}
+		if sent >= total {
+			break
+		}
+		next := start.Add(time.Duration(float64(sent) / float64(qps) * float64(time.Second)))
+		wait := time.Until(next)
+		if wait <= 0 {
+			continue
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+		}
+	}
+	return sent, time.Since(start)
+}
+
+// statusDropped marks an open-loop arrival shed client-side because
+// MaxClientInFlight was reached.
+const statusDropped = -2
+
 // RunLoad offers cfg.QPS of classify traffic for cfg.Duration and reports
 // what came back. Latencies also land in the process-wide
 // "loadgen.latency" histogram so the obs manifest carries them.
@@ -73,64 +145,80 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 1
 	}
+	if cfg.MaxClientInFlight <= 0 {
+		cfg.MaxClientInFlight = 1024
+	}
 	if cfg.WaitReady > 0 {
-		if err := waitReady(ctx, cfg.BaseURL, cfg.WaitReady); err != nil {
+		if err := WaitReady(ctx, cfg.BaseURL, cfg.WaitReady); err != nil {
 			return nil, err
 		}
 	}
 
 	type result struct {
-		status int // HTTP status, or -1 for transport/deadline errors
+		status int // HTTP status, or -1 transport/deadline, or statusDropped
 		lat    time.Duration
 	}
 	total := int(float64(cfg.QPS) * cfg.Duration.Seconds())
 	if total < 1 {
 		total = 1
 	}
-	ticks := make(chan struct{}, total)
 	results := make(chan result, total)
 	hist := obs.GetHistogram("loadgen.latency")
-	client := &http.Client{}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
 
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration+30*time.Second)
 	defer cancel()
 
-	for w := 0; w < cfg.Concurrency; w++ {
-		go func(w int) {
-			i := w
-			for range ticks {
-				body, _ := json.Marshal(ClassifyRequest{
-					Histogram: cfg.Vectors[i%len(cfg.Vectors)],
-					Models:    cfg.Models,
-				})
-				i += cfg.Concurrency
-				start := time.Now()
-				status := doClassify(runCtx, client, cfg.BaseURL, body)
-				results <- result{status: status, lat: time.Since(start)}
+	// Request bodies are marshaled once per distinct vector, not per
+	// request: at 50k+ qps the JSON encoder would otherwise become the
+	// generator's own bottleneck.
+	bodies := make([][]byte, len(cfg.Vectors))
+	for i, v := range cfg.Vectors {
+		bodies[i], _ = json.Marshal(ClassifyRequest{Histogram: v, Models: cfg.Models})
+	}
+	doOne := func(i int) result {
+		start := time.Now()
+		status := doClassify(runCtx, client, cfg.BaseURL, bodies[i%len(bodies)])
+		return result{status: status, lat: time.Since(start)}
+	}
+
+	var emit func(int)
+	var ticks chan int
+	if cfg.OpenLoop {
+		sem := make(chan struct{}, cfg.MaxClientInFlight)
+		emit = func(i int) {
+			select {
+			case sem <- struct{}{}:
+				go func() {
+					defer func() { <-sem }()
+					results <- doOne(i)
+				}()
+			default:
+				results <- result{status: statusDropped}
 			}
-		}(w)
-	}
-
-	// One pacer feeds all workers: QPS holds as offered load even when the
-	// server is slow, which is what lets the overload path actually see 429s.
-	start := time.Now()
-	interval := time.Second / time.Duration(cfg.QPS)
-	pacer := time.NewTicker(interval)
-	sent := 0
-pace:
-	for sent < total {
-		select {
-		case <-pacer.C:
-			ticks <- struct{}{}
-			sent++
-		case <-runCtx.Done():
-			break pace
 		}
+	} else {
+		ticks = make(chan int, total)
+		for w := 0; w < cfg.Concurrency; w++ {
+			go func() {
+				for i := range ticks {
+					results <- doOne(i)
+				}
+			}()
+		}
+		emit = func(i int) { ticks <- i }
 	}
-	pacer.Stop()
-	close(ticks)
 
-	rep := &LoadReport{Sent: sent}
+	start := time.Now()
+	sent, offerWall := pace(runCtx, cfg.QPS, total, emit)
+	if ticks != nil {
+		close(ticks)
+	}
+
+	rep := &LoadReport{Sent: sent, TargetQPS: cfg.QPS, OfferWall: offerWall}
 	for i := 0; i < sent; i++ {
 		res := <-results
 		switch {
@@ -138,6 +226,8 @@ pace:
 			rep.OK++
 			rep.LatencyMS = append(rep.LatencyMS, float64(res.lat)/float64(time.Millisecond))
 			hist.Observe(res.lat)
+		case res.status == statusDropped:
+			rep.Dropped++
 		case res.status == http.StatusTooManyRequests:
 			rep.Rejected++
 		case res.status == http.StatusGatewayTimeout || res.status == -1 && runCtx.Err() != nil:
@@ -165,9 +255,10 @@ func doClassify(ctx context.Context, client *http.Client, baseURL string, body [
 	return resp.StatusCode
 }
 
-// waitReady polls /healthz until the server answers 200 or the budget runs
-// out — the handshake `make serve-smoke` relies on.
-func waitReady(ctx context.Context, baseURL string, budget time.Duration) error {
+// WaitReady polls /healthz until the server answers 200 or the budget runs
+// out — the handshake `make serve-smoke`, `make gateway-smoke` and the
+// gateway's replica spawner rely on.
+func WaitReady(ctx context.Context, baseURL string, budget time.Duration) error {
 	deadline := time.Now().Add(budget)
 	client := &http.Client{Timeout: time.Second}
 	for {

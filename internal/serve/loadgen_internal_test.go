@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPaceHighQPSReleasesAllTicks is the regression test for the ticker
+// pacer: time.Ticker drops ticks it cannot deliver, so at high QPS the old
+// loop silently offered a fraction of the target. The absolute-time pacer
+// must release every arrival — 25k requests at 50k QPS is 500ms of load;
+// allow generous scheduler slop but fail on the old behaviour, which took
+// multiples of the budget (or never finished the count).
+func TestPaceHighQPSReleasesAllTicks(t *testing.T) {
+	const qps, total = 50000, 25000
+	released := 0
+	sent, wall := pace(context.Background(), qps, total, func(int) { released++ })
+	if sent != total || released != total {
+		t.Fatalf("pace released %d/%d arrivals (reported %d)", released, total, sent)
+	}
+	ideal := time.Duration(float64(total) / float64(qps) * float64(time.Second))
+	if wall < ideal-50*time.Millisecond {
+		t.Fatalf("pace finished in %v, faster than the %v the schedule allows", wall, ideal)
+	}
+	if wall > 3*ideal+time.Second {
+		t.Fatalf("pace took %v for an ideal %v: undershooting the offered rate", wall, ideal)
+	}
+}
+
+// TestPaceCtxCancelStops pins that a canceled context stops the pacer
+// mid-schedule instead of running out the full count.
+func TestPaceCtxCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const qps, total = 10, 1000 // 100 seconds of schedule
+	released := 0
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	sent, _ := pace(ctx, qps, total, func(int) { released++ })
+	if sent >= total {
+		t.Fatalf("pace sent all %d arrivals despite cancellation", sent)
+	}
+	if sent != released {
+		t.Fatalf("pace reported %d but released %d", sent, released)
+	}
+}

@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
 	"strconv"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -50,24 +53,69 @@ const (
 	defaultBatchWindow    = 2 * time.Millisecond
 	defaultRequestTimeout = 10 * time.Second
 	maxBodyBytes          = 1 << 20
+	// maxSnapshotBytes bounds a pushed model snapshot; trained forests are
+	// far bigger than request bodies, so PUT /v1/models gets its own cap.
+	maxSnapshotBytes = 64 << 20
+
+	// StatusClientClosedRequest is nginx's 499: the client went away before
+	// the answer was ready. Nobody receives it, but the access log and the
+	// error counters should not claim a server-side timeout (504) for a
+	// failure the client caused.
+	StatusClientClosedRequest = 499
 )
 
+// statusError carries an explicit HTTP status through the handler error
+// path, so guard does not have to guess one from the error text.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// statusForError maps a handler error to its HTTP status. Unlike the old
+// mapping — which reported 504 whenever ctx.Err() was non-nil, even when
+// the cause was a client disconnect or a plain bad request that happened to
+// lose a race with the deadline — it inspects the error chain itself:
+// explicit statusError first, then deadline-exceeded (504) vs canceled
+// (499), and 400 only for genuine request errors.
+func statusForError(err error) int {
+	var se *statusError
+	switch {
+	case errors.As(err, &se):
+		return se.status
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // Server serves classification and transformation verdicts over HTTP. The
-// request path is: admission semaphore (429 on overload) → per-request
-// deadline and panic isolation → handler → per-model micro-batcher.
+// request path is: drain barrier (503 once shutdown begins) → admission
+// semaphore (429 on overload) → per-request deadline and panic isolation →
+// handler → per-model micro-batcher.
 type Server struct {
-	cfg      Config
-	names    []string // sorted model names
+	cfg     Config
+	admit   chan struct{}
+	barrier *DrainBarrier
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	// mu guards the model table: names (sorted), batchers and versions all
+	// change together when a snapshot push hot-swaps or adds a model.
+	mu       sync.RWMutex
+	names    []string
 	batchers map[string]*batcher
-	admit    chan struct{}
-	draining atomic.Bool
-	mux      *http.ServeMux
-	httpSrv  *http.Server
+	versions map[string]int64
 
 	requests *obs.Counter
 	rejected *obs.Counter
 	errors   *obs.Counter
 	inflight *obs.Gauge
+	swaps    *obs.Counter
 }
 
 // New validates cfg, applies defaults and builds a Server with one batcher
@@ -104,12 +152,15 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		batchers: make(map[string]*batcher, len(cfg.Models)),
+		versions: make(map[string]int64, len(cfg.Models)),
 		admit:    make(chan struct{}, cfg.MaxInFlight),
+		barrier:  NewDrainBarrier(),
 		mux:      http.NewServeMux(),
 		requests: obs.GetCounter("serve.requests"),
 		rejected: obs.GetCounter("serve.rejected"),
 		errors:   obs.GetCounter("serve.errors"),
 		inflight: obs.GetGauge("serve.inflight"),
+		swaps:    obs.GetCounter("serve.model_swaps"),
 	}
 	for name, m := range cfg.Models {
 		if m == nil {
@@ -117,10 +168,12 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.names = append(s.names, name)
 		s.batchers[name] = newBatcher(name, m, cfg.MaxBatch, cfg.BatchWindow)
+		s.versions[name] = 1
 	}
 	sort.Strings(s.names)
 	s.mux.Handle("POST /v1/classify", s.guard("classify", s.handleClassify))
 	s.mux.Handle("POST /v1/transform", s.guard("transform", s.handleTransform))
+	s.mux.Handle("PUT /v1/models/{model}", s.guard("model_put", s.handleModelPut))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
 	return s, nil
@@ -143,31 +196,46 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Shutdown drains the server: new work is refused (healthz flips to 503,
-// classify/transform answer 503), in-flight requests run to completion
-// within ctx's budget, then the batchers flush and stop.
+// classify/transform answer 503), in-flight handlers run to completion
+// within ctx's budget, and only then do the batchers flush and stop. The
+// barrier — not httpSrv.Shutdown, which is a no-op on the Handler() path
+// and returns early when ctx expires — is what orders batcher close after
+// the handlers; any handler still running past the budget finds closed
+// batchers that answer 503 instead of panicking.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	s.barrier.BeginDrain()
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	for _, name := range s.names {
-		s.batchers[name].close()
+	drainErr := s.barrier.Drain(ctx)
+	s.mu.RLock()
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.mu.RUnlock()
+	for _, b := range bs {
+		b.close()
+	}
+	if err == nil {
+		err = drainErr
 	}
 	return err
 }
 
-// guard wraps a handler with the shared request discipline: admission
-// control, in-flight accounting, the per-request deadline, latency
-// observation and panic isolation.
+// guard wraps a handler with the shared request discipline: drain barrier,
+// admission control, in-flight accounting, the per-request deadline,
+// latency observation and panic isolation.
 func (s *Server) guard(op string, h func(http.ResponseWriter, *http.Request) error) http.Handler {
 	lat := obs.GetHistogram("serve.latency." + op)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		if s.draining.Load() {
+		if !s.barrier.Enter() {
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
+		defer s.barrier.Exit()
 		select {
 		case s.admit <- struct{}{}:
 		default:
@@ -191,11 +259,7 @@ func (s *Server) guard(op string, h func(http.ResponseWriter, *http.Request) err
 		defer cancel()
 		if err := h(w, r.WithContext(ctx)); err != nil {
 			s.errors.Add(1)
-			status := http.StatusBadRequest
-			if ctx.Err() != nil {
-				status = http.StatusGatewayTimeout
-			}
-			writeError(w, status, err.Error())
+			writeError(w, statusForError(err), err.Error())
 		}
 	})
 }
@@ -210,7 +274,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
 	case req.Source != "" && req.Histogram != nil:
 		return fmt.Errorf("request carries both source and histogram; send one")
 	case req.Source != "":
-		v, err := core.EmbedSource(req.Source, s.cfg.Embedding)
+		// Client-supplied sources go through the bounded untrusted cache
+		// tier: arbitrary traffic must not grow the pinned process-wide
+		// progcache without limit.
+		v, err := core.EmbedSourceUntrusted(req.Source, s.cfg.Embedding)
 		if err != nil {
 			return err
 		}
@@ -242,9 +309,9 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) error {
 		err    error
 	)
 	if req.Execute {
-		irText, vec, exec, err = core.TransformEmbedRun(req.Source, req.Evader, s.cfg.Embedding, req.Seed, s.cfg.Engine)
+		irText, vec, exec, err = core.TransformEmbedRunUntrusted(req.Source, req.Evader, s.cfg.Embedding, req.Seed, s.cfg.Engine)
 	} else {
-		irText, vec, err = core.TransformEmbed(req.Source, req.Evader, s.cfg.Embedding, req.Seed)
+		irText, vec, err = core.TransformEmbedUntrusted(req.Source, req.Evader, s.cfg.Embedding, req.Seed)
 	}
 	if err != nil {
 		return err
@@ -256,28 +323,73 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, TransformResponse{IR: irText, Verdicts: verdicts, BatchSizes: batches, Exec: exec})
 }
 
+// handleModelPut hot-swaps (or adds) a model from a pushed snapshot without
+// dropping in-flight requests: batches already collected finish on the old
+// snapshot, everything after the swap predicts with the new one. The
+// response carries the model's new version, monotonically increasing from 1
+// at boot.
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("model")
+	if name == "" {
+		return fmt.Errorf("model name missing from path")
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		return fmt.Errorf("read snapshot: %w", err)
+	}
+	m, err := ml.Load(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("bad snapshot: %w", err)
+	}
+	s.mu.Lock()
+	if b, ok := s.batchers[name]; ok {
+		b.swap(m)
+	} else {
+		s.batchers[name] = newBatcher(name, m, s.cfg.MaxBatch, s.cfg.BatchWindow)
+		s.names = append(s.names, name)
+		sort.Strings(s.names)
+	}
+	s.versions[name]++
+	version := s.versions[name]
+	s.mu.Unlock()
+	s.swaps.Add(1)
+	return writeJSON(w, http.StatusOK, ModelPutResponse{Model: name, Version: version})
+}
+
 // classify fans one vector out to the requested models' batchers (all
 // enqueued before any wait, so the models batch concurrently) and collects
-// the verdicts.
+// the verdicts. Asking for a model that is not loaded is a 404, not a bad
+// request: the request was well-formed, the resource does not exist here.
 func (s *Server) classify(ctx context.Context, vec []float64, models []string) (map[string]int, map[string]int, error) {
+	s.mu.RLock()
 	if len(models) == 0 {
-		models = s.names
+		models = append([]string(nil), s.names...)
 	}
-	calls := make([]*predictCall, len(models))
+	bs := make([]*batcher, len(models))
 	for i, name := range models {
 		b, ok := s.batchers[name]
 		if !ok {
-			return nil, nil, fmt.Errorf("model %q is not loaded (have %v)", name, s.names)
+			err := &statusError{
+				status: http.StatusNotFound,
+				msg:    fmt.Sprintf("model %q is not loaded (have %v)", name, s.names),
+			}
+			s.mu.RUnlock()
+			return nil, nil, err
 		}
+		bs[i] = b
+	}
+	s.mu.RUnlock()
+	calls := make([]*predictCall, len(models))
+	for i := range models {
 		calls[i] = &predictCall{vec: vec, done: make(chan struct{})}
-		if err := b.enqueue(ctx, calls[i]); err != nil {
+		if err := bs[i].enqueue(ctx, calls[i]); err != nil {
 			return nil, nil, err
 		}
 	}
 	verdicts := make(map[string]int, len(models))
 	batches := make(map[string]int, len(models))
 	for i, name := range models {
-		if err := s.batchers[name].wait(ctx, calls[i]); err != nil {
+		if err := bs[i].wait(ctx, calls[i]); err != nil {
 			return nil, nil, err
 		}
 		verdicts[name] = calls[i].class
@@ -287,14 +399,22 @@ func (s *Server) classify(ctx context.Context, vec []float64, models []string) (
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := append([]string(nil), s.names...)
+	versions := make(map[string]int64, len(s.versions))
+	for k, v := range s.versions {
+		versions[k] = v
+	}
+	s.mu.RUnlock()
 	resp := HealthResponse{
 		Status:    "ok",
-		Models:    s.names,
+		Models:    names,
+		Versions:  versions,
 		Embedding: s.cfg.Embedding,
 		InFlight:  s.inflight.Value(),
 	}
 	status := http.StatusOK
-	if s.draining.Load() {
+	if s.barrier.Draining() {
 		resp.Status = "draining"
 		status = http.StatusServiceUnavailable
 	}

@@ -282,7 +282,6 @@ func TestClassifyValidation(t *testing.T) {
 	}{
 		{"empty", serve.ClassifyRequest{}},
 		{"both", serve.ClassifyRequest{Source: "int main() { return 0; }", Histogram: []float64{1}}},
-		{"unknown model", serve.ClassifyRequest{Histogram: []float64{1}, Models: []string{"nope"}}},
 		{"broken source", serve.ClassifyRequest{Source: "int main( {"}},
 	}
 	for _, tc := range cases {
@@ -297,6 +296,19 @@ func TestClassifyValidation(t *testing.T) {
 			}
 		})
 	}
+	// Asking for a model that is not loaded is a well-formed request for a
+	// missing resource: 404, not 400.
+	t.Run("unknown model", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/classify",
+			serve.ClassifyRequest{Histogram: []float64{1}, Models: []string{"nope"}})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("got %d, want 404: %s", resp.StatusCode, body)
+		}
+		var e serve.ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("404 without a JSON error body: %s", body)
+		}
+	})
 }
 
 func TestTransformRoundTrip(t *testing.T) {
@@ -464,9 +476,10 @@ func TestConcurrentClassifyRace(t *testing.T) {
 }
 
 // TestMetriczSurfacesFlatCacheCounters drives two source-bearing classify
-// requests for the same program (first builds the cached flat view, second
-// reuses it) and checks /metricz reports the progcache flat counters and
-// flatten timer alongside the existing clone timer metrics.
+// requests for the same program (first compiles it into the bounded
+// untrusted tier, second reuses it) and checks /metricz reports the
+// untrusted-tier counters and flatten timer — wire-originated compiles go
+// through the LRU tier, not the pinned cache.
 func TestMetriczSurfacesFlatCacheCounters(t *testing.T) {
 	_, ts := newTestServer(t, serve.Config{
 		Models: map[string]ml.Model{"stub": &stubModel{}},
@@ -490,13 +503,219 @@ func TestMetriczSurfacesFlatCacheCounters(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Counters["progcache.flat.misses"] < 1 {
-		t.Fatalf("metricz missing progcache.flat.misses: %v", snap.Counters)
+	if snap.Counters["progcache.untrusted.misses"] < 1 {
+		t.Fatalf("metricz missing progcache.untrusted.misses: %v", snap.Counters)
 	}
-	if snap.Counters["progcache.flat.hits"] < 1 {
-		t.Fatalf("metricz missing progcache.flat.hits: %v", snap.Counters)
+	if snap.Counters["progcache.untrusted.hits"] < 1 {
+		t.Fatalf("metricz missing progcache.untrusted.hits: %v", snap.Counters)
 	}
 	if _, ok := snap.Timers["progcache.flatten"]; !ok {
 		t.Fatalf("metricz missing progcache.flatten timer: %v", snap.Timers)
+	}
+}
+
+// TestShutdownUnderLoadNoPanic is the regression hammer for the drain
+// ordering race: 16 goroutines keep requests in flight through the raw
+// Handler() path (which http.Server.Shutdown never sees) while Shutdown
+// runs with an already-expired context, exactly the interleaving that used
+// to close the batcher channel under live enqueuers and panic. Run under
+// -race. Every response must be a deliberate status; a 500 means the
+// handler's recover ate a send-on-closed-channel panic.
+func TestShutdownUnderLoadNoPanic(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Models:      map[string]ml.Model{"stub": &stubModel{delay: 20 * time.Millisecond}},
+		MaxBatch:    4,
+		BatchWindow: time.Millisecond,
+		MaxInFlight: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers = 16
+	stop := make(chan struct{})
+	bad := make(chan string, workers*64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(serve.ClassifyRequest{Histogram: []float64{1, 0}})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue // connection churn during teardown is fine
+				}
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusTooManyRequests,
+					http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+					serve.StatusClientClosedRequest:
+				default:
+					select {
+					case bad <- fmt.Sprintf("status %d", resp.StatusCode):
+					default:
+					}
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the hammer establish in-flight load
+
+	// An already-expired context forces the worst ordering: Shutdown cannot
+	// wait politely, yet the batcher still must not close under a live
+	// enqueuer.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(expired)
+
+	// The server is now draining; the hammer keeps firing for a beat to
+	// catch enqueue-after-close, which must answer 503, never panic.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Errorf("request answered with unexpected %s during shutdown", msg)
+	}
+}
+
+// TestModelHotSwap drives the PUT /v1/models/{name} path: train two
+// opposing models, swap one in over the wire, and require the verdict to
+// flip without a restart, the version to advance in /healthz, a garbage
+// snapshot to bounce with 400, and a push under a fresh name to add a
+// model rather than replace one.
+func TestModelHotSwap(t *testing.T) {
+	// Two single-feature lr models trained on opposite labelings: modelA
+	// says class 0 for a high feature, modelB says class 1.
+	train := func(flip bool) ml.Model {
+		rng := rand.New(rand.NewSource(11))
+		X := make([][]float64, 40)
+		y := make([]int, len(X))
+		for i := range X {
+			c := i % 2
+			X[i] = []float64{3*float64(c) + rng.NormFloat64()*0.1}
+			if flip {
+				y[i] = 1 - c
+			} else {
+				y[i] = c
+			}
+		}
+		m, err := ml.New("lr", rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y, 2); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	modelA, modelB := train(false), train(true)
+	probe := []float64{3}
+	if modelA.Predict(probe) == modelB.Predict(probe) {
+		t.Fatal("test models agree; they must disagree to witness the swap")
+	}
+
+	_, ts := newTestServer(t, serve.Config{
+		Models:      map[string]ml.Model{"lr": modelA},
+		BatchWindow: time.Millisecond,
+	})
+
+	classify := func() int {
+		resp, body := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Histogram: probe})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify got %d: %s", resp.StatusCode, body)
+		}
+		var out serve.ClassifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Verdicts["lr"]
+	}
+	put := func(name string, data []byte) (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/"+name, bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	if got, want := classify(), modelA.Predict(probe); got != want {
+		t.Fatalf("pre-swap verdict %d, want %d", got, want)
+	}
+
+	var snapB bytes.Buffer
+	if err := ml.Save(&snapB, modelB); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := put("lr", snapB.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot put got %d: %s", resp.StatusCode, body)
+	}
+	var putOut serve.ModelPutResponse
+	if err := json.Unmarshal(body, &putOut); err != nil {
+		t.Fatal(err)
+	}
+	if putOut.Model != "lr" || putOut.Version != 2 {
+		t.Fatalf("put response %+v, want lr version 2", putOut)
+	}
+	if got, want := classify(), modelB.Predict(probe); got != want {
+		t.Fatalf("post-swap verdict %d, want %d: the swap did not take", got, want)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health serve.HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Versions["lr"] != 2 {
+		t.Fatalf("healthz versions %v, want lr=2", health.Versions)
+	}
+
+	// Garbage bytes must bounce with 400 and leave the live model intact.
+	resp, body = put("lr", []byte("not a snapshot"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage snapshot got %d, want 400: %s", resp.StatusCode, body)
+	}
+	if got, want := classify(), modelB.Predict(probe); got != want {
+		t.Fatalf("verdict changed after rejected push: %d, want %d", got, want)
+	}
+
+	// A fresh name adds a model instead of replacing one.
+	resp, body = put("lr2", snapB.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("new-name put got %d: %s", resp.StatusCode, body)
+	}
+	cresp, cbody := postJSON(t, ts.URL+"/v1/classify",
+		serve.ClassifyRequest{Histogram: probe, Models: []string{"lr2"}})
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("classify on pushed model got %d: %s", cresp.StatusCode, cbody)
+	}
+	var out serve.ClassifyResponse
+	if err := json.Unmarshal(cbody, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Verdicts["lr2"], modelB.Predict(probe); got != want {
+		t.Fatalf("pushed model verdict %d, want %d", got, want)
 	}
 }

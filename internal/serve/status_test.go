@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestStatusForError pins the error-to-status contract the guard relies
+// on: deadline expiry is the server's fault (504), a client hanging up is
+// the client's (499), a typed status error carries its own code, a closed
+// batcher is a drain-time 503, and anything else is a malformed request.
+// The old code conflated all context errors into one bucket.
+func TestStatusForError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"wrapped deadline", fmt.Errorf("predict: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, StatusClientClosedRequest},
+		{"wrapped canceled", fmt.Errorf("enqueue: %w", context.Canceled), StatusClientClosedRequest},
+		{"typed 404", &statusError{status: http.StatusNotFound, msg: "no such model"}, http.StatusNotFound},
+		{"wrapped typed 404", fmt.Errorf("classify: %w", &statusError{status: http.StatusNotFound, msg: "x"}), http.StatusNotFound},
+		{"batcher closed", errBatcherClosed, http.StatusServiceUnavailable},
+		{"wrapped batcher closed", fmt.Errorf("model %q: %w", "lr", errBatcherClosed), http.StatusServiceUnavailable},
+		{"plain", errors.New("histogram must not be empty"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := statusForError(tc.err); got != tc.want {
+				t.Fatalf("statusForError(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
