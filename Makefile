@@ -33,12 +33,20 @@
 #   make fuzz-smoke-vm  the fuzz-smoke campaign cross-validated on the
 #                bytecode VM (-engine vm): every cell must match the tree
 #                interpreter bit-for-bit
+#   make coevo-smoke  fixed-seed 3-generation adversarial arena at two
+#                worker counts, manifests diffed at zero tolerance, then a
+#                second arena run pushing every checkpoint into a spawned
+#                3-replica gateway fleet that must stay fully healthy —
+#                run on every PR
+#   make bench-coevo  arena benchmarks (one full generation; warm vs cold
+#                retrain) -> BENCH_coevo.json
 #   make check   everything CI runs: build + test + race + cross +
-#                serve-smoke + gateway-smoke + fuzz-smoke + fuzz-smoke-vm
+#                serve-smoke + gateway-smoke + coevo-smoke + fuzz-smoke +
+#                fuzz-smoke-vm
 
 GO ?= go
 
-.PHONY: build test race bench bench-ir bench-interp bench-figures perf cross serve-smoke gateway-smoke fuzz-smoke fuzz-smoke-vm fuzz check
+.PHONY: build test race bench bench-ir bench-interp bench-coevo bench-figures perf cross serve-smoke gateway-smoke coevo-smoke fuzz-smoke fuzz-smoke-vm fuzz check
 
 build:
 	$(GO) build ./...
@@ -48,8 +56,8 @@ test: build
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/embed/... ./internal/ir/... \
-		./internal/linalg/... ./internal/ml/... ./internal/obs/... \
+	$(GO) test -race ./internal/coevo/... ./internal/core/... ./internal/embed/... \
+		./internal/ir/... ./internal/linalg/... ./internal/ml/... ./internal/obs/... \
 		./internal/progcache/... ./internal/serve/... ./internal/gateway/... \
 		./internal/vm/... ./cmd/arena/...
 
@@ -88,6 +96,14 @@ bench-interp:
 	$(GO) test -run xxx -bench 'BenchmarkInterp|BenchmarkVM' -benchmem ./internal/vm/ \
 	| $(GO) run ./cmd/benchjson -o BENCH_interp.json
 	@echo wrote BENCH_interp.json
+
+# Arena benchmarks: one full co-evolution generation (evolve + verdict +
+# Elo + retrain + checkpoint) and the warm-vs-cold retrain comparison.
+# Results land in BENCH_coevo.json.
+bench-coevo:
+	$(GO) test -run xxx -bench 'BenchmarkCoevoGeneration|BenchmarkRetrainWarmVsCold' -benchmem -benchtime 5x ./internal/coevo/ \
+	| $(GO) run ./cmd/benchjson -o BENCH_coevo.json
+	@echo wrote BENCH_coevo.json
 
 bench-figures:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -139,7 +155,38 @@ gateway-smoke:
 		echo "gateway-smoke: strict loadgen lost requests; gateway log:" ; cat "$$tmp/gw.log" ; \
 		kill "$$gpid" 2>/dev/null ; exit 1 ; fi ; \
 	"$$tmp/arena" report -tol 0 "$$tmp/load.json" "$$tmp/load.json" || { kill "$$gpid" 2>/dev/null ; exit 1 ; }; \
+	if ! "$$tmp/arena" healthz -addr http://127.0.0.1:18960 -want ok -healthy 3 -wait 45s; then \
+		echo "gateway-smoke: killed replica never rejoined; gateway log:" ; cat "$$tmp/gw.log" ; \
+		kill "$$gpid" 2>/dev/null ; exit 1 ; fi ; \
+	echo "gateway-smoke: killed replica rejoined"; \
 	kill -TERM "$$gpid" && wait "$$gpid" && echo "gateway-smoke: clean drain"
+
+# Adversarial-arena smoke: the same fixed-seed 3-generation co-evolution run
+# at two worker counts must produce identical manifests (volatile timing
+# cells excluded by `arena report` itself), and a run pushing every accepted
+# checkpoint into a spawned 3-replica gateway must leave the fleet fully
+# healthy with a clean drain.
+coevo-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/arena" ./cmd/arena || exit 1; \
+	"$$tmp/arena" coevo -gens 3 -classes 4 -per 8 -seed 5 -j 4 -out "$$tmp/a.json" || exit 1; \
+	"$$tmp/arena" coevo -gens 3 -classes 4 -per 8 -seed 5 -j 8 -out "$$tmp/b.json" || exit 1; \
+	"$$tmp/arena" report -tol 0 "$$tmp/a.json" "$$tmp/b.json" \
+		|| { echo "coevo-smoke: manifests diverged across worker counts" ; exit 1 ; }; \
+	"$$tmp/arena" gateway -addr 127.0.0.1:18970 -spawn 3 -snapshots "$$tmp/snap" \
+		-models lr -classes 4 -per 6 2>"$$tmp/gw.log" & \
+	gpid=$$!; \
+	if ! "$$tmp/arena" healthz -addr http://127.0.0.1:18970 -want ok -healthy 3 -wait 60s; then \
+		echo "coevo-smoke: fleet never became healthy; gateway log:" ; cat "$$tmp/gw.log" ; \
+		kill "$$gpid" 2>/dev/null ; exit 1 ; fi ; \
+	if ! "$$tmp/arena" coevo -gens 3 -classes 4 -per 8 -seed 5 -j 4 -model lr \
+		-push http://127.0.0.1:18970; then \
+		echo "coevo-smoke: arena push run failed; gateway log:" ; cat "$$tmp/gw.log" ; \
+		kill "$$gpid" 2>/dev/null ; exit 1 ; fi ; \
+	if ! "$$tmp/arena" healthz -addr http://127.0.0.1:18970 -want ok -healthy 3 -wait 10s; then \
+		echo "coevo-smoke: fleet unhealthy after checkpoint pushes; gateway log:" ; cat "$$tmp/gw.log" ; \
+		kill "$$gpid" 2>/dev/null ; exit 1 ; fi ; \
+	kill -TERM "$$gpid" && wait "$$gpid" && echo "coevo-smoke: clean drain"
 
 # Deterministic for the fixed seed: same verdict counts on every run and
 # worker count. Fails (exit 1) on any semantic mismatch or verifier break.
@@ -157,4 +204,4 @@ fuzz-smoke-vm:
 fuzz:
 	$(GO) run ./cmd/arena fuzz -n 200 -dur 2m -set module -v
 
-check: build test race cross serve-smoke gateway-smoke fuzz-smoke fuzz-smoke-vm
+check: build test race cross serve-smoke gateway-smoke coevo-smoke fuzz-smoke fuzz-smoke-vm

@@ -13,6 +13,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -60,25 +61,23 @@ func cmdGateway(args []string) error {
 	}
 
 	var addrs []string
-	var children []*exec.Cmd
+	var sup *replicaSupervisor
 	stopChildren := func() {
-		for _, c := range children {
-			_ = c.Process.Signal(syscall.SIGTERM)
-		}
-		for _, c := range children {
-			_ = c.Wait()
+		if sup != nil {
+			sup.stop()
 		}
 	}
 	if *spawn > 0 {
 		// Train once up front so the children race neither each other nor
 		// the filesystem: every replica cold-loads the same snapshot files.
-		if _, err := loadOrTrainSnapshots(*snapDir, splitNames(*models), *embedding, *classes, *per, *seed); err != nil {
+		if _, _, err := loadOrTrainSnapshots(*snapDir, splitNames(*models), *embedding, *classes, *per, *seed); err != nil {
 			return err
 		}
 		self, err := os.Executable()
 		if err != nil {
 			return fmt.Errorf("gateway: locate own binary: %w", err)
 		}
+		sup = newReplicaSupervisor(self)
 		for i := 0; i < *spawn; i++ {
 			port, err := freePort()
 			if err != nil {
@@ -98,15 +97,11 @@ func cmdGateway(args []string) error {
 			if *cacheCap >= 0 {
 				cargs = append(cargs, "-cache-cap", strconv.Itoa(*cacheCap))
 			}
-			cmd := exec.Command(self, cargs...)
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
+			if err := sup.launch(replicaAddr, cargs); err != nil {
 				stopChildren()
 				return fmt.Errorf("gateway: spawn replica %d: %w", i, err)
 			}
-			children = append(children, cmd)
 			addrs = append(addrs, replicaAddr)
-			fmt.Fprintf(os.Stderr, "spawned replica http://%s (pid %d)\n", replicaAddr, cmd.Process.Pid)
 		}
 		for _, a := range addrs {
 			if err := serve.WaitReady(context.Background(), "http://"+a, 60*time.Second); err != nil {
@@ -157,6 +152,131 @@ func cmdGateway(args []string) error {
 	stopChildren()
 	fmt.Fprintln(os.Stderr, "drained")
 	return rec.finish()
+}
+
+const (
+	// replicaBackoffBase is the delay before the first respawn of a dead
+	// replica; each consecutive crash doubles it up to replicaBackoffCap,
+	// and a child that stays up replicaBackoffReset earns a fresh base.
+	replicaBackoffBase  = 250 * time.Millisecond
+	replicaBackoffCap   = 8 * time.Second
+	replicaBackoffReset = 30 * time.Second
+)
+
+// replicaSupervisor keeps spawned serve replicas alive: every child that
+// exits without the supervisor having been stopped is respawned on the SAME
+// address (the gateway's ring position and probe target stay valid) after a
+// doubling backoff, so a crash-looping replica cannot melt the host while a
+// one-off kill rejoins the fleet in a quarter second.
+type replicaSupervisor struct {
+	self string // path to our own binary; children are `arena serve ...`
+
+	mu       sync.Mutex
+	stopped  bool
+	children map[string]*exec.Cmd // live child per replica address
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newReplicaSupervisor(self string) *replicaSupervisor {
+	return &replicaSupervisor{
+		self:     self,
+		children: make(map[string]*exec.Cmd),
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// launch starts one replica and its monitor goroutine.
+func (s *replicaSupervisor) launch(addr string, args []string) error {
+	cmd, err := s.spawn(addr, args)
+	if err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go s.monitor(addr, args, cmd)
+	return nil
+}
+
+// spawn starts the child and registers it so stop() can signal it. A spawn
+// that races a concurrent stop() is terminated immediately.
+func (s *replicaSupervisor) spawn(addr string, args []string) (*exec.Cmd, error) {
+	cmd := exec.Command(s.self, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("supervisor stopped")
+	}
+	s.children[addr] = cmd
+	s.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "spawned replica http://%s (pid %d)\n", addr, cmd.Process.Pid)
+	return cmd, nil
+}
+
+// monitor owns one replica address: it waits for the current child, and —
+// unless the supervisor is stopping — respawns it after the current backoff.
+func (s *replicaSupervisor) monitor(addr string, args []string, cmd *exec.Cmd) {
+	defer s.wg.Done()
+	backoff := replicaBackoffBase
+	for {
+		start := time.Now()
+		var werr error
+		if cmd != nil {
+			werr = cmd.Wait()
+		}
+		s.mu.Lock()
+		stopped := s.stopped
+		delete(s.children, addr)
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+		if cmd != nil && time.Since(start) >= replicaBackoffReset {
+			backoff = replicaBackoffBase
+		}
+		fmt.Fprintf(os.Stderr, "gateway: replica http://%s exited (%v); respawning in %v\n", addr, werr, backoff)
+		select {
+		case <-s.stopCh:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > replicaBackoffCap {
+			backoff = replicaBackoffCap
+		}
+		var err error
+		if cmd, err = s.spawn(addr, args); err != nil {
+			// Spawn failures (stop race, fork error) retry on the next
+			// backoff tick; the stopped check above ends the loop.
+			cmd = nil
+		}
+	}
+}
+
+// stop terminates every live child and waits for the monitors to drain.
+// Children get SIGTERM so serve's graceful drain runs.
+func (s *replicaSupervisor) stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	live := make([]*exec.Cmd, 0, len(s.children))
+	for _, c := range s.children {
+		live = append(live, c)
+	}
+	s.mu.Unlock()
+	for _, c := range live {
+		_ = c.Process.Signal(syscall.SIGTERM)
+	}
+	s.wg.Wait()
 }
 
 // freePort asks the kernel for an unused loopback port. There is a window

@@ -21,6 +21,8 @@
 //	speedup    RQ6  optimizer vs. obfuscator performance (Figure 13)
 //	discover   RQ7  identify the obfuscator (Figure 14)
 //	malware    RQ8  Mirai-family study (Figure 15; -av adds Figure 16)
+//	coevo           online adversarial arena: co-evolving evader populations
+//	                vs. an incrementally retrained classifier
 //	serve           HTTP classification service on trained model snapshots
 //	loadgen         drive a serve instance and report latency quantiles
 package main
@@ -70,6 +72,10 @@ func main() {
 		err = cmdDiscover(args)
 	case "malware":
 		err = cmdMalware(args)
+	case "coevo":
+		err = cmdCoevo(args)
+	case "healthz":
+		err = cmdHealthz(args)
 	case "serve":
 		err = cmdServe(args)
 	case "gateway":
@@ -109,6 +115,14 @@ commands:
   speedup                         optimizer vs. obfuscator runtimes (Fig 13)
   discover                        obfuscator identification (Fig 14)
   malware                         Mirai-family study (Fig 15; -av for Fig 16)
+  coevo [-gens n] [-strategy s] [-push url]
+                                  online adversarial arena: evader populations
+                                  co-evolve against a classifier retrained each
+                                  generation on its missed evasions (Elo-scored,
+                                  checkpointed with rollback; -push hot-swaps
+                                  every accepted checkpoint into a fleet)
+  healthz [-want ok] [-healthy n] poll a serve or gateway /healthz until it
+                                  reports the wanted status (smoke-test helper)
   serve                           HTTP classification service on model snapshots
                                   (micro-batched predict, 429 overload shedding,
                                   hot-swappable snapshots, graceful drain on SIGTERM)

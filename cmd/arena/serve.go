@@ -62,12 +62,13 @@ func cmdServe(args []string) error {
 		return err
 	}
 
-	loaded, err := loadOrTrainSnapshots(*snapDir, names, *embedding, *classes, *per, *seed)
+	loaded, lineage, err := loadOrTrainSnapshots(*snapDir, names, *embedding, *classes, *per, *seed)
 	if err != nil {
 		return err
 	}
 	srv, err := serve.New(serve.Config{
 		Models:         loaded,
+		Lineage:        lineage,
 		Embedding:      *embedding,
 		MaxInFlight:    *maxInFlight,
 		MaxBatch:       *maxBatch,
@@ -100,48 +101,66 @@ func cmdServe(args []string) error {
 }
 
 // loadOrTrainSnapshots loads each model from dir/<name>.snap, training and
-// saving the missing ones in a single deterministic pass.
-func loadOrTrainSnapshots(dir string, names []string, embedding string, classes, per int, seed int64) (map[string]ml.Model, error) {
+// saving the missing ones in a single deterministic pass. The second return
+// carries the lineage stamps found in pre-existing snapshot files (arena
+// checkpoints carry them; root and freshly trained snapshots do not), so a
+// replica booted on a co-evolution checkpoint reports its ancestry from the
+// first /healthz.
+func loadOrTrainSnapshots(dir string, names []string, embedding string, classes, per int, seed int64) (map[string]ml.Model, map[string]ml.Lineage, error) {
 	loaded := make(map[string]ml.Model, len(names))
+	lineage := make(map[string]ml.Lineage)
 	var missing []string
 	for _, name := range names {
 		path := filepath.Join(dir, name+".snap")
-		m, err := ml.LoadFile(path)
+		m, lin, err := loadSnapshotFile(path)
 		switch {
 		case err == nil:
 			fmt.Fprintf(os.Stderr, "loaded snapshot %s\n", path)
 			loaded[name] = m
+			if lin != (ml.Lineage{}) {
+				lineage[name] = lin
+			}
 		case os.IsNotExist(err):
 			missing = append(missing, name)
 		default:
-			return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+			return nil, nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
 		}
 	}
 	if len(missing) == 0 {
-		return loaded, nil
+		return loaded, lineage, nil
 	}
 	fmt.Fprintf(os.Stderr, "training missing snapshots %s (classes=%d per=%d seed=%d)\n",
 		strings.Join(missing, ","), classes, per, seed)
 	set, err := dataset.Generate(classes, per, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	trained, err := core.TrainVectorModels(set, embedding, missing, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, name := range missing {
 		path := filepath.Join(dir, name+".snap")
 		if err := ml.SaveFile(path, trained[name]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "wrote snapshot %s\n", path)
 		loaded[name] = trained[name]
 	}
-	return loaded, nil
+	return loaded, lineage, nil
+}
+
+// loadSnapshotFile is ml.LoadFile plus the frame's lineage stamp.
+func loadSnapshotFile(path string) (ml.Model, ml.Lineage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ml.Lineage{}, err
+	}
+	defer f.Close()
+	return ml.LoadLineage(f)
 }
 
 // cmdLoadgen offers classify load to a running server or gateway and

@@ -1,0 +1,73 @@
+package coevo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+// BenchmarkCoevoGeneration times one full arena round — evolve, verdict,
+// Elo, retrain, checkpoint — at the smoke-test scale.
+func BenchmarkCoevoGeneration(b *testing.B) {
+	set, err := dataset.Generate(2, 8, 11)
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	cfg := testConfig(set, 0)
+	a, err := newArena(&cfg)
+	if err != nil {
+		b.Fatalf("newArena: %v", err)
+	}
+	master := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.generation(i+1, master); err != nil {
+			b.Fatalf("generation: %v", err)
+		}
+	}
+}
+
+// BenchmarkRetrainWarmVsCold isolates the defender's per-generation retrain
+// cost: the warm path reuses the frozen standardizer and existing weights,
+// the cold path refits from scratch on the same pool.
+func BenchmarkRetrainWarmVsCold(b *testing.B) {
+	set, err := dataset.Generate(2, 10, 11)
+	if err != nil {
+		b.Fatalf("Generate: %v", err)
+	}
+	cfg := Config{Set: set, Seed: 42}
+	a, err := newArena(&cfg)
+	if err != nil {
+		b.Fatalf("newArena: %v", err)
+	}
+	X, y := a.trainX, a.trainY
+	nc := set.NumClasses
+
+	b.Run("warm", func(b *testing.B) {
+		m, _ := ml.New("lr", rand.New(rand.NewSource(1)))
+		if err := m.Fit(X, y, nc); err != nil {
+			b.Fatal(err)
+		}
+		wf := m.(ml.WarmFitter)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := wf.FitWarm(X, y, nc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		m, _ := ml.New("lr", rand.New(rand.NewSource(1)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Fit(X, y, nc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

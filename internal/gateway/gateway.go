@@ -589,6 +589,10 @@ type ReplicaHealth struct {
 	Healthy  bool             `json:"healthy"`
 	Cooling  bool             `json:"cooling,omitempty"`
 	Versions map[string]int64 `json:"versions,omitempty"`
+	// Lineage is the retraining ancestry each replica reported for the
+	// snapshots it serves (see serve.HealthResponse.Lineage), so a fleet
+	// push of a co-evolution checkpoint is traceable per replica.
+	Lineage map[string]ml.Lineage `json:"lineage,omitempty"`
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -605,6 +609,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Healthy:  h,
 			Cooling:  rep.cooling(now),
 			Versions: rep.snapshotVersions(),
+			Lineage:  rep.snapshotLineage(),
 		})
 	}
 	status := http.StatusOK

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -30,7 +31,8 @@ type replica struct {
 	coolUntil atomic.Int64
 
 	mu       sync.Mutex
-	versions map[string]int64 // snapshot versions from the last probe
+	versions map[string]int64      // snapshot versions from the last probe
+	lineage  map[string]ml.Lineage // snapshot lineage from the last probe
 
 	requests     *obs.Counter
 	failures     *obs.Counter
@@ -104,9 +106,12 @@ func (r *replica) probe(ctx context.Context, client *http.Client) {
 	resp.Body.Close()
 	ok := resp.StatusCode == http.StatusOK
 	r.setHealthy(ok)
-	if ok && h.Versions != nil {
+	if ok && (h.Versions != nil || h.Lineage != nil) {
 		r.mu.Lock()
-		r.versions = h.Versions
+		if h.Versions != nil {
+			r.versions = h.Versions
+		}
+		r.lineage = h.Lineage
 		r.mu.Unlock()
 	}
 }
@@ -116,6 +121,19 @@ func (r *replica) snapshotVersions() map[string]int64 {
 	defer r.mu.Unlock()
 	out := make(map[string]int64, len(r.versions))
 	for k, v := range r.versions {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *replica) snapshotLineage() map[string]ml.Lineage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.lineage) == 0 {
+		return nil
+	}
+	out := make(map[string]ml.Lineage, len(r.lineage))
+	for k, v := range r.lineage {
 		out[k] = v
 	}
 	return out

@@ -28,6 +28,7 @@ type CNN struct {
 	w3, b3, w4, b4   []float64
 	std              *standardizer
 	rng              *rand.Rand
+	warm             bool // FitWarm in progress: keep std, geometry, tensors
 }
 
 // NewCNN returns an untrained 1-D CNN with the default shape.
@@ -89,36 +90,38 @@ func (m *CNN) Fit(X [][]float64, y []int, numClasses int) error {
 		return err
 	}
 	defer fitSpan("cnn")()
-	m.std = fitStandardizer(X)
-	Xs := m.std.applyAll(X)
-	m.d = len(X[0])
-	m.numCl = numClasses
-	m.l1 = m.d - m.K1 + 1
-	if m.l1 < 2 {
-		// Input too short for the kernel: shrink the kernel.
-		m.K1 = m.d/2 + 1
+	if !m.warmOK(len(X[0]), numClasses) {
+		m.std = fitStandardizer(X)
+		m.d = len(X[0])
+		m.numCl = numClasses
 		m.l1 = m.d - m.K1 + 1
-	}
-	m.p1 = m.l1 / 2
-	m.l2 = m.p1 - m.K2 + 1
-	if m.l2 < 1 {
-		m.K2 = m.p1
-		m.l2 = 1
-	}
-	m.flat = m.C2 * m.l2
+		if m.l1 < 2 {
+			// Input too short for the kernel: shrink the kernel.
+			m.K1 = m.d/2 + 1
+			m.l1 = m.d - m.K1 + 1
+		}
+		m.p1 = m.l1 / 2
+		m.l2 = m.p1 - m.K2 + 1
+		if m.l2 < 1 {
+			m.K2 = m.p1
+			m.l2 = 1
+		}
+		m.flat = m.C2 * m.l2
 
-	m.w1 = make([]float64, m.C1*m.K1)
-	m.b1 = make([]float64, m.C1)
-	m.w2 = make([]float64, m.C2*m.C1*m.K2)
-	m.b2 = make([]float64, m.C2)
-	m.w3 = make([]float64, m.Hidden*m.flat)
-	m.b3 = make([]float64, m.Hidden)
-	m.w4 = make([]float64, m.numCl*m.Hidden)
-	m.b4 = make([]float64, m.numCl)
-	xavier(m.w1, m.K1, m.C1, m.rng)
-	xavier(m.w2, m.C1*m.K2, m.C2, m.rng)
-	xavier(m.w3, m.flat, m.Hidden, m.rng)
-	xavier(m.w4, m.Hidden, m.numCl, m.rng)
+		m.w1 = make([]float64, m.C1*m.K1)
+		m.b1 = make([]float64, m.C1)
+		m.w2 = make([]float64, m.C2*m.C1*m.K2)
+		m.b2 = make([]float64, m.C2)
+		m.w3 = make([]float64, m.Hidden*m.flat)
+		m.b3 = make([]float64, m.Hidden)
+		m.w4 = make([]float64, m.numCl*m.Hidden)
+		m.b4 = make([]float64, m.numCl)
+		xavier(m.w1, m.K1, m.C1, m.rng)
+		xavier(m.w2, m.C1*m.K2, m.C2, m.rng)
+		xavier(m.w3, m.flat, m.Hidden, m.rng)
+		xavier(m.w4, m.Hidden, m.numCl, m.rng)
+	}
+	Xs := m.std.applyAll(X)
 
 	params := [][]float64{m.w1, m.b1, m.w2, m.b2, m.w3, m.b3, m.w4, m.b4}
 	opts := make([]*adam, len(params))

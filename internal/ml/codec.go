@@ -15,21 +15,38 @@ import (
 // feature standardizer — so a model trained once can be served from any
 // process. The frame is
 //
-//	magic "GOMLSNAP" | version u64 | model name | payload | crc32 u64
+//	magic "GOMLSNAP" | version u64 | model name | lineage | payload | crc32 u64
 //
 // with every integer fixed-width little-endian and the checksum covering
 // all preceding bytes, so truncation and bit-flips both fail loudly at
 // load time. Loaded models are prediction-ready; to re-train, construct a
 // fresh model with New (the decoder does not restore RNG state).
+//
+// Version history: v1 had no lineage block; v2 inserted it (generation i64,
+// parent i64) between the name and the payload. Both versions load — a v1
+// frame decodes with the zero Lineage.
 
 const (
 	snapMagic   = "GOMLSNAP"
-	snapVersion = 1
+	snapVersion = 2
 )
 
-// Save writes a snapshot of the trained model m to w. Untrained models and
-// graph models (DGCNN) are rejected.
-func Save(w io.Writer, m Model) error {
+// Lineage locates a snapshot in a retraining chain: Generation is the
+// snapshot's own version number and Parent the generation it was
+// warm-started (or rolled back) from. The zero Lineage marks a root
+// snapshot — a model trained from scratch, or any pre-lineage v1 frame.
+type Lineage struct {
+	Generation int64 `json:"generation"`
+	Parent     int64 `json:"parent"`
+}
+
+// Save writes a snapshot of the trained model m to w with the zero
+// (root) lineage. Untrained models and graph models (DGCNN) are rejected.
+func Save(w io.Writer, m Model) error { return SaveLineage(w, m, Lineage{}) }
+
+// SaveLineage writes a snapshot of the trained model m to w, stamped with
+// its position in a retraining chain.
+func SaveLineage(w io.Writer, m Model, lin Lineage) error {
 	name, err := snapshotName(m)
 	if err != nil {
 		return err
@@ -38,6 +55,8 @@ func Save(w io.Writer, m Model) error {
 	sw.raw([]byte(snapMagic))
 	sw.u64(snapVersion)
 	sw.str(name)
+	sw.i64(lin.Generation)
+	sw.i64(lin.Parent)
 	if err := encodeModel(sw, m); err != nil {
 		return err
 	}
@@ -48,38 +67,51 @@ func Save(w io.Writer, m Model) error {
 
 // Load reads a snapshot written by Save and reconstructs the model.
 func Load(r io.Reader) (Model, error) {
+	m, _, err := LoadLineage(r)
+	return m, err
+}
+
+// LoadLineage reads a snapshot and reconstructs the model together with its
+// lineage stamp (zero for v1 frames, which predate lineage).
+func LoadLineage(r io.Reader) (Model, Lineage, error) {
+	var lin Lineage
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("ml: read snapshot: %w", err)
+		return nil, lin, fmt.Errorf("ml: read snapshot: %w", err)
 	}
 	// Smallest possible frame: magic + version + empty name + crc.
 	if len(data) < len(snapMagic)+8+8+8 {
-		return nil, fmt.Errorf("ml: snapshot truncated (%d bytes)", len(data))
+		return nil, lin, fmt.Errorf("ml: snapshot truncated (%d bytes)", len(data))
 	}
 	if string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("ml: not a model snapshot (bad magic)")
+		return nil, lin, fmt.Errorf("ml: not a model snapshot (bad magic)")
 	}
 	body, tail := data[:len(data)-8], data[len(data)-8:]
 	want := binary.LittleEndian.Uint64(tail)
 	if got := uint64(crc32.ChecksumIEEE(body)); got != want {
-		return nil, fmt.Errorf("ml: snapshot corrupted (checksum mismatch)")
+		return nil, lin, fmt.Errorf("ml: snapshot corrupted (checksum mismatch)")
 	}
 	sr := &snapReader{data: body, off: len(snapMagic)}
-	if v := sr.u64(); v != snapVersion {
-		return nil, fmt.Errorf("ml: snapshot version %d, this binary speaks %d", v, snapVersion)
+	v := sr.u64()
+	if v != 1 && v != snapVersion {
+		return nil, lin, fmt.Errorf("ml: snapshot version %d, this binary speaks %d", v, snapVersion)
 	}
 	name := sr.str()
+	if v >= 2 {
+		lin.Generation = sr.i64()
+		lin.Parent = sr.i64()
+	}
 	m, err := decodeModel(sr, name)
 	if err != nil {
-		return nil, err
+		return nil, lin, err
 	}
 	if sr.err != nil {
-		return nil, fmt.Errorf("ml: decode %s snapshot: %w", name, sr.err)
+		return nil, lin, fmt.Errorf("ml: decode %s snapshot: %w", name, sr.err)
 	}
 	if sr.off != len(sr.data) {
-		return nil, fmt.Errorf("ml: %s snapshot has %d trailing bytes", name, len(sr.data)-sr.off)
+		return nil, lin, fmt.Errorf("ml: %s snapshot has %d trailing bytes", name, len(sr.data)-sr.off)
 	}
-	return m, nil
+	return m, lin, nil
 }
 
 // SaveFile snapshots m to path, creating the file.

@@ -205,6 +205,7 @@ type Logistic struct {
 	numCl  int
 	std    *standardizer
 	rng    *rand.Rand
+	warm   bool // FitWarm in progress: keep std and weights (see warm.go)
 }
 
 // NewLogistic returns an untrained logistic-regression model.
@@ -218,14 +219,16 @@ func (m *Logistic) Fit(X [][]float64, y []int, numClasses int) error {
 		return err
 	}
 	defer fitSpan("lr")()
-	m.std = fitStandardizer(X)
-	Xs := m.std.applyAll(X)
-	m.d = len(X[0])
-	m.numCl = numClasses
-	m.w = make([]float64, numClasses*(m.d+1))
-	for i := range m.w {
-		m.w[i] = (m.rng.Float64()*2 - 1) * 0.01
+	if !m.warmOK(len(X[0]), numClasses) {
+		m.std = fitStandardizer(X)
+		m.d = len(X[0])
+		m.numCl = numClasses
+		m.w = make([]float64, numClasses*(m.d+1))
+		for i := range m.w {
+			m.w[i] = (m.rng.Float64()*2 - 1) * 0.01
+		}
 	}
+	Xs := m.std.applyAll(X)
 	opt := newAdam(len(m.w), m.LR)
 	grads := make([]float64, len(m.w))
 	n := len(Xs)
@@ -309,6 +312,7 @@ type SVM struct {
 	numCl  int
 	std    *standardizer
 	rng    *rand.Rand
+	warm   bool // FitWarm in progress: keep std and weights (see warm.go)
 }
 
 // NewSVM returns an untrained linear SVM.
@@ -322,11 +326,13 @@ func (m *SVM) Fit(X [][]float64, y []int, numClasses int) error {
 		return err
 	}
 	defer fitSpan("svm")()
-	m.std = fitStandardizer(X)
+	if !m.warmOK(len(X[0]), numClasses) {
+		m.std = fitStandardizer(X)
+		m.d = len(X[0])
+		m.numCl = numClasses
+		m.w = make([]float64, numClasses*(m.d+1))
+	}
 	Xs := m.std.applyAll(X)
-	m.d = len(X[0])
-	m.numCl = numClasses
-	m.w = make([]float64, numClasses*(m.d+1))
 	n := len(Xs)
 	order := m.rng.Perm(n)
 	t := 0

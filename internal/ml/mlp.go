@@ -22,6 +22,7 @@ type MLP struct {
 	w2, b2   []float64 // numCl x hidden, numCl
 	std      *standardizer
 	rng      *rand.Rand
+	warm     bool // FitWarm in progress: keep std and tensors (see warm.go)
 }
 
 // NewMLP returns an untrained MLP with the given hidden width.
@@ -43,17 +44,19 @@ func (m *MLP) Fit(X [][]float64, y []int, numClasses int) error {
 		return err
 	}
 	defer fitSpan("mlp")()
-	m.std = fitStandardizer(X)
+	if !m.warmOK(len(X[0]), numClasses) {
+		m.std = fitStandardizer(X)
+		m.d = len(X[0])
+		m.numCl = numClasses
+		m.w1 = make([]float64, m.Hidden*m.d)
+		m.b1 = make([]float64, m.Hidden)
+		m.w2 = make([]float64, numClasses*m.Hidden)
+		m.b2 = make([]float64, numClasses)
+		xavier(m.w1, m.d, m.Hidden, m.rng)
+		xavier(m.w2, m.Hidden, numClasses, m.rng)
+	}
 	Xs := m.std.applyAll(X)
-	m.d = len(X[0])
-	m.numCl = numClasses
 	h := m.Hidden
-	m.w1 = make([]float64, h*m.d)
-	m.b1 = make([]float64, h)
-	m.w2 = make([]float64, numClasses*h)
-	m.b2 = make([]float64, numClasses)
-	xavier(m.w1, m.d, h, m.rng)
-	xavier(m.w2, h, numClasses, m.rng)
 
 	params := [][]float64{m.w1, m.b1, m.w2, m.b2}
 	opts := make([]*adam, len(params))

@@ -1,0 +1,107 @@
+package ml
+
+import "math/rand"
+
+// Warm-start fitting: continue training from the current parameters
+// instead of re-initializing. This is the incremental-retrain primitive of
+// the co-evolution arena — each generation the defender re-fits on the
+// cumulative pool (base set + evasions caught so far) starting from the
+// weights it already has, so a few epochs suffice and the decision surface
+// moves smoothly between generations.
+//
+// Semantics, shared by every implementation:
+//
+//   - The feature standardizer is FROZEN: it keeps the statistics of the
+//     fit that first trained the model, so feature space stays comparable
+//     across generations (and with any snapshot already pushed to a serving
+//     fleet).
+//   - Optimizer state (Adam moments, Pegasos step counter) is fresh per
+//     call; only the parameters carry over.
+//   - If the model is untrained, or the feature/class dimensions changed,
+//     FitWarm falls back to a cold Fit — it never fails where Fit would
+//     succeed.
+//
+// A model restored by Load has no RNG (the codec does not serialize one);
+// FitWarm installs a fixed-seed source in that case so a
+// rollback-then-retrain sequence stays deterministic.
+
+// WarmFitter is implemented by the vector models that can continue
+// training from their current parameters.
+type WarmFitter interface {
+	Model
+	FitWarm(X [][]float64, y []int, numClasses int) error
+}
+
+func warmRng(rng *rand.Rand) *rand.Rand {
+	if rng == nil {
+		return rand.New(rand.NewSource(1))
+	}
+	return rng
+}
+
+// FitWarm retrains the logistic regression from its current weights.
+func (m *Logistic) FitWarm(X [][]float64, y []int, numClasses int) error {
+	m.rng = warmRng(m.rng)
+	m.warm = true
+	defer func() { m.warm = false }()
+	return m.Fit(X, y, numClasses)
+}
+
+func (m *Logistic) warmOK(d, numClasses int) bool {
+	return m.warm && m.d == d && m.numCl == numClasses && len(m.w) == numClasses*(d+1)
+}
+
+// FitWarm retrains the SVM from its current weights.
+func (m *SVM) FitWarm(X [][]float64, y []int, numClasses int) error {
+	m.rng = warmRng(m.rng)
+	m.warm = true
+	defer func() { m.warm = false }()
+	return m.Fit(X, y, numClasses)
+}
+
+func (m *SVM) warmOK(d, numClasses int) bool {
+	return m.warm && m.d == d && m.numCl == numClasses && len(m.w) == numClasses*(d+1)
+}
+
+// FitWarm retrains the MLP from its current weights.
+func (m *MLP) FitWarm(X [][]float64, y []int, numClasses int) error {
+	m.rng = warmRng(m.rng)
+	m.warm = true
+	defer func() { m.warm = false }()
+	return m.Fit(X, y, numClasses)
+}
+
+func (m *MLP) warmOK(d, numClasses int) bool {
+	return m.warm && m.d == d && m.numCl == numClasses &&
+		len(m.w1) == m.Hidden*d && len(m.w2) == numClasses*m.Hidden
+}
+
+// FitWarm retrains the CNN from its current tensors (conv geometry is kept,
+// so the input length must not have changed).
+func (m *CNN) FitWarm(X [][]float64, y []int, numClasses int) error {
+	m.rng = warmRng(m.rng)
+	m.warm = true
+	defer func() { m.warm = false }()
+	return m.Fit(X, y, numClasses)
+}
+
+func (m *CNN) warmOK(d, numClasses int) bool {
+	return m.warm && m.d == d && m.numCl == numClasses && len(m.w1) > 0
+}
+
+// FitWarm re-memorizes the given pool under the FROZEN standardizer (k-NN
+// has no parameters to continue from; the warm property it preserves is the
+// feature space).
+func (m *KNN) FitWarm(X [][]float64, y []int, numClasses int) error {
+	if m.std == nil || len(m.X) == 0 || numClasses != m.numCl ||
+		len(X) == 0 || len(X[0]) != len(m.std.mean) {
+		return m.Fit(X, y, numClasses)
+	}
+	if err := checkFit(X, y, numClasses); err != nil {
+		return err
+	}
+	defer fitSpan("knn")()
+	m.X = m.std.applyAll(X)
+	m.y = append([]int(nil), y...)
+	return nil
+}

@@ -1,0 +1,197 @@
+package ml_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func accOn(m ml.Model, X [][]float64, y []int) float64 {
+	hit := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(X))
+}
+
+// TestFitWarmAllVectorModels: every vector model except rf implements
+// WarmFitter; FitWarm falls back to a cold fit when untrained, and a warm
+// continuation on the same pool keeps the model accurate.
+func TestFitWarmAllVectorModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	Xtr, ytr, Xte, yte := synthBlobs(rng, 80, 40, 12, 4, 1.5)
+	for _, name := range ml.VectorNames() {
+		m, err := ml.New(name, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, ok := m.(ml.WarmFitter)
+		if !ok {
+			if name != "rf" {
+				t.Errorf("%s does not implement WarmFitter", name)
+			}
+			continue
+		}
+		// Untrained: FitWarm must behave like a cold Fit.
+		if err := wf.FitWarm(Xtr, ytr, 4); err != nil {
+			t.Fatalf("%s: cold-path FitWarm: %v", name, err)
+		}
+		cold := accOn(m, Xte, yte)
+		// Trained: a warm pass over the same pool must not degrade it.
+		if err := wf.FitWarm(Xtr, ytr, 4); err != nil {
+			t.Fatalf("%s: warm FitWarm: %v", name, err)
+		}
+		warm := accOn(m, Xte, yte)
+		if warm < cold-0.25 {
+			t.Errorf("%s: warm refit collapsed accuracy %.2f -> %.2f", name, cold, warm)
+		}
+	}
+}
+
+// TestFitWarmGrowingPool mimics the arena's retrain loop: the pool grows
+// each generation and the warm fit keeps absorbing it deterministically —
+// two identical histories end with models that agree on every prediction.
+func TestFitWarmGrowingPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	Xtr, ytr, Xte, _ := synthBlobs(rng, 60, 30, 12, 4, 1.5)
+	run := func() ml.Model {
+		m, err := ml.New("lr", rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf := m.(ml.WarmFitter)
+		for cut := 20; cut <= len(Xtr); cut += 20 {
+			if err := wf.FitWarm(Xtr[:cut], ytr[:cut], 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	a, b := run(), run()
+	for i, x := range Xte {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("identical warm-fit histories disagree on row %d", i)
+		}
+	}
+}
+
+// TestFitWarmAfterLoad: a model restored from a snapshot has no RNG; a
+// warm refit must still work (rollback-then-retrain is a normal arena
+// sequence) and keep the frozen standardizer semantics.
+func TestFitWarmAfterLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	Xtr, ytr, Xte, yte := synthBlobs(rng, 80, 40, 12, 4, 1.5)
+	for _, name := range []string{"lr", "svm", "mlp", "cnn", "knn"} {
+		m, err := ml.New(name, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(Xtr, ytr, 4); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ml.Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ml.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, ok := m2.(ml.WarmFitter)
+		if !ok {
+			t.Fatalf("%s: loaded model lost WarmFitter", name)
+		}
+		if err := wf.FitWarm(Xtr, ytr, 4); err != nil {
+			t.Fatalf("%s: FitWarm after Load: %v", name, err)
+		}
+		if acc := accOn(m2, Xte, yte); acc < 0.5 {
+			t.Errorf("%s: post-load warm refit accuracy %.2f", name, acc)
+		}
+	}
+}
+
+// TestSnapshotLineageRoundTrip: SaveLineage stamps travel with the frame
+// and plain Save writes the zero (root) lineage.
+func TestSnapshotLineageRoundTrip(t *testing.T) {
+	models, _, Xte := trainAll(t)
+	want := ml.Lineage{Generation: 7, Parent: 6}
+	for _, name := range ml.VectorNames() {
+		var buf bytes.Buffer
+		if err := ml.SaveLineage(&buf, models[name], want); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m2, lin, err := ml.LoadLineage(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if lin != want {
+			t.Fatalf("%s: lineage %+v round-tripped to %+v", name, want, lin)
+		}
+		for i, x := range Xte {
+			if m2.Predict(x) != models[name].Predict(x) {
+				t.Fatalf("%s: lineage frame changed prediction on row %d", name, i)
+			}
+		}
+		// Plain Save = root lineage; plain Load ignores the stamp.
+		buf.Reset()
+		if err := ml.Save(&buf, models[name]); err != nil {
+			t.Fatal(err)
+		}
+		if _, lin, err := ml.LoadLineage(bytes.NewReader(buf.Bytes())); err != nil || lin != (ml.Lineage{}) {
+			t.Fatalf("%s: Save should stamp the zero lineage, got %+v (%v)", name, lin, err)
+		}
+		if _, err := ml.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("%s: Load rejects a v2 frame: %v", name, err)
+		}
+	}
+}
+
+// TestSnapshotV1StillLoads: pre-lineage v1 frames (no generation/parent
+// block) must keep loading, with the zero lineage. The v1 frame is built by
+// down-converting a fresh v2 frame: flip the version word, cut the 16
+// lineage bytes, restamp the checksum.
+func TestSnapshotV1StillLoads(t *testing.T) {
+	models, _, Xte := trainAll(t)
+	m := models["lr"]
+	var buf bytes.Buffer
+	if err := ml.Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+	const magicLen = 8
+	nameLen := int(binary.LittleEndian.Uint64(snap[magicLen+8:]))
+	nameEnd := magicLen + 8 + 8 + nameLen
+	v1 := append([]byte(nil), snap[:nameEnd]...)
+	binary.LittleEndian.PutUint64(v1[magicLen:], 1)
+	v1 = append(v1, snap[nameEnd+16:len(snap)-8]...)
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], uint64(crc32.ChecksumIEEE(v1)))
+	v1 = append(v1, tail[:]...)
+
+	m2, lin, err := ml.LoadLineage(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if lin != (ml.Lineage{}) {
+		t.Fatalf("v1 frame decoded lineage %+v, want zero", lin)
+	}
+	for i, x := range Xte {
+		if m2.Predict(x) != m.Predict(x) {
+			t.Fatalf("v1 frame changed prediction on row %d", i)
+		}
+	}
+	// Unknown future versions still fail loudly.
+	bad := append([]byte(nil), snap[:len(snap)-8]...)
+	binary.LittleEndian.PutUint64(bad[magicLen:], 99)
+	binary.LittleEndian.PutUint64(tail[:], uint64(crc32.ChecksumIEEE(bad)))
+	bad = append(bad, tail[:]...)
+	if _, _, err := ml.LoadLineage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("version-99 frame loaded without error")
+	}
+}

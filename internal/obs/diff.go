@@ -17,6 +17,9 @@ type CellDiff struct {
 	// Identical reports that the raw per-round values (and F1s) match
 	// exactly, not just the means.
 	Identical bool
+	// Volatile marks a cell that is informational only (timings): its delta
+	// is shown but excluded from the diff's regression gates.
+	Volatile bool
 }
 
 // Diff is the comparison of two manifests: the regression check behind
@@ -51,29 +54,38 @@ func DiffManifests(a, b *Manifest) *Diff {
 		cb, ok := bCells[ca.Name]
 		if !ok {
 			d.OnlyA = append(d.OnlyA, ca.Name)
-			d.Identical = false
+			if !ca.Volatile {
+				d.Identical = false
+			}
 			continue
 		}
 		cd := CellDiff{
-			Name:  ca.Name,
-			MeanA: ca.Summary.Mean,
-			MeanB: cb.Summary.Mean,
-			Delta: cb.Summary.Mean - ca.Summary.Mean,
+			Name:     ca.Name,
+			MeanA:    ca.Summary.Mean,
+			MeanB:    cb.Summary.Mean,
+			Delta:    cb.Summary.Mean - ca.Summary.Mean,
+			Volatile: ca.Volatile || cb.Volatile,
 			Identical: floatsEqual(ca.Values, cb.Values) &&
 				floatsEqual(ca.F1, cb.F1) && ca.Summary == cb.Summary,
 		}
-		if !cd.Identical {
-			d.Identical = false
-		}
-		if abs := math.Abs(cd.Delta); abs > d.MaxAbsDelta {
-			d.MaxAbsDelta = abs
+		// Volatile cells (timings) are reported but never gate: they neither
+		// break Identical nor feed MaxAbsDelta.
+		if !cd.Volatile {
+			if !cd.Identical {
+				d.Identical = false
+			}
+			if abs := math.Abs(cd.Delta); abs > d.MaxAbsDelta {
+				d.MaxAbsDelta = abs
+			}
 		}
 		d.Cells = append(d.Cells, cd)
 	}
 	for i := range b.Cells {
 		if !seen[b.Cells[i].Name] {
 			d.OnlyB = append(d.OnlyB, b.Cells[i].Name)
-			d.Identical = false
+			if !b.Cells[i].Volatile {
+				d.Identical = false
+			}
 		}
 	}
 	for _, k := range sortedKeys(a.Config, b.Config) {
@@ -126,7 +138,11 @@ func (d *Diff) WriteText(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "cell\tmean A\tmean B\tdelta\tidentical\n")
 	for _, c := range d.Cells {
-		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%+.4f\t%v\n", c.Name, c.MeanA, c.MeanB, c.Delta, c.Identical)
+		id := fmt.Sprintf("%v", c.Identical)
+		if c.Volatile {
+			id = "volatile"
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%+.4f\t%s\n", c.Name, c.MeanA, c.MeanB, c.Delta, id)
 	}
 	tw.Flush()
 	for _, n := range d.OnlyA {

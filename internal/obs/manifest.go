@@ -34,13 +34,19 @@ type HostInfo struct {
 // are the deterministic heart of a manifest — for a fixed seed and host
 // they must be byte-identical run over run.
 type Cell struct {
-	Name   string    `json:"name"`
-	Metric string    `json:"metric"`
+	Name   string `json:"name"`
+	Metric string `json:"metric"`
 	// Values holds the per-round measurements; it may be empty for cells
 	// that only carry a pre-computed Summary (e.g. distance histograms).
 	Values  []float64     `json:"values,omitempty"`
 	F1      []float64     `json:"f1,omitempty"`
 	Summary stats.Summary `json:"summary"`
+	// Volatile marks a cell whose values legitimately vary run over run —
+	// wall-clock measurements like retrain times. Volatile cells are shown
+	// in diffs but excluded from the Canonical block and from the
+	// MaxAbsDelta/Identical regression gates, so a `report -tol 0` golden
+	// check can coexist with timing cells in one manifest.
+	Volatile bool `json:"volatile,omitempty"`
 }
 
 // Manifest is the machine-readable record of one arena command: everything
@@ -98,6 +104,15 @@ func (m *Manifest) AddSummaryCell(name, metric string, sum stats.Summary) {
 	m.Cells = append(m.Cells, Cell{Name: name, Metric: metric, Summary: sum})
 }
 
+// AddVolatileCell appends a cell for a measurement that is expected to
+// differ between otherwise-identical runs (timings, throughput). It is
+// reported but never gates a diff.
+func (m *Manifest) AddVolatileCell(name, metric string, values []float64) *Cell {
+	c := m.AddCell(name, metric, values)
+	c.Volatile = true
+	return c
+}
+
 // canonical is the deterministic subset of a manifest: for a fixed seed,
 // dataset and host CPU it must not change run over run, whatever the
 // worker counts or wall clock did.
@@ -109,11 +124,18 @@ type canonical struct {
 }
 
 // Canonical renders the deterministic accuracy block of the manifest as
-// indented JSON. Two fixed-seed runs of the same command must produce
-// byte-identical Canonical output; the golden test pins this.
+// indented JSON — volatile cells are dropped. Two fixed-seed runs of the
+// same command must produce byte-identical Canonical output; the golden
+// test pins this.
 func (m *Manifest) Canonical() ([]byte, error) {
+	cells := make([]Cell, 0, len(m.Cells))
+	for _, c := range m.Cells {
+		if !c.Volatile {
+			cells = append(cells, c)
+		}
+	}
 	return json.MarshalIndent(canonical{
-		Schema: m.Schema, Command: m.Command, Seed: m.Seed, Cells: m.Cells,
+		Schema: m.Schema, Command: m.Command, Seed: m.Seed, Cells: cells,
 	}, "", "  ")
 }
 

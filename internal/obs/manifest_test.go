@@ -119,3 +119,58 @@ func TestCanonicalStripsVolatileFields(t *testing.T) {
 		t.Fatalf("canonical block leaks volatile fields:\n%s", ca)
 	}
 }
+
+// TestVolatileCellsDoNotGate: timing cells may differ arbitrarily between
+// two runs without breaking a tol-0 diff or the Canonical block; real cell
+// regressions still gate.
+func TestVolatileCellsDoNotGate(t *testing.T) {
+	mk := func(ms float64) *Manifest {
+		m := testManifest()
+		m.AddVolatileCell("coevo/gen000/retrain_ms", "ms", []float64{ms})
+		return m
+	}
+	a, b := mk(12.5), mk(980.0)
+	d := DiffManifests(a, b)
+	if !d.Identical || d.MaxAbsDelta != 0 {
+		t.Fatalf("volatile delta gated the diff: identical=%v max=%v", d.Identical, d.MaxAbsDelta)
+	}
+	var vd *CellDiff
+	for i := range d.Cells {
+		if d.Cells[i].Name == "coevo/gen000/retrain_ms" {
+			vd = &d.Cells[i]
+		}
+	}
+	if vd == nil || !vd.Volatile {
+		t.Fatal("volatile cell missing from the diff report")
+	}
+	// Canonical strips it, so fixed-seed runs stay byte-identical.
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatal("volatile cell leaked into the Canonical block")
+	}
+	if strings.Contains(string(ca), "retrain_ms") {
+		t.Fatal("Canonical still names the volatile cell")
+	}
+	// A volatile cell present on one side only is reported but not gating.
+	c := testManifest()
+	d = DiffManifests(a, c)
+	if !d.Identical {
+		t.Fatal("one-sided volatile cell broke Identical")
+	}
+	if len(d.OnlyA) != 1 {
+		t.Fatalf("one-sided volatile cell not reported: %v", d.OnlyA)
+	}
+	// Non-volatile regressions still gate as before.
+	reg := testManifest()
+	reg.Cells[1].Summary.Mean += 0.5
+	if d := DiffManifests(a, reg); d.Identical || d.MaxAbsDelta == 0 {
+		t.Fatal("real regression slipped past the gate")
+	}
+}

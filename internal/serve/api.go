@@ -17,7 +17,10 @@
 //	GET  /metricz           JSON snapshot of the obs registry
 package serve
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/ml"
+)
 
 // ClassifyRequest asks for per-model verdicts on one program, given either
 // as MiniC source (compiled and embedded server-side through the shared
@@ -71,16 +74,22 @@ type HealthResponse struct {
 	// Versions counts snapshot generations per model: 1 at boot, bumped by
 	// every PUT /v1/models push. The gateway uses it to confirm a fleet
 	// converged on one snapshot.
-	Versions  map[string]int64 `json:"versions,omitempty"`
-	Embedding string           `json:"embedding"`
-	InFlight  int64            `json:"in_flight"`
+	Versions map[string]int64 `json:"versions,omitempty"`
+	// Lineage reports, per model, the retraining ancestry stamped into the
+	// snapshot it is serving (GOMLSNAP v2 frames; zero/absent for root or
+	// pre-lineage snapshots). This is what makes a co-evolution checkpoint
+	// pushed to a fleet traceable end to end.
+	Lineage   map[string]ml.Lineage `json:"lineage,omitempty"`
+	Embedding string                `json:"embedding"`
+	InFlight  int64                 `json:"in_flight"`
 }
 
 // ModelPutResponse answers a snapshot push: the named model now serves
-// generation Version.
+// generation Version, carrying the pushed snapshot's lineage stamp.
 type ModelPutResponse struct {
-	Model   string `json:"model"`
-	Version int64  `json:"version"`
+	Model   string     `json:"model"`
+	Version int64      `json:"version"`
+	Lineage ml.Lineage `json:"lineage"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

@@ -30,6 +30,11 @@ type Config struct {
 	// requests (default "histogram"). Must match what the models were
 	// trained on.
 	Embedding string
+	// Lineage optionally records where each boot model's snapshot sits in a
+	// retraining chain (ml.LoadLineage); surfaced in /healthz so a fleet's
+	// checkpoint ancestry is traceable. Missing entries read as the zero
+	// (root) lineage.
+	Lineage map[string]ml.Lineage
 	// MaxInFlight bounds admitted requests; beyond it the server answers
 	// 429 instead of queueing without limit.
 	MaxInFlight int
@@ -110,6 +115,7 @@ type Server struct {
 	names    []string
 	batchers map[string]*batcher
 	versions map[string]int64
+	lineage  map[string]ml.Lineage
 
 	requests *obs.Counter
 	rejected *obs.Counter
@@ -153,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		batchers: make(map[string]*batcher, len(cfg.Models)),
 		versions: make(map[string]int64, len(cfg.Models)),
+		lineage:  make(map[string]ml.Lineage, len(cfg.Models)),
 		admit:    make(chan struct{}, cfg.MaxInFlight),
 		barrier:  NewDrainBarrier(),
 		mux:      http.NewServeMux(),
@@ -169,6 +176,9 @@ func New(cfg Config) (*Server, error) {
 		s.names = append(s.names, name)
 		s.batchers[name] = newBatcher(name, m, cfg.MaxBatch, cfg.BatchWindow)
 		s.versions[name] = 1
+		if lin, ok := cfg.Lineage[name]; ok {
+			s.lineage[name] = lin
+		}
 	}
 	sort.Strings(s.names)
 	s.mux.Handle("POST /v1/classify", s.guard("classify", s.handleClassify))
@@ -337,7 +347,7 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return fmt.Errorf("read snapshot: %w", err)
 	}
-	m, err := ml.Load(bytes.NewReader(data))
+	m, lin, err := ml.LoadLineage(bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("bad snapshot: %w", err)
 	}
@@ -350,10 +360,11 @@ func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) error {
 		sort.Strings(s.names)
 	}
 	s.versions[name]++
+	s.lineage[name] = lin
 	version := s.versions[name]
 	s.mu.Unlock()
 	s.swaps.Add(1)
-	return writeJSON(w, http.StatusOK, ModelPutResponse{Model: name, Version: version})
+	return writeJSON(w, http.StatusOK, ModelPutResponse{Model: name, Version: version, Lineage: lin})
 }
 
 // classify fans one vector out to the requested models' batchers (all
@@ -405,11 +416,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for k, v := range s.versions {
 		versions[k] = v
 	}
+	var lineage map[string]ml.Lineage
+	if len(s.lineage) > 0 {
+		lineage = make(map[string]ml.Lineage, len(s.lineage))
+		for k, v := range s.lineage {
+			lineage[k] = v
+		}
+	}
 	s.mu.RUnlock()
 	resp := HealthResponse{
 		Status:    "ok",
 		Models:    names,
 		Versions:  versions,
+		Lineage:   lineage,
 		Embedding: s.cfg.Embedding,
 		InFlight:  s.inflight.Value(),
 	}

@@ -719,3 +719,69 @@ func TestModelHotSwap(t *testing.T) {
 		t.Fatalf("pushed model verdict %d, want %d", got, want)
 	}
 }
+
+// TestHealthzReportsLineage: the lineage stamped into a snapshot (boot
+// config or PUT push) is traceable through /healthz and the PUT response.
+func TestHealthzReportsLineage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X := make([][]float64, 40)
+	y := make([]int, len(X))
+	for i := range X {
+		c := i % 2
+		X[i] = []float64{3*float64(c) + rng.NormFloat64()*0.1}
+		y[i] = c
+	}
+	m, err := ml.New("lr", rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, serve.Config{
+		Models:  map[string]ml.Model{"lr": m},
+		Lineage: map[string]ml.Lineage{"lr": {Generation: 1}},
+	})
+
+	healthz := func() serve.HealthResponse {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out serve.HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := healthz().Lineage["lr"]; got != (ml.Lineage{Generation: 1}) {
+		t.Fatalf("boot lineage %+v, want generation 1", got)
+	}
+
+	want := ml.Lineage{Generation: 5, Parent: 4}
+	var snap bytes.Buffer
+	if err := ml.SaveLineage(&snap, m, want); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/lr", bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var putOut serve.ModelPutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&putOut); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || putOut.Lineage != want {
+		t.Fatalf("put answered %d lineage %+v, want 200 %+v", resp.StatusCode, putOut.Lineage, want)
+	}
+	if got := healthz().Lineage["lr"]; got != want {
+		t.Fatalf("post-push lineage %+v, want %+v", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package srcobf_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/embed"
@@ -230,6 +231,78 @@ func TestTransformsHandleStructs(t *testing.T) {
 		gotRet, gotOut := behaviour(t, out)
 		if gotRet != wantRet || gotOut != wantOut {
 			t.Fatalf("%s changed struct program behaviour: %d -> %d\n%s", strat, wantRet, gotRet, out)
+		}
+	}
+}
+
+// TestTransformFileDeterministic: the one-shot entry point is a pure
+// function of (source, strategy, seed) — same seed, byte-identical winner.
+func TestTransformFileDeterministic(t *testing.T) {
+	src := programs[1].src
+	for _, strat := range srcobf.StrategyNames() {
+		a, err := srcobf.TransformSource(src, strat, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		b, err := srcobf.TransformSource(src, strat, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if a != b {
+			t.Fatalf("%s: same seed produced different winners:\n--- first\n%s\n--- second\n%s", strat, a, b)
+		}
+	}
+}
+
+// TestPopulationDeterministicAcrossWorkers: evolving a batch of populations
+// concurrently must give byte-identical winners at any worker count, as long
+// as per-population seeds are pre-derived sequentially from the master RNG —
+// the same discipline the arena's generation loop uses.
+func TestPopulationDeterministicAcrossWorkers(t *testing.T) {
+	f, err := minic.Parse(programs[3].src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nPops = 4
+	for _, strat := range srcobf.StrategyNames() {
+		runAt := func(workers int) []string {
+			master := rand.New(rand.NewSource(42))
+			seeds := make([]int64, nPops)
+			for i := range seeds {
+				seeds[i] = master.Int63()
+			}
+			outs := make([]string, nPops)
+			sem := make(chan struct{}, workers)
+			var wg sync.WaitGroup
+			for i := 0; i < nPops; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					rng := rand.New(rand.NewSource(seeds[i]))
+					p, err := srcobf.NewPopulation(f, strat, 3, nil, rng)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for g := 0; g < 2; g++ {
+						p.Evolve(rng)
+					}
+					outs[i] = minic.Print(p.Best().File)
+				}(i)
+			}
+			wg.Wait()
+			return outs
+		}
+		base := runAt(1)
+		for _, w := range []int{4, 8} {
+			got := runAt(w)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("%s: population %d winner differs between 1 and %d workers", strat, i, w)
+				}
+			}
 		}
 	}
 }

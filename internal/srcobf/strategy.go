@@ -2,7 +2,6 @@ package srcobf
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/embed"
@@ -12,27 +11,18 @@ import (
 // StrategyNames lists the evader strategies, in the paper's naming.
 func StrategyNames() []string { return []string{"rs", "mcmc", "drlsg", "ga"} }
 
-// step is one element of a transformation sequence: a named transform plus
-// the seed of the private RNG it is applied with, so that sequences can be
-// replayed deterministically (the MCMC and GA strategies re-apply candidate
-// sequences from scratch).
-type step struct {
-	name string
-	seed int64
-}
-
 // applySeq replays a transformation sequence on a fresh clone of orig. A
 // step whose result no longer compiles is skipped — the safety net that
 // keeps every emitted program valid.
-func applySeq(orig *minic.File, seq []step) *minic.File {
+func applySeq(orig *minic.File, seq []Step) *minic.File {
 	cur := cloneFile(orig)
 	for _, st := range seq {
-		t, err := transformByName(st.name)
+		t, err := transformByName(st.Name)
 		if err != nil {
 			continue
 		}
 		cand := cloneFile(cur)
-		if !t.Apply(cand, rand.New(rand.NewSource(st.seed))) {
+		if !t.Apply(cand, rand.New(rand.NewSource(st.Seed))) {
 			continue
 		}
 		if _, err := minic.Compile(cand, "probe"); err != nil {
@@ -43,17 +33,9 @@ func applySeq(orig *minic.File, seq []step) *minic.File {
 	return cur
 }
 
-// score is the evader's objective: the Euclidean distance between the
-// opcode histograms of the original and the transformed program (greater
-// distance, better evasion — the quantity Figure 10 analyzes).
-func score(orig embed.Vector, f *minic.File) float64 {
-	m, err := minic.Compile(cloneFile(f), "scored")
-	if err != nil {
-		return -1
-	}
-	return embed.Distance(orig, embed.Histogram(m))
-}
-
+// origHistogram computes the opcode histogram of the original program —
+// the reference point of the default evasion objective (greater distance,
+// better evasion — the quantity Figure 10 analyzes).
 func origHistogram(f *minic.File) (embed.Vector, error) {
 	m, err := minic.Compile(cloneFile(f), "orig")
 	if err != nil {
@@ -63,20 +45,38 @@ func origHistogram(f *minic.File) (embed.Vector, error) {
 }
 
 // TransformFile applies the named strategy to a parsed program and returns
-// the transformed AST.
+// the transformed AST. It is the batch (one-shot) entry point: each call
+// builds a fresh Population with the strategy's paper-matching budget and
+// runs it to completion under the default histogram-distance objective.
+//
+//	rs     size 1, no Evolve — one random combination of the transform
+//	       catalogue (Zhang et al.'s rs draws a single sequence)
+//	mcmc   1 chain × 5 generations × 8 Metropolis steps = the batch
+//	       walk's 40 steps
+//	drlsg  1 searcher × 12 greedy rounds (width 4)
+//	ga     8 genomes × 5 generations (tournament/crossover/mutation)
 func TransformFile(f *minic.File, strategy string, rng *rand.Rand) (*minic.File, error) {
+	var size, gens int
 	switch strategy {
 	case "rs":
-		return randomSearch(f, rng), nil
+		size, gens = 1, 0
 	case "mcmc":
-		return mcmc(f, rng)
+		size, gens = 1, 5
 	case "drlsg":
-		return drlsg(f, rng)
+		size, gens = 1, 12
 	case "ga":
-		return genetic(f, rng)
+		size, gens = 8, 5
 	default:
 		return nil, fmt.Errorf("srcobf: unknown strategy %q", strategy)
 	}
+	p, err := NewPopulation(f, strategy, size, nil, rng)
+	if err != nil {
+		return nil, err
+	}
+	for g := 0; g < gens; g++ {
+		p.Evolve(rng)
+	}
+	return p.Best().File, nil
 }
 
 // TransformSource parses, transforms and re-prints MiniC source.
@@ -94,169 +94,4 @@ func TransformSource(src, strategy string, rng *rand.Rand) (string, error) {
 		return "", fmt.Errorf("srcobf: %s produced uncompilable source: %w", strategy, err)
 	}
 	return out, nil
-}
-
-// randomSearch combines the 15 transformations randomly, without
-// repetition (Zhang et al.'s rs strategy).
-func randomSearch(f *minic.File, rng *rand.Rand) *minic.File {
-	names := TransformNames()
-	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
-	k := 5 + rng.Intn(len(names)-4)
-	seq := make([]step, 0, k)
-	for _, n := range names[:k] {
-		seq = append(seq, step{n, rng.Int63()})
-	}
-	return applySeq(f, seq)
-}
-
-// mcmc runs a Metropolis-Hastings walk over transformation sequences,
-// favouring programs whose histogram moves away from the original.
-func mcmc(f *minic.File, rng *rand.Rand) (*minic.File, error) {
-	orig, err := origHistogram(f)
-	if err != nil {
-		return nil, err
-	}
-	names := TransformNames()
-	const steps = 40
-	const temperature = 2.0
-	var seq []step
-	cur := cloneFile(f)
-	curScore := 0.0
-	for i := 0; i < steps; i++ {
-		var cand []step
-		if len(seq) > 3 && rng.Float64() < 0.25 {
-			// Drop a random step (the reverse move keeps the chain mixing).
-			j := rng.Intn(len(seq))
-			cand = append(append([]step(nil), seq[:j]...), seq[j+1:]...)
-		} else {
-			cand = append(append([]step(nil), seq...), step{names[rng.Intn(len(names))], rng.Int63()})
-		}
-		candFile := applySeq(f, cand)
-		s := score(orig, candFile)
-		if s < 0 {
-			continue
-		}
-		delta := s - curScore
-		if delta >= 0 || rng.Float64() < math.Exp(delta/temperature) {
-			seq, cur, curScore = cand, candFile, s
-		}
-	}
-	return cur, nil
-}
-
-// drlsg stands in for Zhang et al.'s deep-reinforcement-learning sequence
-// generator: a greedy policy that, at each round, evaluates a handful of
-// candidate actions and commits to the one maximizing the embedding
-// distance from the original program — the exact objective the DRL agent is
-// trained on. (See DESIGN.md for the substitution rationale.)
-func drlsg(f *minic.File, rng *rand.Rand) (*minic.File, error) {
-	orig, err := origHistogram(f)
-	if err != nil {
-		return nil, err
-	}
-	names := TransformNames()
-	var seq []step
-	best := cloneFile(f)
-	bestScore := 0.0
-	const rounds = 12
-	const width = 4
-	for r := 0; r < rounds; r++ {
-		type cand struct {
-			seq   []step
-			file  *minic.File
-			score float64
-		}
-		var top *cand
-		for w := 0; w < width; w++ {
-			c := append(append([]step(nil), seq...), step{names[rng.Intn(len(names))], rng.Int63()})
-			cf := applySeq(f, c)
-			s := score(orig, cf)
-			if s < 0 {
-				continue
-			}
-			if top == nil || s > top.score {
-				top = &cand{c, cf, s}
-			}
-		}
-		if top == nil {
-			break
-		}
-		seq = top.seq
-		if top.score >= bestScore {
-			best, bestScore = top.file, top.score
-		}
-	}
-	return best, nil
-}
-
-// genetic evolves transformation sequences with tournament selection,
-// one-point crossover and mutation (Zhang et al.'s ga strategy; used by the
-// paper's RQ7 obfuscator-detection experiment).
-func genetic(f *minic.File, rng *rand.Rand) (*minic.File, error) {
-	orig, err := origHistogram(f)
-	if err != nil {
-		return nil, err
-	}
-	names := TransformNames()
-	const (
-		popSize     = 8
-		seqLen      = 6
-		generations = 5
-	)
-	randSeq := func() []step {
-		s := make([]step, seqLen)
-		for i := range s {
-			s[i] = step{names[rng.Intn(len(names))], rng.Int63()}
-		}
-		return s
-	}
-	pop := make([][]step, popSize)
-	fit := make([]float64, popSize)
-	files := make([]*minic.File, popSize)
-	evalIdx := func(i int) {
-		files[i] = applySeq(f, pop[i])
-		fit[i] = score(orig, files[i])
-	}
-	for i := range pop {
-		pop[i] = randSeq()
-		evalIdx(i)
-	}
-	tournament := func() int {
-		a, b := rng.Intn(popSize), rng.Intn(popSize)
-		if fit[a] >= fit[b] {
-			return a
-		}
-		return b
-	}
-	for g := 0; g < generations; g++ {
-		next := make([][]step, 0, popSize)
-		// Elitism: carry the best.
-		bi := 0
-		for i := range fit {
-			if fit[i] > fit[bi] {
-				bi = i
-			}
-		}
-		next = append(next, pop[bi])
-		for len(next) < popSize {
-			pa, pb := pop[tournament()], pop[tournament()]
-			cut := rng.Intn(seqLen)
-			child := append(append([]step(nil), pa[:cut]...), pb[cut:]...)
-			if rng.Float64() < 0.4 {
-				child[rng.Intn(len(child))] = step{names[rng.Intn(len(names))], rng.Int63()}
-			}
-			next = append(next, child)
-		}
-		pop = next
-		for i := range pop {
-			evalIdx(i)
-		}
-	}
-	bi := 0
-	for i := range fit {
-		if fit[i] > fit[bi] {
-			bi = i
-		}
-	}
-	return files[bi], nil
 }

@@ -146,3 +146,34 @@ func GeoMean(xs []float64) float64 {
 	}
 	return math.Exp(s / float64(len(xs)))
 }
+
+// EloInitial is the rating both sides of an adversarial game start at, and
+// EloK the default update gain (chess club conventions; the absolute scale
+// is arbitrary, only rating differences carry meaning).
+const (
+	EloInitial = 1000.0
+	EloK       = 32.0
+)
+
+// EloExpected returns the expected score of a player rated ra against an
+// opponent rated rb under the logistic Elo model: 1/(1+10^((rb-ra)/400)).
+func EloExpected(ra, rb float64) float64 {
+	return 1 / (1 + math.Pow(10, (rb-ra)/400))
+}
+
+// EloUpdate folds the aggregate outcome of `games` encounters between a
+// player rated ra and an opponent rated rb into a new rating for the
+// player. scoreA is the player's total score over the block (wins count 1,
+// draws 0.5), so 0 <= scoreA <= games. The block update is the standard
+// per-game rule applied once with the summed score — the form used when a
+// generation of an adversarial arena is scored as one rating period.
+// k <= 0 selects EloK; games <= 0 returns ra unchanged.
+func EloUpdate(ra, rb, scoreA float64, games int, k float64) float64 {
+	if games <= 0 {
+		return ra
+	}
+	if k <= 0 {
+		k = EloK
+	}
+	return ra + k*(scoreA-float64(games)*EloExpected(ra, rb))
+}

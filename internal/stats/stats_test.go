@@ -149,3 +149,43 @@ func TestAccuracyProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEloExpected(t *testing.T) {
+	if got := stats.EloExpected(1000, 1000); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("equal ratings should expect 0.5, got %v", got)
+	}
+	// A 400-point gap is a 10:1 odds ratio by construction.
+	if got := stats.EloExpected(1400, 1000); math.Abs(got-10.0/11.0) > 1e-12 {
+		t.Fatalf("+400 should expect 10/11, got %v", got)
+	}
+	// Expectations of the two sides always sum to 1.
+	for _, d := range []float64{-300, -50, 0, 75, 512} {
+		a, b := stats.EloExpected(1000+d, 1000), stats.EloExpected(1000, 1000+d)
+		if math.Abs(a+b-1) > 1e-12 {
+			t.Fatalf("expectations must sum to 1: %v + %v", a, b)
+		}
+	}
+}
+
+func TestEloUpdateZeroSum(t *testing.T) {
+	ra, rb := 1000.0, 1100.0
+	const games = 10
+	score := 6.5 // attacker took 6.5 of 10 points
+	na := stats.EloUpdate(ra, rb, score, games, 32)
+	nb := stats.EloUpdate(rb, ra, float64(games)-score, games, 32)
+	if math.Abs((na+nb)-(ra+rb)) > 1e-9 {
+		t.Fatalf("block update must be zero-sum: %v + %v != %v", na, nb, ra+rb)
+	}
+	// Scoring exactly the expectation leaves the rating unchanged.
+	exp := stats.EloExpected(ra, rb) * games
+	if got := stats.EloUpdate(ra, rb, exp, games, 32); math.Abs(got-ra) > 1e-9 {
+		t.Fatalf("meeting expectation should not move the rating: %v -> %v", ra, got)
+	}
+	// No games, no movement; k<=0 falls back to the default gain.
+	if got := stats.EloUpdate(ra, rb, 0, 0, 32); got != ra {
+		t.Fatalf("0 games moved rating to %v", got)
+	}
+	if got := stats.EloUpdate(ra, rb, float64(games), games, 0); got <= ra {
+		t.Fatalf("winning every game must raise the rating, got %v", got)
+	}
+}
