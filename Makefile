@@ -33,6 +33,11 @@
 #   make fuzz-smoke-vm  the fuzz-smoke campaign cross-validated on the
 #                bytecode VM (-engine vm): every cell must match the tree
 #                interpreter bit-for-bit
+#   make thaw-smoke  clone-vs-thaw equivalence campaign: 200 generated
+#                programs, every module-level transform applied to a deep
+#                clone and to a thawed flat-view copy with the same seed;
+#                the two must verify, print and behave bit-for-bit the same
+#                — run on every PR
 #   make coevo-smoke  fixed-seed 3-generation adversarial arena at two
 #                worker counts, manifests diffed at zero tolerance, then a
 #                second arena run pushing every checkpoint into a spawned
@@ -40,13 +45,17 @@
 #                run on every PR
 #   make bench-coevo  arena benchmarks (one full generation; warm vs cold
 #                retrain) -> BENCH_coevo.json
+#   make bench-transform  clone-vs-thaw module-copy benchmarks (µs/op and
+#                allocs/op for Clone/Thaw/CompileClone/CompileThaw, plus the
+#                harness-round and coevo-generation numbers that ride on the
+#                copy path) -> BENCH_transform.json
 #   make check   everything CI runs: build + test + race + cross +
 #                serve-smoke + gateway-smoke + coevo-smoke + fuzz-smoke +
-#                fuzz-smoke-vm
+#                fuzz-smoke-vm + thaw-smoke
 
 GO ?= go
 
-.PHONY: build test race bench bench-ir bench-interp bench-coevo bench-figures perf cross serve-smoke gateway-smoke coevo-smoke fuzz-smoke fuzz-smoke-vm fuzz check
+.PHONY: build test race bench bench-ir bench-interp bench-coevo bench-transform bench-figures perf cross serve-smoke gateway-smoke coevo-smoke fuzz-smoke fuzz-smoke-vm thaw-smoke fuzz check
 
 build:
 	$(GO) build ./...
@@ -199,9 +208,25 @@ fuzz-smoke:
 fuzz-smoke-vm:
 	$(GO) run ./cmd/arena fuzz -n 200 -seed 1 -set smoke -small -engine vm
 
+# The thaw proof obligation at PR scale: 200 generated programs, every
+# module-level transform applied to a deep clone and to a thawed flat-view
+# copy with identical seeds; any print/verify/behaviour divergence or any
+# mutation of the shared master fails the build.
+thaw-smoke:
+	$(GO) run ./cmd/arena fuzz -thaw -n 200 -seed 1 -set module -small
+
 # Open-ended local campaign: bigger programs, composed evader pipelines,
 # repeated batches for 2 minutes. Crashers are shrunk automatically.
 fuzz:
 	$(GO) run ./cmd/arena fuzz -n 200 -dur 2m -set module -v
 
-check: build test race cross serve-smoke gateway-smoke coevo-smoke fuzz-smoke fuzz-smoke-vm
+# Clone-vs-thaw and progcache benchmarks for the transform fast path,
+# recorded machine-readably. Results land in BENCH_transform.json.
+bench-transform:
+	{ $(GO) test -run xxx -bench 'BenchmarkClone|BenchmarkThaw|BenchmarkFlatten|BenchmarkCompileClone|BenchmarkCompileThaw' -benchmem ./internal/ir/ ; \
+	  $(GO) test -run xxx -bench BenchmarkHarnessRounds -benchtime 3x . ; \
+	  $(GO) test -run xxx -bench BenchmarkCoevoGeneration -benchmem -benchtime 5x ./internal/coevo/ ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_transform.json
+	@echo wrote BENCH_transform.json
+
+check: build test race cross serve-smoke gateway-smoke coevo-smoke fuzz-smoke fuzz-smoke-vm thaw-smoke

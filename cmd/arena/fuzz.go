@@ -30,6 +30,8 @@ func cmdFuzz(args []string) error {
 	noShrink := fs.Bool("no-shrink", false, "report failures unshrunk (faster triage turnaround)")
 	engine := fs.String("engine", "tree",
 		"execution engine for the transformed side (tree = reference interpreter, vm = compiled bytecode; vm is also cross-checked bit-for-bit against tree)")
+	thaw := fs.Bool("thaw", false,
+		"run the clone-vs-thaw equivalence campaign instead: each module-level transform is applied to a deep clone and to a thawed flat-view copy with the same seed, and the two must match bit-for-bit")
 	verbose := fs.Bool("v", false, "per-transform table + obs footer")
 	of := addObs(fs)
 	if err := fs.Parse(args); err != nil {
@@ -38,6 +40,9 @@ func cmdFuzz(args []string) error {
 	rec, err := of.begin("fuzz", fs, *seed, *verbose)
 	if err != nil {
 		return err
+	}
+	if *thaw {
+		return fuzzThaw(rec, *n, *seed, *workers, *set, *small)
 	}
 
 	cfg := difftest.CampaignConfig{
@@ -95,6 +100,35 @@ func cmdFuzz(args []string) error {
 			fmt.Fprintf(os.Stderr, "shrunk repros written to %s\n", *crashers)
 		}
 		return fmt.Errorf("%d semantics-breaking cells", total.TotalFailures()+total.OracleErrs)
+	}
+	return nil
+}
+
+// fuzzThaw runs the clone-vs-thaw differential campaign: the thaw-derived
+// copy of every cached module must be indistinguishable from the deep-clone
+// oracle under every registered module-level transform. Exits nonzero on any
+// divergence.
+func fuzzThaw(rec *runRecorder, n int, seed int64, workers int, set string, small bool) error {
+	cfg := difftest.ThawEquivConfig{N: n, Seed: seed, Workers: workers, Set: set}
+	if small {
+		cfg.Gen = difftest.SmokeGen()
+	}
+	res, err := difftest.RunThawEquivalence(cfg)
+	if err != nil {
+		return err
+	}
+	rec.man.AddCell("fuzz/thaw", "cells", []float64{float64(res.Cells)})
+	rec.man.AddCell("fuzz/thaw", "failures", []float64{float64(len(res.Failures))})
+	if err := rec.finish(); err != nil {
+		return err
+	}
+	fmt.Printf("fuzz -thaw: %d programs x %d transforms = %d clone-vs-thaw cells: %d failures, %d oracle errors\n",
+		res.Programs, res.Transforms, res.Cells, len(res.Failures), res.OracleErrs)
+	if len(res.Failures) > 0 || res.OracleErrs > 0 {
+		for _, f := range res.Failures {
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d transform=%s: %.200s\n", f.Seed, f.Transform, f.Detail)
+		}
+		return fmt.Errorf("%d clone-vs-thaw divergences", len(res.Failures))
 	}
 	return nil
 }

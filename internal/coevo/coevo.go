@@ -390,13 +390,19 @@ func (a *arena) generation(gen int, master *rand.Rand) (*GenerationResult, error
 			at.pop.Evolve(rand.New(rand.NewSource(seeds[i])))
 			out := &popOutcome{}
 			for mi := range at.pop.Members {
-				fl, err := srcobf.FlatView(at.pop.Members[mi].File)
-				if err != nil {
-					// applySeq guarantees members compile; a failure here is
-					// a bug, not a data condition — surface it as a miss.
-					out.vecs = append(out.vecs, nil)
-					out.evaded = append(out.evaded, false)
-					continue
+				// Evolve leaves every member carrying the flat view from its
+				// last scoring, so the verdict pass below costs no compiles.
+				fl := at.pop.Members[mi].Flat
+				if fl == nil {
+					var err error
+					fl, err = srcobf.FlatView(at.pop.Members[mi].File)
+					if err != nil {
+						// applySeq guarantees members compile; a failure here
+						// is a bug, not a data condition — surface as a miss.
+						out.vecs = append(out.vecs, nil)
+						out.evaded = append(out.evaded, false)
+						continue
+					}
 				}
 				v := a.emb.VecFlat(fl)
 				out.vecs = append(out.vecs, v)

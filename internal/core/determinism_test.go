@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ml"
 	"repro/internal/progcache"
+	"repro/internal/stats"
 )
 
 // TestRunGameCacheInvariant is the clone-before-mutate regression guard:
@@ -82,6 +84,52 @@ func TestRunRoundsWorkerInvariance(t *testing.T) {
 		}
 		if gotSum != refSum {
 			t.Fatalf("workers=%d: summary %+v != %+v", workers, gotSum, refSum)
+		}
+	}
+}
+
+// TestRunRoundsThawCloneInvariance is the round-level half of the thaw
+// equivalence contract: with a fixed seed, RunRoundsN must produce
+// bit-identical per-round results and summaries whether the transform
+// pipeline draws its private module copies from ir.Thaw (the default) or
+// from the deep-clone fallback (SetThaw(false)) — at 1, 4 and 8 workers.
+func TestRunRoundsThawCloneInvariance(t *testing.T) {
+	defer progcache.SetThaw(true)
+	set := smallSet(t, 4, 8, 36)
+	cfg := core.GameConfig{
+		Game:     1,
+		Evader:   "ollvm",
+		Pipeline: core.Pipeline{Embedding: "histogram", Model: "rf"},
+		Seed:     9,
+	}
+	const rounds = 3
+	type run struct {
+		res []core.GameResult
+		sum stats.Summary
+	}
+	runAt := func(workers int, thaw bool) run {
+		t.Helper()
+		progcache.SetThaw(thaw)
+		res, sum, err := core.RunRoundsN(set, cfg, rounds, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wall-clock cells are run-dependent by nature; everything else must
+		// be bit-identical.
+		for i := range res {
+			res[i].FeaturizeTime = 0
+			res[i].TrainTime = 0
+		}
+		return run{res, sum}
+	}
+	ref := runAt(1, true)
+	for _, workers := range []int{1, 4, 8} {
+		for _, thaw := range []bool{true, false} {
+			got := runAt(workers, thaw)
+			if !reflect.DeepEqual(got.res, ref.res) || got.sum != ref.sum {
+				t.Fatalf("workers=%d thaw=%v diverged from the thaw-backed serial run:\n  got:  %+v %+v\n  want: %+v %+v",
+					workers, thaw, got.res, got.sum, ref.res, ref.sum)
+			}
 		}
 	}
 }

@@ -62,8 +62,8 @@ func SpeedupEngine(seed int64, engine string) (*SpeedupReport, error) {
 		row := SpeedupRow{Name: p.Name}
 		steps := func(transform string) (int64, error) {
 			// Each configuration mutates the module (passes, obfuscation),
-			// so take a private clone of the one cached O0 compile.
-			m, err := progcache.Compile(p.Source, p.Name)
+			// so thaw a private copy off the one cached O0 compile.
+			m, err := progcache.CompileThaw(p.Source, p.Name)
 			if err != nil {
 				return 0, err
 			}

@@ -191,6 +191,13 @@ type Transform struct {
 	Name  string
 	Group string // pass | pipeline | obfus | composed | source
 	Apply func(src string, rng *rand.Rand) (*ir.Module, error)
+	// ApplyMod is the module-level half of the transform: it mutates a
+	// module the caller already compiled. Apply is compile followed by
+	// ApplyMod for every group except "source" (whose transforms rewrite
+	// MiniC text and therefore have no module form; ApplyMod is nil there).
+	// The thaw-equivalence campaign uses ApplyMod to run one transform over
+	// two differently-obtained copies of the same module.
+	ApplyMod func(m *ir.Module, rng *rand.Rand) error
 }
 
 // compile is the front half shared by the pass/pipeline/obfus transforms.
@@ -200,40 +207,45 @@ func compile(src string) (*ir.Module, error) {
 	return minic.CompileSource(src, "prog")
 }
 
-func passTransform(name string) Transform {
-	return Transform{Name: name, Group: "pass", Apply: func(src string, _ *rand.Rand) (*ir.Module, error) {
+// fromMod lifts a module-level transform into the source-level Apply shape.
+func fromMod(mod func(m *ir.Module, rng *rand.Rand) error) func(src string, rng *rand.Rand) (*ir.Module, error) {
+	return func(src string, rng *rand.Rand) (*ir.Module, error) {
 		m, err := compile(src)
 		if err != nil {
 			return nil, err
 		}
-		_, err = passes.RunPass(m, name)
-		return m, err
-	}}
+		return m, mod(m, rng)
+	}
+}
+
+func passTransform(name string) Transform {
+	mod := func(m *ir.Module, _ *rand.Rand) error {
+		_, err := passes.RunPass(m, name)
+		return err
+	}
+	return Transform{Name: name, Group: "pass", Apply: fromMod(mod), ApplyMod: mod}
 }
 
 func pipelineTransform(name string) Transform {
 	lvl, _ := passes.ParseLevel(name)
-	return Transform{Name: name, Group: "pipeline", Apply: func(src string, _ *rand.Rand) (*ir.Module, error) {
-		m, err := compile(src)
-		if err != nil {
-			return nil, err
-		}
-		return m, passes.Optimize(m, lvl)
-	}}
+	mod := func(m *ir.Module, _ *rand.Rand) error {
+		return passes.Optimize(m, lvl)
+	}
+	return Transform{Name: name, Group: "pipeline", Apply: fromMod(mod), ApplyMod: mod}
 }
 
 func obfusTransform(name string) Transform {
-	return Transform{Name: name, Group: "obfus", Apply: func(src string, rng *rand.Rand) (*ir.Module, error) {
-		m, err := compile(src)
-		if err != nil {
-			return nil, err
-		}
-		return m, obfus.Apply(m, name, rng)
-	}}
+	mod := func(m *ir.Module, rng *rand.Rand) error {
+		return obfus.Apply(m, name, rng)
+	}
+	return Transform{Name: name, Group: "obfus", Apply: fromMod(mod), ApplyMod: mod}
 }
 
 // composedTransform chains a core evader with a core normalization level —
-// the exact obfuscate-then-normalize composition Game 3 plays.
+// the exact obfuscate-then-normalize composition Game 3 plays. The evaders
+// composed here are all module-level obfuscations, so the module form simply
+// chains the two mutations; Apply still routes through core.Transform so the
+// campaign exercises the same progcache path production uses.
 func composedTransform(evader, level string) Transform {
 	lvl, _ := passes.ParseLevel(level)
 	return Transform{Name: evader + "+" + level, Group: "composed",
@@ -243,6 +255,12 @@ func composedTransform(evader, level string) Transform {
 				return nil, err
 			}
 			return m, core.Normalize(m, lvl)
+		},
+		ApplyMod: func(m *ir.Module, rng *rand.Rand) error {
+			if err := obfus.Apply(m, evader, rng); err != nil {
+				return err
+			}
+			return core.Normalize(m, lvl)
 		}}
 }
 

@@ -1,0 +1,70 @@
+package difftest
+
+import "testing"
+
+// TestThawEquivalenceCampaign is the in-tree slice of the clone-vs-thaw
+// proof obligation: every module-level transform (passes, pipelines,
+// obfuscators and the composed evader pipelines) applied to a thawed copy
+// must match the clone-path oracle bit for bit. The full 200-program run is
+// `make thaw-smoke`; this keeps a smaller deterministic slice in `go test`.
+func TestThawEquivalenceCampaign(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	res, err := RunThawEquivalence(ThawEquivConfig{
+		N: n, Seed: 1, Set: "module", Gen: SmokeGen(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleErrs > 0 {
+		t.Fatalf("%d generated programs failed to compile", res.OracleErrs)
+	}
+	// module = 9 passes + 3 pipelines + 4 obfuscators + 3 composed, all of
+	// which must carry a module form.
+	if res.Transforms != 19 {
+		t.Fatalf("want 19 module-level transforms in the module set, got %d", res.Transforms)
+	}
+	if res.Cells != int64(n*19) {
+		t.Fatalf("want %d cells, got %d", n*19, res.Cells)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("seed=%d transform=%s: %.400s", f.Seed, f.Transform, f.Detail)
+	}
+}
+
+// TestThawEquivalenceDeterministic pins the worker-count independence of the
+// campaign: identical results at 1 and 4 workers.
+func TestThawEquivalenceDeterministic(t *testing.T) {
+	run := func(workers int) *ThawEquivResult {
+		res, err := RunThawEquivalence(ThawEquivConfig{
+			N: 6, Seed: 99, Workers: workers, Set: "smoke", Gen: SmokeGen(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	if a.Cells != b.Cells || a.OracleErrs != b.OracleErrs || len(a.Failures) != len(b.Failures) {
+		t.Fatalf("campaign diverged across worker counts: %+v vs %+v", a, b)
+	}
+}
+
+// TestTransformsCarryModuleForms pins the registry invariant the campaign
+// relies on: every non-source transform exposes ApplyMod, and no source
+// transform does.
+func TestTransformsCarryModuleForms(t *testing.T) {
+	trs, err := Transforms("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		hasMod := tr.ApplyMod != nil
+		wantMod := tr.Group != "source"
+		if hasMod != wantMod {
+			t.Errorf("transform %s (group %s): ApplyMod presence = %v, want %v", tr.Name, tr.Group, hasMod, wantMod)
+		}
+	}
+}

@@ -97,6 +97,26 @@ func markVM(t *testing.T, m *ir.Module, cover []bool) {
 	}
 }
 
+// markThaw round-trips m through the flat view (Flatten -> Thaw ->
+// Flatten), requires byte-identical tables and an identical module print,
+// then records every opcode that survived — proving each opcode the corpus
+// produces round-trips through the thaw path losslessly.
+func markThaw(t *testing.T, m *ir.Module, cover []bool) {
+	t.Helper()
+	want := m.String()
+	fl := ir.Flatten(m)
+	th := ir.Thaw(fl)
+	if got := th.String(); got != want {
+		t.Fatalf("thawed module prints differently:\n--- original ---\n%s\n--- thawed ---\n%s", want, got)
+	}
+	if d := ir.FlatDiff(fl, ir.Flatten(th)); d != "" {
+		t.Fatalf("thawed module re-flattens differently: %s", d)
+	}
+	for _, f := range m.Functions {
+		f.ForEachInstr(func(in *ir.Instr) { cover[in.Op] = true })
+	}
+}
+
 // TestOpcodeCoverage asserts that every one of the 63 IR opcodes is exercised
 // by the interpreter test suite: the differential-fuzzing corpus (generated
 // programs at O0, after -O3, and after the stacked obfuscator) covers the
@@ -108,9 +128,15 @@ func markVM(t *testing.T, m *ir.Module, cover []bool) {
 // lowered through vm.Compile, and the tail opcodes the corpus never emits
 // are driven through the vm engine directly, so both engines are proven to
 // stay in control on all 63 opcodes.
+//
+// A third ledger runs the flat IR round-trip: every corpus module and every
+// sweep module goes through Flatten -> Thaw -> Flatten, which must be
+// byte-identical and print-identical — so all 63 opcodes are proven to
+// survive the thaw path too.
 func TestOpcodeCoverage(t *testing.T) {
 	cover := make([]bool, ir.NumOpcodes)
 	vmCover := make([]bool, ir.NumOpcodes)
+	thawCover := make([]bool, ir.NumOpcodes)
 
 	for seed := int64(0); seed < 40; seed++ {
 		src := progen.GenerateSeed(seed)
@@ -120,18 +146,21 @@ func TestOpcodeCoverage(t *testing.T) {
 		}
 		markOpcodes(m, cover)
 		markVM(t, m, vmCover)
+		markThaw(t, m, thawCover)
 		m2, _ := minic.CompileSource(src, "cov")
 		if err := passes.Optimize(m2, passes.O3); err != nil {
 			t.Fatalf("seed %d O3: %v", seed, err)
 		}
 		markOpcodes(m2, cover)
 		markVM(t, m2, vmCover)
+		markThaw(t, m2, thawCover)
 		m3, _ := minic.CompileSource(src, "cov")
 		if err := obfus.Apply(m3, "ollvm", rand.New(rand.NewSource(seed))); err != nil {
 			t.Fatalf("seed %d ollvm: %v", seed, err)
 		}
 		markOpcodes(m3, cover)
 		markVM(t, m3, vmCover)
+		markThaw(t, m3, thawCover)
 	}
 
 	for _, op := range directlyExercised {
@@ -160,14 +189,18 @@ func TestOpcodeCoverage(t *testing.T) {
 			t.Errorf("%s is in sweepOps but the corpus already emits it; move it out", op)
 		}
 		sweepEngines(op)
+		markThaw(t, sweepModule(op), thawCover)
 		cover[op] = true
 		vmCover[op] = true
 	}
 
 	// The hand-exercised opcodes go through the interpreter in
 	// opcodes_test.go via Machine.Call; the VM runs whole modules, so drive
-	// each through a main-wrapped sweep here to cover its bytecode path.
+	// each through a main-wrapped sweep here to cover its bytecode path. The
+	// same sweep modules feed the thaw round-trip ledger, so the tail
+	// opcodes the corpus never emits are proven on that path too.
 	for _, op := range directlyExercised {
+		markThaw(t, sweepModule(op), thawCover)
 		if vmCover[op] {
 			continue
 		}
@@ -189,4 +222,5 @@ func TestOpcodeCoverage(t *testing.T) {
 	}
 	report("tree", cover)
 	report("vm", vmCover)
+	report("thaw", thawCover)
 }

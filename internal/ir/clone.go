@@ -42,9 +42,19 @@ func cloneBody(src, dst *Function, fmap map[*Function]*Function, gmap map[*Globa
 	mapVal := func(v Value) Value {
 		switch x := v.(type) {
 		case *Instr:
-			return imap[x]
+			if ni, ok := imap[x]; ok {
+				return ni
+			}
+			// Detached instruction (not in any cloned block): share it, like
+			// foreign globals and callees, so the clone prints and traps
+			// with the same %t ref instead of carrying a nil operand.
+			return x
 		case *Param:
-			return dst.Params[x.Index]
+			if x.Index >= 0 && x.Index < len(src.Params) && src.Params[x.Index] == x {
+				return dst.Params[x.Index]
+			}
+			// Foreign parameter (belongs to some other function): share it.
+			return x
 		case *Global:
 			if gmap != nil {
 				if ng, ok := gmap[x]; ok {

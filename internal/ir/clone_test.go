@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/ir"
 	"repro/internal/minic"
 	"repro/internal/obfus"
 	"repro/internal/passes"
@@ -88,5 +89,93 @@ func TestCloneIsReparseable(t *testing.T) {
 	cNorm := roundTrip(t, master.Clone()).String()
 	if mNorm != cNorm {
 		t.Fatalf("normalized clone diverged from normalized master:\n--- master ---\n%s\n--- clone ---\n%s", mNorm, cNorm)
+	}
+}
+
+// TestCloneAndThawOutOfContract holds Clone and Thaw to the same fidelity
+// bar on the out-of-contract shapes flat.go models explicitly: detached
+// instruction operands, foreign parameters, foreign call targets and
+// unknown globals. Both copies must print byte-identically to the master
+// and re-flatten to byte-identical tables (the VM relies on the preserved
+// refs for its trap messages).
+func TestCloneAndThawOutOfContract(t *testing.T) {
+	detached := &ir.Instr{Op: ir.OpAdd, Ty: ir.I64, ID: 42}
+	ghostParam := &ir.Param{Name: "ghost", Ty: ir.I64, Index: 3}
+	foreign := ir.NewFunction("ext", ir.I64, []string{"x"}, []*ir.Type{ir.I64})
+	unknown := &ir.Global{Name: "mystery", Elem: ir.I64}
+
+	cases := []struct {
+		name  string
+		build func(b *ir.Block) *ir.Instr
+	}{
+		{"detached-instr", func(b *ir.Block) *ir.Instr {
+			return b.Append(&ir.Instr{Op: ir.OpAdd, Ty: ir.I64, Args: []ir.Value{detached, detached}})
+		}},
+		{"foreign-param", func(b *ir.Block) *ir.Instr {
+			return b.Append(&ir.Instr{Op: ir.OpSub, Ty: ir.I64, Args: []ir.Value{ghostParam, ghostParam}})
+		}},
+		{"foreign-callee", func(b *ir.Block) *ir.Instr {
+			return b.Append(&ir.Instr{Op: ir.OpCall, Ty: ir.I64, Callee: foreign,
+				Args: []ir.Value{ir.ConstInt(ir.I64, 1)}})
+		}},
+		{"unknown-global", func(b *ir.Block) *ir.Instr {
+			return b.Append(&ir.Instr{Op: ir.OpLoad, Ty: ir.I64, Args: []ir.Value{unknown}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := ir.NewModule("weird")
+			f := ir.NewFunction("main", ir.I64, nil, nil)
+			m.Add(f)
+			b := f.NewBlock("entry")
+			in := tc.build(b)
+			b.Append(&ir.Instr{Op: ir.OpRet, Ty: ir.Void, Args: []ir.Value{in}})
+			want := m.String()
+
+			cl := m.Clone()
+			if got := cl.String(); got != want {
+				t.Fatalf("clone print diverged:\n--- master ---\n%s\n--- clone ---\n%s", want, got)
+			}
+			fl := ir.Flatten(m)
+			th := ir.Thaw(fl)
+			if got := th.String(); got != want {
+				t.Fatalf("thaw print diverged:\n--- master ---\n%s\n--- thaw ---\n%s", want, got)
+			}
+			if d := ir.FlatDiff(fl, ir.Flatten(cl)); d != "" {
+				t.Fatalf("clone re-flatten diverged: %s", d)
+			}
+			if d := ir.FlatDiff(fl, ir.Flatten(th)); d != "" {
+				t.Fatalf("thaw re-flatten diverged: %s", d)
+			}
+		})
+	}
+
+	// The shared-or-synthesized split: Clone shares the out-of-contract
+	// objects verbatim; Thaw shares only what the flat view retains a
+	// pointer to (foreign callees, unknown globals) and synthesizes
+	// ref-faithful stand-ins for the rest.
+	m := ir.NewModule("weird")
+	f := ir.NewFunction("main", ir.I64, nil, nil)
+	m.Add(f)
+	b := f.NewBlock("entry")
+	call := b.Append(&ir.Instr{Op: ir.OpCall, Ty: ir.I64, Callee: foreign,
+		Args: []ir.Value{detached, ghostParam, unknown}})
+	b.Append(&ir.Instr{Op: ir.OpRet, Ty: ir.Void, Args: []ir.Value{call}})
+
+	clIn := m.Clone().Func("main").Entry().Instrs[0]
+	if clIn.Args[0] != ir.Value(detached) || clIn.Args[1] != ir.Value(ghostParam) ||
+		clIn.Args[2] != ir.Value(unknown) || clIn.Callee != foreign {
+		t.Fatal("clone must share detached/foreign operands with the master")
+	}
+	thIn := ir.Thaw(ir.Flatten(m)).Func("main").Entry().Instrs[0]
+	if thIn.Callee != foreign || thIn.Args[2] != ir.Value(unknown) {
+		t.Fatal("thaw must share foreign callees and unknown globals")
+	}
+	if thIn.Args[0] == ir.Value(detached) || thIn.Args[1] == ir.Value(ghostParam) {
+		t.Fatal("thaw must synthesize detached-instr and foreign-param stand-ins")
+	}
+	if thIn.Args[0].Ref() != detached.Ref() || thIn.Args[1].Ref() != ghostParam.Ref() {
+		t.Fatalf("thaw stand-ins must keep the master refs: got %s, %s",
+			thIn.Args[0].Ref(), thIn.Args[1].Ref())
 	}
 }

@@ -86,14 +86,27 @@ type Flat struct {
 	ParamNames []string
 	ParamTypes []int32
 
+	// NumModFuncs is the number of module functions: Funcs[:NumModFuncs]
+	// mirror Mod.Functions in order, trailing rows are foreign call targets.
+	// Thaw rebuilds the former and shares the latter, exactly like Clone.
+	NumModFuncs int32
+
 	// MainIdx is the index of the module's "main" function, or -1.
 	MainIdx int32
 }
 
 // FlatFunc is one function row. Ins/Blk/Par fields are [start, end) spans
 // into Flat.Instrs (and Ops), Flat.Blocks and Flat.ParamNames/ParamTypes.
+// Sig and F point into the source module (signatures are immutable and
+// shared by Clone too; F lets Thaw share foreign call targets the way Clone
+// does, and is never followed for module functions' bodies). NID snapshots
+// the function's ID counter so instructions appended to a thawed copy get
+// fresh, non-colliding %t numbers.
 type FlatFunc struct {
 	Name string
+	Sig  *Type
+	F    *Function
+	NID  int32
 	Blk0 int32
 	Blk1 int32
 	Ins0 int32
@@ -109,12 +122,17 @@ func (f *FlatFunc) IsDecl() bool { return f.Blk0 == f.Blk1 }
 func (f *FlatFunc) NumParams() int { return int(f.Par1 - f.Par0) }
 
 // FlatBlock is one basic-block row: owning function, instruction span and
-// the interned label (used verbatim in VM trap messages).
+// the interned label (used verbatim in VM trap messages). Name is the
+// Strings index of the block's explicit name, or -1 for unnamed blocks
+// whose label derives from ID — Label collapses the two, but Thaw needs the
+// split to rebuild a print-identical block.
 type FlatBlock struct {
 	Fn    int32
 	Ins0  int32
 	Ins1  int32
 	Label int32
+	Name  int32
+	ID    int32
 }
 
 // FlatInstr is one instruction row (minus the opcode, which lives in the
@@ -320,7 +338,7 @@ func (ft *flattener) funcID(f *Function) int32 {
 	// A call target not registered in the module behaves like a declaration
 	// (the interpreter reports "call to declaration @name").
 	id := int32(len(ft.fl.Funcs))
-	ft.fl.Funcs = append(ft.fl.Funcs, FlatFunc{Name: f.Name})
+	ft.fl.Funcs = append(ft.fl.Funcs, FlatFunc{Name: f.Name, Sig: f.Sig, F: f})
 	ft.fnIdx[f] = id
 	return id
 }
@@ -376,9 +394,10 @@ func Flatten(m *Module) *Flat {
 		Operands:   make([]Operand, 0, nOper),
 		BlockArgs:  make([]int32, 0, nBArg),
 		SwitchVals: make([]int64, 0, nSw),
-		ParamNames: make([]string, 0, nParams),
-		ParamTypes: make([]int32, 0, nParams),
-		MainIdx:    -1,
+		ParamNames:  make([]string, 0, nParams),
+		ParamTypes:  make([]int32, 0, nParams),
+		NumModFuncs: int32(len(m.Functions)),
+		MainIdx:     -1,
 	}
 	ft := &flattener{
 		fl:        fl,
@@ -412,6 +431,9 @@ func Flatten(m *Module) *Flat {
 		ft.fnIdx[f] = int32(fi)
 		ff := &fl.Funcs[fi]
 		ff.Name = f.Name
+		ff.Sig = f.Sig
+		ff.F = f
+		ff.NID = int32(f.nid)
 		ff.Blk0 = int32(len(fl.Blocks))
 		ff.Ins0 = int32(len(fl.Ops))
 		ff.Par0 = int32(len(fl.ParamNames))
@@ -428,9 +450,14 @@ func Flatten(m *Module) *Flat {
 				ft.instrIdx[in] = int32(len(fl.Ops))
 				fl.Ops = append(fl.Ops, uint8(in.Op))
 			}
+			nameID := int32(-1)
+			if b.Name != "" {
+				nameID = ft.strID(b.Name)
+			}
 			fl.Blocks = append(fl.Blocks, FlatBlock{
 				Fn: int32(fi), Ins0: ins0, Ins1: int32(len(fl.Ops)),
 				Label: ft.strID(b.Label()),
+				Name:  nameID, ID: int32(b.ID),
 			})
 		}
 		ff.Blk1 = int32(len(fl.Blocks))

@@ -79,6 +79,35 @@ func BenchmarkFlatShare(b *testing.B) {
 	}
 }
 
+// BenchmarkThaw is the new per-mutator cost: rebuilding a pointer module
+// from the flat tables with arena allocation. Compare against
+// BenchmarkClone — the acceptance bar is ≥2x on time and ≥5x on allocs.
+func BenchmarkThaw(b *testing.B) {
+	fl := ir.Flatten(benchModule(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ir.Thaw(fl)
+	}
+}
+
+// BenchmarkCompileThaw is a progcache hit on the thaw path: cached flat
+// view plus an arena thaw, what Transform and the coevo loop now pay per
+// mutable copy.
+func BenchmarkCompileThaw(b *testing.B) {
+	progcache.Reset()
+	if _, err := progcache.CompileThaw(benchSrc, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := progcache.CompileThaw(benchSrc, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCompileClone is a progcache hit on the mutating path: the cached
 // master plus the deep clone handed to passes and obfuscators.
 func BenchmarkCompileClone(b *testing.B) {

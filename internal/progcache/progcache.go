@@ -49,6 +49,7 @@ type entry struct {
 var (
 	cache   sync.Map // source string -> *entry
 	enabled atomic.Bool
+	useThaw atomic.Bool
 
 	hits         = obs.GetCounter("progcache.hits")
 	misses       = obs.GetCounter("progcache.misses")
@@ -58,9 +59,14 @@ var (
 	flatHits     = obs.GetCounter("progcache.flat.hits")
 	flatMisses   = obs.GetCounter("progcache.flat.misses")
 	flattenTimer = obs.GetTimer("progcache.flatten")
+	thawHits     = obs.GetCounter("progcache.thaw.hits")
+	thawTimer    = obs.GetTimer("progcache.thaw")
 )
 
-func init() { enabled.Store(true) }
+func init() {
+	enabled.Store(true)
+	useThaw.Store(true)
+}
 
 // SetEnabled toggles the cache globally (tests use this to compare cached
 // against uncached runs). Disabling does not drop existing entries; use
@@ -69,6 +75,15 @@ func SetEnabled(on bool) { enabled.Store(on) }
 
 // Enabled reports whether the cache is active.
 func Enabled() bool { return enabled.Load() }
+
+// SetThaw toggles the thaw fast path behind CompileThaw. With it off, every
+// CompileThaw caller falls back to the historical clone path — the
+// clone-vs-thaw determinism suites flip this to prove the two backends
+// produce bit-identical runs.
+func SetThaw(on bool) { useThaw.Store(on) }
+
+// ThawEnabled reports whether CompileThaw uses the thaw path.
+func ThawEnabled() bool { return useThaw.Load() }
 
 // Reset drops every cached module (and with it every cached flat view),
 // empties the untrusted tier and zeroes the counters.
@@ -88,6 +103,8 @@ func ResetStats() {
 	flatHits.Reset()
 	flatMisses.Reset()
 	flattenTimer.Reset()
+	thawHits.Reset()
+	thawTimer.Reset()
 }
 
 // Stats is a snapshot of the cache counters.
@@ -96,6 +113,9 @@ type Stats struct {
 	// FlatHits/FlatMisses count CompileFlat calls served from an existing
 	// flat view vs. ones that built it.
 	FlatHits, FlatMisses int64
+	// ThawHits counts mutable copies served by rebuilding from the cached
+	// flat view instead of deep-cloning the master.
+	ThawHits int64
 	// The Untrusted* fields mirror the bounded LRU tier that serves
 	// wire-originated compiles (see untrusted.go).
 	UntrustedHits, UntrustedMisses     int64
@@ -103,10 +123,12 @@ type Stats struct {
 	// CompileTime is the total front-end time spent on cache misses;
 	// CloneTime is the total time spent deep-cloning cached modules for
 	// mutating consumers; FlattenTime is the total time spent building
-	// struct-of-arrays views on flat misses.
+	// struct-of-arrays views on flat misses; ThawTime is the total time
+	// spent rebuilding mutable modules from cached flat views.
 	CompileTime time.Duration
 	CloneTime   time.Duration
 	FlattenTime time.Duration
+	ThawTime    time.Duration
 }
 
 // Snapshot returns the current counters.
@@ -119,6 +141,7 @@ func Snapshot() Stats {
 		Entries:          n,
 		FlatHits:         flatHits.Value(),
 		FlatMisses:       flatMisses.Value(),
+		ThawHits:         thawHits.Value(),
 		UntrustedHits:    utHits.Value(),
 		UntrustedMisses:  utMisses.Value(),
 		UntrustedEntries: utEntries.Value(),
@@ -126,6 +149,7 @@ func Snapshot() Stats {
 		CompileTime:      compileTimer.Total(),
 		CloneTime:        cloneTimer.Total(),
 		FlattenTime:      flattenTimer.Total(),
+		ThawTime:         thawTimer.Total(),
 	}
 }
 
@@ -210,6 +234,12 @@ func CompileFlat(src, name string) (*ir.Flat, error) {
 	if err != nil {
 		return nil, err
 	}
+	return entFlat(ent), nil
+}
+
+// entFlat returns the entry's flat view, flattening the master at most once
+// (singleflight via flatOnce). The entry's compile must have succeeded.
+func entFlat(ent *entry) *ir.Flat {
 	built := false
 	ent.flatOnce.Do(func() {
 		built = true
@@ -221,5 +251,24 @@ func CompileFlat(src, name string) (*ir.Flat, error) {
 	if !built {
 		flatHits.Inc()
 	}
-	return ent.flat, nil
+	return ent.flat
+}
+
+// CompileThaw returns a freshly built module for src that the caller owns
+// and may mutate freely — the same contract as Compile, served the cheap
+// way: instead of deep-cloning the cached master it thaws the cached flat
+// view (ir.Thaw), which allocates the whole module out of a handful of
+// arenas. Transform pipelines, fuzz campaigns and the coevo generation loop
+// draw their mutable copies here; the clone-vs-thaw difftest campaign pins
+// the two paths bit-for-bit equivalent. SetThaw(false) reverts every caller
+// to the clone path.
+func CompileThaw(src, name string) (*ir.Module, error) {
+	if !enabled.Load() || !useThaw.Load() {
+		return Compile(src, name)
+	}
+	ent, err := lookupEntry(src, name)
+	if err != nil {
+		return nil, err
+	}
+	return thawModule(entFlat(ent), name), nil
 }

@@ -87,6 +87,86 @@ func TestDisabledBypassesCache(t *testing.T) {
 	}
 }
 
+func TestCompileThawMatchesClone(t *testing.T) {
+	Reset()
+	cl, err := Compile(testSrc, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := CompileThaw(testSrc, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th == cl {
+		t.Fatal("CompileThaw returned a shared module; copies must be private")
+	}
+	if th.String() != cl.String() {
+		t.Fatalf("thawed copy prints differently from clone:\n--- clone ---\n%s\n--- thaw ---\n%s", cl, th)
+	}
+	if err := th.Verify(); err != nil {
+		t.Fatalf("thawed copy fails verification: %v", err)
+	}
+	st := Snapshot()
+	if st.ThawHits != 1 {
+		t.Fatalf("want 1 thaw hit, got %+v", st)
+	}
+	if st.FlatMisses != 1 {
+		t.Fatalf("thaw should have built the flat view once, got %+v", st)
+	}
+	if st.ThawTime <= 0 {
+		t.Fatal("thaw timer did not advance")
+	}
+}
+
+func TestCompileThawIsolation(t *testing.T) {
+	Reset()
+	shared, err := CompileShared(testSrc, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := shared.String()
+	th, err := CompileThaw(testSrc, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Functions[0].Blocks = nil
+	th.Name = "wrecked"
+	if got := shared.String(); got != before {
+		t.Fatal("mutating a CompileThaw copy changed the shared master")
+	}
+	// The cached flat view must be reusable after the vandalism too.
+	th2, err := CompileThaw(testSrc, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := th2.String(); got != before {
+		t.Fatal("mutating a CompileThaw copy corrupted the cached flat view")
+	}
+}
+
+func TestSetThawFallsBackToClone(t *testing.T) {
+	Reset()
+	SetThaw(false)
+	defer SetThaw(true)
+	if ThawEnabled() {
+		t.Fatal("SetThaw(false) not observed")
+	}
+	m, err := CompileThaw(testSrc, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st := Snapshot()
+	if st.ThawHits != 0 {
+		t.Fatalf("thaw disabled but counted %d thaw hits", st.ThawHits)
+	}
+	if st.CloneTime <= 0 {
+		t.Fatal("clone fallback did not run")
+	}
+}
+
 func TestConcurrentSingleflight(t *testing.T) {
 	Reset()
 	const goroutines = 16

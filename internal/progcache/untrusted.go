@@ -210,6 +210,35 @@ func CompileFlatUntrusted(src, name string) (*ir.Flat, error) {
 	return fl, nil
 }
 
+// CompileThawUntrusted is CompileThaw for wire-originated sources: the
+// caller gets a private mutable module thawed from a flat view that lives
+// in the bounded LRU tier (or the main cache, if the source is pinned
+// there). With the thaw path disabled it degrades to CompileUntrusted's
+// clone semantics.
+func CompileThawUntrusted(src, name string) (*ir.Module, error) {
+	if !enabled.Load() || !useThaw.Load() {
+		return CompileUntrusted(src, name)
+	}
+	if ent, ok := peekPinned(src); ok {
+		utHits.Inc()
+		return thawModule(entFlat(ent), name), nil
+	}
+	fl, err := CompileFlatUntrusted(src, name)
+	if err != nil {
+		return nil, err
+	}
+	return thawModule(fl, name), nil
+}
+
+func thawModule(fl *ir.Flat, name string) *ir.Module {
+	start := time.Now()
+	m := ir.Thaw(fl)
+	thawTimer.Observe(time.Since(start))
+	thawHits.Inc()
+	m.Name = name
+	return m
+}
+
 func cloneModule(mod *ir.Module, name string) *ir.Module {
 	start := time.Now()
 	m := mod.Clone()

@@ -201,3 +201,62 @@ func TestUntrustedConcurrentChurn(t *testing.T) {
 		t.Fatalf("entries = %d, want <= shrunk cap 2", st.UntrustedEntries)
 	}
 }
+
+// TestUntrustedThawMatchesClone pins CompileThawUntrusted against
+// CompileUntrusted on both tiers: a fresh wire source (LRU-backed) and a
+// harness-pinned one (main-cache-backed) must thaw to modules that print
+// identically to the clone path and stay private.
+func TestUntrustedThawMatchesClone(t *testing.T) {
+	resetUntrustedCap(t)
+
+	// LRU-backed: first call compiles+flattens into the bounded tier.
+	cl, err := CompileUntrusted(srcFor(1), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := CompileThawUntrusted(srcFor(1), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th == cl || th.String() != cl.String() {
+		t.Fatal("untrusted thaw diverged from untrusted clone")
+	}
+	if st := Snapshot(); st.Entries != 0 {
+		t.Fatalf("untrusted thaw leaked %d entries into the pinned cache", st.Entries)
+	}
+
+	// Pinned-backed: the main cache's flat view serves the thaw.
+	if _, err := Compile(srcFor(2), "m"); err != nil {
+		t.Fatal(err)
+	}
+	th2, err := CompileThawUntrusted(srcFor(2), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := CompileShared(srcFor(2), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := shared.String()
+	if th2.String() != before {
+		t.Fatal("pinned-backed thaw diverged from the master")
+	}
+	th2.Functions[0].Blocks = nil
+	if shared.String() != before {
+		t.Fatal("mutating an untrusted thaw changed the pinned master")
+	}
+	if st := Snapshot(); st.ThawHits != 2 {
+		t.Fatalf("want 2 thaw hits, got %+v", st)
+	}
+
+	// Disabled thaw path degrades to clone semantics.
+	SetThaw(false)
+	defer SetThaw(true)
+	m, err := CompileThawUntrusted(srcFor(1), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

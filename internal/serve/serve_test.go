@@ -479,7 +479,9 @@ func TestConcurrentClassifyRace(t *testing.T) {
 // requests for the same program (first compiles it into the bounded
 // untrusted tier, second reuses it) and checks /metricz reports the
 // untrusted-tier counters and flatten timer — wire-originated compiles go
-// through the LRU tier, not the pinned cache.
+// through the LRU tier, not the pinned cache. A transform request with a
+// mutating evader rides along so the thaw counters (a private module copy
+// drawn off the cached flat view) are pinned on the wire too.
 func TestMetriczSurfacesFlatCacheCounters(t *testing.T) {
 	_, ts := newTestServer(t, serve.Config{
 		Models: map[string]ml.Model{"stub": &stubModel{}},
@@ -490,6 +492,10 @@ func TestMetriczSurfacesFlatCacheCounters(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("classify %d got %d: %s", i, resp.StatusCode, body)
 		}
+	}
+	resp0, body0 := postJSON(t, ts.URL+"/v1/transform", serve.TransformRequest{Source: src, Evader: "sub", Seed: 1})
+	if resp0.StatusCode != http.StatusOK {
+		t.Fatalf("transform got %d: %s", resp0.StatusCode, body0)
 	}
 	resp, err := http.Get(ts.URL + "/metricz")
 	if err != nil {
@@ -511,6 +517,12 @@ func TestMetriczSurfacesFlatCacheCounters(t *testing.T) {
 	}
 	if _, ok := snap.Timers["progcache.flatten"]; !ok {
 		t.Fatalf("metricz missing progcache.flatten timer: %v", snap.Timers)
+	}
+	if snap.Counters["progcache.thaw.hits"] < 1 {
+		t.Fatalf("metricz missing progcache.thaw.hits: %v", snap.Counters)
+	}
+	if _, ok := snap.Timers["progcache.thaw"]; !ok {
+		t.Fatalf("metricz missing progcache.thaw timer: %v", snap.Timers)
 	}
 }
 

@@ -42,6 +42,11 @@ type Member struct {
 	Seq   []Step
 	File  *minic.File
 	Score float64
+	// Flat is the cached flat IR view of File, carried over from the probe
+	// compile that validated it (or rebuilt at the last scoring). It is nil
+	// only when File never compiled; consumers that need a view
+	// unconditionally fall back to FlatView.
+	Flat *ir.Flat
 }
 
 // Population is the persistent state of one evader strategy attacking one
@@ -55,6 +60,7 @@ type Population struct {
 
 	orig     *minic.File
 	origHist embed.Vector
+	origView *ir.Flat
 	obj      Objective
 }
 
@@ -99,11 +105,11 @@ func NewPopulation(f *minic.File, strategy string, size int, obj Objective, rng 
 		return nil, fmt.Errorf("srcobf: population size must be >= 1, got %d", size)
 	}
 	orig := cloneFile(f)
-	hist, err := origHistogram(orig)
+	ofl, err := origFlat(orig)
 	if err != nil {
 		return nil, fmt.Errorf("srcobf: original program does not compile: %w", err)
 	}
-	p := &Population{Strategy: strategy, orig: orig, origHist: hist}
+	p := &Population{Strategy: strategy, orig: orig, origHist: embed.HistogramFlat(ofl), origView: ofl}
 	p.SetObjective(obj)
 	names := TransformNames()
 	for i := 0; i < size; i++ {
@@ -116,8 +122,9 @@ func NewPopulation(f *minic.File, strategy string, size int, obj Objective, rng 
 		default:
 			// mcmc chains and drlsg searchers start at the original program.
 		}
-		m.File = applySeq(orig, m.Seq)
-		m.Score = p.scoreFile(m.File)
+		var fl *ir.Flat
+		m.File, fl = applySeq(orig, m.Seq)
+		m.Score, m.Flat = p.score(m.File, fl)
 		p.Members = append(p.Members, m)
 	}
 	return p, nil
@@ -136,19 +143,30 @@ func (p *Population) SetObjective(obj Objective) {
 	p.obj = obj
 }
 
-// scoreFile evaluates a candidate AST under the current objective. Invalid
-// candidates (failed compile or objective rejection) score negative
-// infinity so every valid program beats them.
-func (p *Population) scoreFile(f *minic.File) float64 {
-	fl, err := FlatView(f)
-	if err != nil {
-		return math.Inf(-1)
+// score evaluates a candidate AST under the current objective, reusing the
+// caller's flat view when one is on hand and compiling only when it is not.
+// Invalid candidates (failed compile or objective rejection) score negative
+// infinity so every valid program beats them. The view that fed the
+// objective comes back so callers can cache it on the member.
+func (p *Population) score(f *minic.File, fl *ir.Flat) (float64, *ir.Flat) {
+	if fl == nil {
+		// A nil view from applySeq means no step was accepted, so f is an
+		// untouched clone of the original program — its precomputed view is
+		// exact and saves recompiling the same source for every such member.
+		fl = p.origView
+	}
+	if fl == nil {
+		var err error
+		fl, err = FlatView(f)
+		if err != nil {
+			return math.Inf(-1), nil
+		}
 	}
 	s, ok := p.obj(fl)
 	if !ok {
-		return math.Inf(-1)
+		return math.Inf(-1), fl
 	}
-	return s
+	return s, fl
 }
 
 // randSeq draws a fresh random sequence the way the batch rs strategy does:
@@ -193,7 +211,8 @@ func (p *Population) Best() *Member {
 // Evolve is deterministic for a fixed seed.
 func (p *Population) Evolve(rng *rand.Rand) {
 	for i := range p.Members {
-		p.Members[i].Score = p.scoreFile(p.Members[i].File)
+		m := &p.Members[i]
+		m.Score, m.Flat = p.score(m.File, m.Flat)
 	}
 	names := TransformNames()
 	switch p.Strategy {
@@ -201,9 +220,9 @@ func (p *Population) Evolve(rng *rand.Rand) {
 		for i := range p.Members {
 			m := &p.Members[i]
 			seq := p.randSeq(names, rng)
-			f := applySeq(p.orig, seq)
-			if s := p.scoreFile(f); s > m.Score {
-				m.Seq, m.File, m.Score = seq, f, s
+			f, fl := applySeq(p.orig, seq)
+			if s, fl := p.score(f, fl); s > m.Score {
+				m.Seq, m.File, m.Score, m.Flat = seq, f, s, fl
 			}
 		}
 	case "mcmc":
@@ -229,14 +248,14 @@ func (p *Population) mcmcSteps(m *Member, names []string, rng *rand.Rand) {
 		} else {
 			cand = append(append([]Step(nil), m.Seq...), Step{names[rng.Intn(len(names))], rng.Int63()})
 		}
-		f := applySeq(p.orig, cand)
-		sc := p.scoreFile(f)
+		f, cfl := applySeq(p.orig, cand)
+		sc, cfl := p.score(f, cfl)
 		if math.IsInf(sc, -1) {
 			continue
 		}
 		delta := sc - m.Score
 		if delta >= 0 || rng.Float64() < math.Exp(delta/mcmcTemperature) {
-			m.Seq, m.File, m.Score = cand, f, sc
+			m.Seq, m.File, m.Score, m.Flat = cand, f, sc, cfl
 		}
 	}
 }
@@ -248,17 +267,18 @@ func (p *Population) drlsgRound(m *Member, names []string, rng *rand.Rand) {
 		seq   []Step
 		file  *minic.File
 		score float64
+		flat  *ir.Flat
 	}
 	var top *cand
 	for w := 0; w < drlsgWidth; w++ {
 		c := append(append([]Step(nil), m.Seq...), Step{names[rng.Intn(len(names))], rng.Int63()})
-		f := applySeq(p.orig, c)
-		s := p.scoreFile(f)
+		f, fl := applySeq(p.orig, c)
+		s, fl := p.score(f, fl)
 		if math.IsInf(s, -1) {
 			continue
 		}
 		if top == nil || s > top.score {
-			top = &cand{c, f, s}
+			top = &cand{c, f, s, fl}
 		}
 	}
 	if top == nil {
@@ -268,7 +288,7 @@ func (p *Population) drlsgRound(m *Member, names []string, rng *rand.Rand) {
 	// only improve.
 	m.Seq = top.seq
 	if top.score >= m.Score {
-		m.File, m.Score = top.file, top.score
+		m.File, m.Score, m.Flat = top.file, top.score, top.flat
 	}
 }
 
@@ -285,9 +305,9 @@ func (p *Population) gaGeneration(names []string, rng *rand.Rand) {
 		} else {
 			cand[rng.Intn(len(cand))] = Step{names[rng.Intn(len(names))], rng.Int63()}
 		}
-		f := applySeq(p.orig, cand)
-		if s := p.scoreFile(f); s > m.Score {
-			m.Seq, m.File, m.Score = cand, f, s
+		f, fl := applySeq(p.orig, cand)
+		if s, fl := p.score(f, fl); s > m.Score {
+			m.Seq, m.File, m.Score, m.Flat = cand, f, s, fl
 		}
 		return
 	}
@@ -308,8 +328,9 @@ func (p *Population) gaGeneration(names []string, rng *rand.Rand) {
 		} else if rng.Float64() < gaMutationRate {
 			child[rng.Intn(len(child))] = Step{names[rng.Intn(len(names))], rng.Int63()}
 		}
-		f := applySeq(p.orig, child)
-		next = append(next, Member{Seq: child, File: f, Score: p.scoreFile(f)})
+		f, fl := applySeq(p.orig, child)
+		s, fl := p.score(f, fl)
+		next = append(next, Member{Seq: child, File: f, Score: s, Flat: fl})
 	}
 	p.Members = next
 }

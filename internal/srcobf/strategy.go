@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/embed"
+	"repro/internal/ir"
 	"repro/internal/minic"
 )
 
@@ -13,9 +13,13 @@ func StrategyNames() []string { return []string{"rs", "mcmc", "drlsg", "ga"} }
 
 // applySeq replays a transformation sequence on a fresh clone of orig. A
 // step whose result no longer compiles is skipped — the safety net that
-// keeps every emitted program valid.
-func applySeq(orig *minic.File, seq []Step) *minic.File {
+// keeps every emitted program valid. The probe compile that validated the
+// last accepted step is not thrown away: its flat view comes back alongside
+// the AST (nil when no step compiled), so scoring and the coevo arena reuse
+// it instead of compiling the same program again.
+func applySeq(orig *minic.File, seq []Step) (*minic.File, *ir.Flat) {
 	cur := cloneFile(orig)
+	var lastMod *ir.Module
 	for _, st := range seq {
 		t, err := transformByName(st.Name)
 		if err != nil {
@@ -25,23 +29,28 @@ func applySeq(orig *minic.File, seq []Step) *minic.File {
 		if !t.Apply(cand, rand.New(rand.NewSource(st.Seed))) {
 			continue
 		}
-		if _, err := minic.Compile(cand, "probe"); err != nil {
+		mod, err := minic.Compile(cand, "member")
+		if err != nil {
 			continue
 		}
-		cur = cand
+		cur, lastMod = cand, mod
 	}
-	return cur
+	if lastMod == nil {
+		return cur, nil
+	}
+	return cur, ir.Flatten(lastMod)
 }
 
-// origHistogram computes the opcode histogram of the original program —
-// the reference point of the default evasion objective (greater distance,
-// better evasion — the quantity Figure 10 analyzes).
-func origHistogram(f *minic.File) (embed.Vector, error) {
+// origFlat compiles the original program once and returns its flat IR view
+// — the reference point of the default evasion objective (its histogram is
+// the quantity Figure 10 analyzes) and the fallback view score substitutes
+// for candidates whose sequences applied no step.
+func origFlat(f *minic.File) (*ir.Flat, error) {
 	m, err := minic.Compile(cloneFile(f), "orig")
 	if err != nil {
 		return nil, err
 	}
-	return embed.Histogram(m), nil
+	return ir.Flatten(m), nil
 }
 
 // TransformFile applies the named strategy to a parsed program and returns
